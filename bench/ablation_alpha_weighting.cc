@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Ablation: count-weighted vs bytes-weighted partial offload.
+ *
+ * When only granularities above break-even are offloaded, the paper
+ * scales the offloaded kernel fraction by the *count* of profitable
+ * offloads (α_eff = α · n_prof/n_total) — the only quantity its
+ * production tooling could measure. Physically, for a linear kernel the
+ * cycles that leave the host scale with the *bytes* those offloads
+ * carry. Our simulator executes selective offload exactly, so it can
+ * adjudicate: which weighting predicts the measured speedup?
+ *
+ * The experiment offloads Feed1-style compression (off-chip Sync,
+ * A=27, L=2300) with the break-even threshold applied, at several
+ * synthetic granularity distributions from "uniform" (count ≈ bytes) to
+ * "heavy-tailed" (few offloads carry most bytes).
+ */
+
+#include "bench_common.hh"
+#include "microsim/ab_test.hh"
+#include "model/granularity.hh"
+#include "workload/request_factory.hh"
+
+using namespace accel;
+using model::AlphaWeighting;
+using model::ThreadingDesign;
+
+namespace {
+
+struct Shape
+{
+    const char *name;
+    std::shared_ptr<const BucketDist> sizes;
+};
+
+double
+modelSpeedup(const BucketDist &sizes, double cb,
+             AlphaWeighting weighting)
+{
+    model::Params base;
+    base.hostCycles = 2.3e9;
+    base.alpha = 0.15;
+    base.interfaceCycles = 2300;
+    base.accelFactor = 27;
+    model::OffloadProfit profit{cb, 1.0};
+    auto plan = model::planOffloads(sizes, 15008, base.alpha, profit,
+                                    ThreadingDesign::Sync, base,
+                                    weighting);
+    model::Accelerometer m(model::applyPlan(base, base.alpha, plan));
+    return m.speedup(ThreadingDesign::Sync) - 1.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: count- vs bytes-weighted partial offload "
+                  "(simulator adjudicates)");
+
+    std::vector<Shape> shapes = {
+        {"uniform sizes",
+         std::make_shared<const BucketDist>(std::vector<DistBucket>{
+             {200, 4000, 1.0}})},
+        {"Feed1 (Fig. 19)",
+         workload::compressionSizes(workload::ServiceId::Feed1)},
+        {"heavy tail",
+         std::make_shared<const BucketDist>(std::vector<DistBucket>{
+             {64, 425, 6.0}, {425, 2048, 2.5}, {16384, 65536, 1.5}})},
+    };
+
+    TextTable table({"granularity shape", "count-weighted model",
+                     "bytes-weighted model", "simulated real",
+                     "closer"});
+    for (size_t c = 1; c <= 3; ++c)
+        table.setAlign(c, Align::Right);
+
+    const double cb = workload::feed1CompressionCyclesPerByte();
+    for (const Shape &shape : shapes) {
+        double count_est =
+            modelSpeedup(*shape.sizes, cb, AlphaWeighting::CountWeighted);
+        double bytes_est =
+            modelSpeedup(*shape.sizes, cb, AlphaWeighting::BytesWeighted);
+
+        // Ground truth: selective offload executed in the simulator.
+        model::Params base;
+        base.hostCycles = 2.3e9;
+        base.alpha = 0.15;
+        base.interfaceCycles = 2300;
+        base.accelFactor = 27;
+        model::OffloadProfit profit{cb, 1.0};
+        double g_star =
+            profit.breakEvenSpeedup(ThreadingDesign::Sync, base);
+
+        microsim::AbExperiment e;
+        e.service.cores = 1;
+        e.service.threads = 1;
+        e.service.design = ThreadingDesign::Sync;
+        e.service.clockGHz = 2.3;
+        e.service.minOffloadBytes = g_star;
+        e.accelerator.speedupFactor = 27;
+        e.accelerator.fixedLatencyCycles = 2300;
+        e.accelerator.channels = 4;
+        e.workload = workload::makeWorkload(base.hostCycles, base.alpha,
+                                            15008, shape.sizes);
+        // Keep the kernel cost per byte at the calibrated Cb so the
+        // break-even threshold is consistent.
+        e.workload.cyclesPerByte = cb;
+        e.workload.nonKernelCyclesMean =
+            (1 - base.alpha) / base.alpha * cb * shape.sizes->mean();
+        e.seed = 31;
+        e.measureSeconds = 1.0;
+        e.warmupSeconds = 0.1;
+        microsim::AbResult r = microsim::runAbTest(e);
+        double real = r.measuredSpeedup() - 1.0;
+
+        const char *closer =
+            std::abs(count_est - real) < std::abs(bytes_est - real)
+                ? "count" : "bytes";
+        table.addRow({shape.name, fmtPct(count_est, 2),
+                      fmtPct(bytes_est, 2), fmtPct(real, 2), closer});
+    }
+    std::cout << table.str();
+    std::cout << "\nReadings: for linear kernels the bytes-weighted rule "
+                 "tracks the executed reality; the paper's "
+                 "count-weighted rule under-estimates whenever large "
+                 "offloads carry a disproportionate share of bytes "
+                 "(heavy-tailed CDFs). The paper's Fig. 20 numbers are "
+                 "nevertheless reproduced with its own rule — see "
+                 "fig20_projected_speedup.\n";
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Bench-side rendering of workload::beforeAfterBreakdown (Figs. 16-18).
+ */
+
+#pragma once
+
+#include <iostream>
+
+#include "util/table.hh"
+#include "workload/before_after.hh"
+
+namespace accel::bench {
+
+/** Print the unaccelerated vs accelerated functionality breakdown. */
+inline void
+printBeforeAfter(const workload::ServiceProfile &profile,
+                 workload::Functionality target,
+                 const model::Params &params,
+                 model::ThreadingDesign design, bool accelOnHost,
+                 std::optional<workload::Functionality> overheadSink =
+                     std::nullopt)
+{
+    workload::BeforeAfter ba = workload::beforeAfterBreakdown(
+        profile, target, params, design, accelOnHost, overheadSink);
+
+    TextTable table({"functionality", "unaccelerated %",
+                     "accelerated %"});
+    table.setAlign(1, Align::Right);
+    table.setAlign(2, Align::Right);
+    for (const auto &shift : ba.shifts) {
+        if (shift.beforePercent <= 0 && shift.functionality != target)
+            continue;
+        table.addRow({toString(shift.functionality),
+                      fmtF(shift.beforePercent, 1),
+                      fmtF(shift.afterPercent, 1)});
+    }
+    std::cout << table.str();
+
+    std::cout << "\nhost cycles freed: " << fmtF(ba.freedPercent, 1)
+              << "% of the unaccelerated total\n"
+              << toString(target) << " functionality improved by "
+              << fmtF(ba.targetImprovementPercent, 1) << "%\n";
+}
+
+} // namespace accel::bench

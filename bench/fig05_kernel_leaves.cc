@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig. 5: breakdown of cycles spent in kernel leaf functions
+ * (scheduler, event handling, network, synchronization, memory
+ * management).
+ */
+
+#include "bench_common.hh"
+
+using namespace accel;
+
+int
+main()
+{
+    bench::printShareFigure<workload::KernelLeaf>(
+        "Fig. 5: kernel leaf breakdown (% of kernel cycles)",
+        workload::allKernelLeaves(),
+        [](const workload::ServiceProfile &p)
+            -> const workload::ShareMap<workload::KernelLeaf> & {
+            return p.kernelShare;
+        },
+        [](const profiling::Aggregator &agg) {
+            return agg.kernelBreakdown();
+        },
+        workload::ServiceId::Cache2);
+
+    TextTable net({"service", "kernel net % of total cycles"});
+    net.setAlign(1, Align::Right);
+    for (workload::ServiceId id : workload::characterizedServices()) {
+        const auto &p = workload::profile(id);
+        net.addRow({p.name,
+                    fmtF(p.leafShare.at(workload::LeafCategory::Kernel),
+                         0)});
+    }
+    std::cout << "\nnet kernel share:\n" << net.str();
+
+    std::cout << "\nPaper's headline: the caches invoke scheduler "
+                 "functions frequently (context switches at high "
+                 "service throughput) and Cache2 spends significant "
+                 "cycles in network interaction; kernel-bypass and "
+                 "multi-queue NICs would help.\n";
+    return 0;
+}

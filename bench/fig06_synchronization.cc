@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fig. 6: breakdown of cycles spent in synchronization leaf functions
+ * (C++ atomics, mutex, compare-exchange-swap, spin locks).
+ */
+
+#include "bench_common.hh"
+
+using namespace accel;
+
+int
+main()
+{
+    bench::printShareFigure<workload::SyncLeaf>(
+        "Fig. 6: synchronization leaf breakdown (% of sync cycles)",
+        workload::allSyncLeaves(),
+        [](const workload::ServiceProfile &p)
+            -> const workload::ShareMap<workload::SyncLeaf> & {
+            return p.syncShare;
+        },
+        [](const profiling::Aggregator &agg) {
+            return agg.syncBreakdown();
+        },
+        workload::ServiceId::Cache1);
+
+    TextTable net({"service", "sync net % of total cycles"});
+    net.setAlign(1, Align::Right);
+    for (workload::ServiceId id : workload::characterizedServices()) {
+        const auto &p = workload::profile(id);
+        net.addRow(
+            {p.name,
+             fmtF(p.leafShare.at(workload::LeafCategory::Synchronization),
+                  0)});
+    }
+    std::cout << "\nnet synchronization share:\n" << net.str();
+
+    std::cout << "\nPaper's headline: Cache over-subscribes threads and "
+                 "spins rather than blocking, trading cycles for "
+                 "microsecond-scale wakeup latency.\n";
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fig. 7: breakdown of cycles spent in C-library leaf functions
+ * (algorithms, constructors, strings, hash tables, vectors, trees).
+ */
+
+#include "bench_common.hh"
+
+using namespace accel;
+
+int
+main()
+{
+    bench::printShareFigure<workload::ClibLeaf>(
+        "Fig. 7: C-library leaf breakdown (% of C-library cycles)",
+        workload::allClibLeaves(),
+        [](const workload::ServiceProfile &p)
+            -> const workload::ShareMap<workload::ClibLeaf> & {
+            return p.clibShare;
+        },
+        [](const profiling::Aggregator &agg) {
+            return agg.clibBreakdown();
+        },
+        workload::ServiceId::Feed2);
+
+    TextTable net({"service", "C-library net % of total cycles"});
+    net.setAlign(1, Align::Right);
+    for (workload::ServiceId id : workload::characterizedServices()) {
+        const auto &p = workload::profile(id);
+        net.addRow(
+            {p.name,
+             fmtF(p.leafShare.at(workload::LeafCategory::CLibraries),
+                  0)});
+    }
+    std::cout << "\nnet C-library share:\n" << net.str();
+
+    std::cout << "\nPaper's headline: the ML services hammer vector "
+                 "operations on large feature vectors; Web parses "
+                 "strings and probes hash tables across its many URL "
+                 "endpoints.\n";
+    return 0;
+}

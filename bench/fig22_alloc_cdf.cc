@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig. 22: CDF of memory-allocation granularities across services,
+ * with Cache1's on-chip break-even marker.
+ */
+
+#include "bench_common.hh"
+#include "model/accelerometer.hh"
+
+using namespace accel;
+
+int
+main()
+{
+    bench::banner("Fig. 22: CDF of bytes allocated across microservices");
+
+    std::vector<double> edges = {64, 128, 256, 512, 1024, 2048, 4096};
+    std::vector<std::string> headers = {"service"};
+    for (double e : edges)
+        headers.push_back("<=" + fmtF(e, 0));
+    TextTable table(headers);
+    for (size_t c = 1; c < headers.size(); ++c)
+        table.setAlign(c, Align::Right);
+    for (workload::ServiceId id : workload::characterizedServices()) {
+        auto d = workload::allocationSizes(id);
+        std::vector<std::string> row = {workload::toString(id)};
+        for (double e : edges)
+            row.push_back(fmtF(d->cdf(e), 2));
+        table.addRow(row);
+    }
+    std::cout << table.str() << "\n";
+
+    bench::printCdf("Cache1 allocation granularities (full buckets)",
+                    *workload::allocationSizes(workload::ServiceId::Cache1));
+
+    // Cache1 on-chip allocation acceleration (Mallacc-style, A = 1.5):
+    // Table 7 charges the whole allocation path, so break-even is about
+    // covering the setup of the allocation-queue instructions.
+    model::Params p;
+    p.hostCycles = 2.0e9;
+    p.alpha = 0.055;
+    p.offloads = 51695;
+    p.accelFactor = 1.5;
+    double alloc_cycles = p.alpha * p.hostCycles / p.offloads;
+    std::cout << "Cache1 spends " << fmtF(alloc_cycles, 0)
+              << " cycles per allocation (alpha*C/n); an A=1.5 on-chip "
+                 "path must save "
+              << fmtF(alloc_cycles * (1 - 1 / 1.5), 0)
+              << " cycles per call to break even on any size.\n";
+
+    std::cout << "\nPaper's headline: allocations are small (typically "
+                 "< 512 B); accelerating all of Cache1's allocations "
+                 "yields only a 1.86% speedup.\n";
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Extension bench: fleet-wide projection of accelerating the common
+ * overheads (compression, memory copy, memory allocation) across all
+ * seven characterized services — the paper's "data center operators can
+ * project fleet-wide gains" use case, quantified.
+ *
+ * Server counts are illustrative weights (the paper does not publish
+ * the installed base); per-service α comes from each profile's
+ * functionality/leaf shares.
+ */
+
+#include "bench_common.hh"
+#include "model/fleet.hh"
+
+using namespace accel;
+
+namespace {
+
+/** Illustrative installed-base weights per service. */
+double
+servers(workload::ServiceId id)
+{
+    switch (id) {
+      case workload::ServiceId::Web:
+        return 40000;
+      case workload::ServiceId::Feed1:
+      case workload::ServiceId::Feed2:
+        return 12000;
+      case workload::ServiceId::Ads1:
+      case workload::ServiceId::Ads2:
+        return 9000;
+      case workload::ServiceId::Cache1:
+      case workload::ServiceId::Cache2:
+        return 15000;
+      default:
+        return 0;
+    }
+}
+
+/** Fleet of one acceleration applied everywhere it helps. */
+model::FleetProjection
+project(const std::string &kernel, double accel_factor,
+        const std::function<double(const workload::ServiceProfile &)>
+            &alphaOf)
+{
+    std::vector<model::FleetService> fleet;
+    for (workload::ServiceId id : workload::characterizedServices()) {
+        const auto &profile = workload::profile(id);
+        double alpha = alphaOf(profile) / 100.0;
+        model::FleetService svc;
+        svc.name = profile.name + " (" + kernel + ")";
+        svc.servers = servers(id);
+        svc.params.hostCycles = 2e9;
+        svc.params.alpha = alpha;
+        svc.params.offloads = alpha > 0 ? 1 : 0; // on-chip: no dispatch
+        svc.params.accelFactor = accel_factor;
+        svc.params.offloadedFraction = alpha > 0 ? 1.0 : 0.0;
+        svc.params.strategy = model::Strategy::OnChip;
+        svc.design = model::ThreadingDesign::Sync;
+        fleet.push_back(std::move(svc));
+    }
+    return model::projectFleet(fleet);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fleet-wide projection of common-overhead "
+                  "acceleration (extension)");
+
+    using L = workload::LeafCategory;
+    using M = workload::MemoryLeaf;
+    struct Row
+    {
+        const char *name;
+        double factor;
+        std::function<double(const workload::ServiceProfile &)> alpha;
+    };
+    const Row rows[] = {
+        {"compression (A=5, on-chip)", 5.0,
+         [](const workload::ServiceProfile &p) {
+             return p.functionalityShare.at(
+                 workload::Functionality::Compression);
+         }},
+        {"memory copy (A=4, SIMD)", 4.0,
+         [](const workload::ServiceProfile &p) {
+             return p.leafShare.at(L::Memory) *
+                    p.memoryShare.at(M::Copy) / 100.0;
+         }},
+        {"memory allocation (A=1.5, Mallacc)", 1.5,
+         [](const workload::ServiceProfile &p) {
+             return p.leafShare.at(L::Memory) *
+                    p.memoryShare.at(M::Allocation) / 100.0;
+         }},
+    };
+
+    TextTable table({"accelerated overhead", "fleet speedup",
+                     "servers freed", "capacity"});
+    for (size_t c = 1; c <= 3; ++c)
+        table.setAlign(c, Align::Right);
+    for (const Row &row : rows) {
+        model::FleetProjection fleet =
+            project(row.name, row.factor, row.alpha);
+        table.addRow({row.name, fmtPct(fleet.fleetSpeedup - 1.0, 2),
+                      fmtF(fleet.serversFreed, 0),
+                      fmtPct(fleet.capacityFraction(), 2)});
+    }
+    std::cout << table.str();
+    std::cout << "\nTakeaway: a modest 1.5x allocation path still frees "
+                 "hundreds of servers at fleet scale, and compression "
+                 "acceleration pays for itself across every service "
+                 "domain — the paper's motivation for accelerating "
+                 "common building blocks.\n";
+    return 0;
+}

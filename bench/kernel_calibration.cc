@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Kernel calibration micro-benchmarks (google-benchmark).
+ *
+ * The paper derives model parameters from "micro-benchmarks that
+ * measure execution time on the host and the accelerator". These
+ * benchmarks time the real software kernels (AES, SHA-256, LZ
+ * compression, memcpy, pool allocation) across granularities; the
+ * per-byte costs feed the model's Cb parameter.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "kernels/aes128.hh"
+#include "kernels/lz_compress.hh"
+#include "kernels/memops.hh"
+#include "kernels/pool_allocator.hh"
+#include "kernels/serde.hh"
+#include "kernels/sha256.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace accel;
+
+std::vector<std::uint8_t>
+logLikeData(size_t bytes)
+{
+    static const char *words[] = {
+        "GET", "POST", "/api/v2/feed", "status=200", "latency_us=",
+        "user_id=", "region=prn", "cache_hit", "bytes=",
+    };
+    Rng rng(1234);
+    std::vector<std::uint8_t> out;
+    out.reserve(bytes + 16);
+    while (out.size() < bytes) {
+        const char *w = words[rng.below(9)];
+        for (const char *p = w; *p; ++p)
+            out.push_back(static_cast<std::uint8_t>(*p));
+        out.push_back(' ');
+    }
+    out.resize(bytes);
+    return out;
+}
+
+void
+BM_AesCtr(benchmark::State &state)
+{
+    std::array<std::uint8_t, 16> key{}, iv{};
+    key[0] = 0x2b;
+    kernels::Aes128 cipher(key);
+    auto data = logLikeData(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto out = cipher.ctr(data, iv);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_AesCtr)->RangeMultiplier(4)->Range(64, 65536);
+
+void
+BM_Sha256(benchmark::State &state)
+{
+    auto data = logLikeData(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto digest = kernels::Sha256::digest(data);
+        benchmark::DoNotOptimize(digest.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_Sha256)->RangeMultiplier(4)->Range(64, 65536);
+
+void
+BM_LzCompress(benchmark::State &state)
+{
+    auto data = logLikeData(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto frame = kernels::lzCompress(data);
+        benchmark::DoNotOptimize(frame.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_LzCompress)->RangeMultiplier(4)->Range(256, 65536);
+
+void
+BM_LzDecompress(benchmark::State &state)
+{
+    auto frame =
+        kernels::lzCompress(logLikeData(static_cast<size_t>(
+            state.range(0))));
+    for (auto _ : state) {
+        auto out = kernels::lzDecompress(frame);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_LzDecompress)->RangeMultiplier(4)->Range(256, 65536);
+
+void
+BM_Memcpy(benchmark::State &state)
+{
+    kernels::MemOpHarness harness(1 << 20);
+    size_t bytes = static_cast<size_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            harness.run(kernels::MemOp::Copy, bytes));
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_Memcpy)->RangeMultiplier(4)->Range(64, 1 << 20);
+
+void
+BM_Serialize(benchmark::State &state)
+{
+    kernels::SerdeMessage msg = kernels::makeStoryMessage(
+        static_cast<size_t>(state.range(0)), 23);
+    for (auto _ : state) {
+        auto wire = kernels::serialize(msg);
+        benchmark::DoNotOptimize(wire.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_Serialize)->RangeMultiplier(4)->Range(256, 65536);
+
+void
+BM_Deserialize(benchmark::State &state)
+{
+    auto wire = kernels::serialize(kernels::makeStoryMessage(
+        static_cast<size_t>(state.range(0)), 23));
+    for (auto _ : state) {
+        auto msg = kernels::deserialize(wire);
+        benchmark::DoNotOptimize(&msg);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_Deserialize)->RangeMultiplier(4)->Range(256, 65536);
+
+void
+BM_PoolAllocFreeUnsized(benchmark::State &state)
+{
+    kernels::PoolAllocator pool;
+    size_t bytes = static_cast<size_t>(state.range(0));
+    for (auto _ : state) {
+        void *p = pool.allocate(bytes);
+        benchmark::DoNotOptimize(p);
+        pool.free(p);
+    }
+}
+BENCHMARK(BM_PoolAllocFreeUnsized)->Arg(16)->Arg(128)->Arg(1024);
+
+void
+BM_PoolAllocFreeSized(benchmark::State &state)
+{
+    // The C++14 sized-deallocation path the paper contrasts against:
+    // free() with the size skips the size-class lookup.
+    kernels::PoolAllocator pool;
+    size_t bytes = static_cast<size_t>(state.range(0));
+    for (auto _ : state) {
+        void *p = pool.allocate(bytes);
+        benchmark::DoNotOptimize(p);
+        pool.sizedFree(p, bytes);
+    }
+}
+BENCHMARK(BM_PoolAllocFreeSized)->Arg(16)->Arg(128)->Arg(1024);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Table 4: summary of findings and suggested acceleration
+ * opportunities, each backed by the quantity our characterization
+ * substrate measures for it.
+ */
+
+#include "bench_common.hh"
+
+using namespace accel;
+
+int
+main()
+{
+    bench::banner("Table 4: findings and acceleration opportunities");
+
+    auto pct = [](workload::ServiceId id, workload::Functionality f) {
+        return workload::profile(id).functionalityShare.at(f);
+    };
+    auto leaf = [](workload::ServiceId id, workload::LeafCategory l) {
+        return workload::profile(id).leafShare.at(l);
+    };
+    using F = workload::Functionality;
+    using L = workload::LeafCategory;
+    using S = workload::ServiceId;
+
+    TextTable table({"finding", "evidence here", "opportunity"});
+    table.addRow({"Significant orchestration overheads",
+                  "Web orchestration " +
+                      fmtF(workload::profile(S::Web)
+                               .orchestrationPercent(), 0) + "%",
+                  "accelerate orchestration, not just app logic"});
+    table.addRow({"Common orchestration overheads",
+                  "compression in 7/7 services (Feed1 " +
+                      fmtF(pct(S::Feed1, F::Compression), 0) + "%)",
+                  "fleet-wide wins from common-block accel."});
+    table.addRow({"Poor IPC scaling for several functions",
+                  "kernel IPC GenC/GenA = " +
+                      fmtF(workload::leafIpc(workload::CpuGen::GenC,
+                                             L::Kernel) /
+                               workload::leafIpc(workload::CpuGen::GenA,
+                                                 L::Kernel), 2),
+                  "specialize hardware for key leaves"});
+    table.addRow({"Memory copies & allocations significant",
+                  "Web memory leaves " + fmtF(leaf(S::Web, L::Memory), 0) +
+                      "% of cycles",
+                  "SIMD copies, IO AT, DMA engines, PIM"});
+    table.addRow({"Memory frees are expensive",
+                  "free is " +
+                      fmtF(workload::profile(S::Feed1).memoryShare.at(
+                               workload::MemoryLeaf::Free), 0) +
+                      "% of Feed1 memory cycles",
+                  "sized delete, page-removal hardware"});
+    table.addRow({"High kernel overhead and low IPC",
+                  "Cache2 kernel " + fmtF(leaf(S::Cache2, L::Kernel), 0) +
+                      "% of cycles at IPC " +
+                      fmtF(workload::leafIpc(workload::CpuGen::GenC,
+                                             L::Kernel), 2),
+                  "coalesce I/O, user-space drivers, bypass"});
+    table.addRow({"Logging overheads can dominate",
+                  "Web logging " + fmtF(pct(S::Web, F::Logging), 0) + "%",
+                  "reduce log size / update count"});
+    table.addRow({"High compression overhead",
+                  "Feed1 ZSTD leaves " + fmtF(leaf(S::Feed1, L::Zstd), 0) +
+                      "%",
+                  "dedicated compression hardware"});
+    table.addRow({"Cache synchronizes frequently",
+                  "Cache1 sync leaves " +
+                      fmtF(leaf(S::Cache1, L::Synchronization), 0) + "%",
+                  "thread tuning, TSX, spin/block hybrids"});
+    table.addRow({"High event notification overhead",
+                  "Cache1 event handling " +
+                      fmtF(workload::profile(S::Cache1).kernelShare.at(
+                               workload::KernelLeaf::EventHandling), 0) +
+                      "% of kernel cycles",
+                  "RDMA-style notification hardware"});
+    std::cout << table.str();
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table 7: the model parameters used for the Fig. 20 acceleration
+ * recommendations, with n and offloaded fractions derived from the
+ * granularity CDFs.
+ */
+
+#include "bench_common.hh"
+#include "workload/request_factory.hh"
+
+using namespace accel;
+
+int
+main()
+{
+    bench::banner("Table 7: parameters for acceleration recommendations");
+
+    TextTable table({"overhead", "acceleration", "C (1e9)", "alpha", "n",
+                     "L", "o1", "A", "offloaded fraction"});
+    for (size_t c = 2; c <= 8; ++c)
+        table.setAlign(c, Align::Right);
+    std::ostringstream csv_text;
+    CsvWriter csv(csv_text, {"overhead", "acceleration", "C", "alpha",
+                             "n", "L", "o1", "A", "offloaded_fraction"});
+    for (const auto &rec : workload::fig20Recommendations()) {
+        const model::Params &p = rec.params;
+        table.addRow({rec.overhead, rec.acceleration,
+                      fmtF(p.hostCycles / 1e9, 1), fmtF(p.alpha, 4),
+                      fmtF(p.offloads, 0), fmtF(p.interfaceCycles, 0),
+                      fmtF(p.threadSwitchCycles, 0),
+                      fmtF(p.accelFactor, 0),
+                      fmtPct(p.offloadedFraction, 1)});
+        csv.row({rec.overhead, rec.acceleration,
+                 fmtF(p.hostCycles, 0), fmtF(p.alpha, 4),
+                 fmtF(p.offloads, 0), fmtF(p.interfaceCycles, 0),
+                 fmtF(p.threadSwitchCycles, 0), fmtF(p.accelFactor, 1),
+                 fmtF(p.offloadedFraction, 4)});
+    }
+    std::cout << table.str() << "\ncsv:\n" << csv_text.str();
+    std::cout << "\nPaper anchors: compression n = 15,008 / 9,629 / "
+                 "3,986 / 9,769; copy n = 1,473,681; allocation "
+                 "n = 51,695.\n";
+    return 0;
+}

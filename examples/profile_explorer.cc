@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Profiling-pipeline walkthrough: pick a service, sample Strobelight-
+ * style call traces, and inspect it three ways — functionality
+ * breakdown, leaf breakdown, and folded stacks ready for flamegraph.pl.
+ *
+ * Usage: profile_explorer [service] (default Cache1; one of Web, Feed1,
+ *        Feed2, Ads1, Ads2, Cache1, Cache2)
+ */
+
+#include <iostream>
+
+#include "profiling/breakdown_report.hh"
+#include "profiling/folded_stacks.hh"
+#include "profiling/sampler.hh"
+#include "util/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace accel;
+    workload::ServiceId id = workload::ServiceId::Cache1;
+    if (argc > 1) {
+        std::string want = argv[1];
+        bool found = false;
+        for (workload::ServiceId candidate :
+             workload::characterizedServices()) {
+            if (workload::toString(candidate) == want) {
+                id = candidate;
+                found = true;
+            }
+        }
+        if (!found) {
+            std::cerr << "unknown service '" << want << "'\n";
+            return 1;
+        }
+    }
+    const auto &profile = workload::profile(id);
+    std::cout << "Profiling " << profile.name << ": "
+              << profile.description << "\n\n";
+
+    profiling::TraceSampler sampler(profile, workload::CpuGen::GenC,
+                                    2020);
+    auto traces = sampler.sampleMany(150000);
+    profiling::Aggregator agg;
+    agg.addAll(traces);
+
+    std::cout << profiling::shareBlock("functionality breakdown",
+                                       agg.functionalityBreakdown())
+              << "\n"
+              << profiling::shareBlock("leaf breakdown",
+                                       agg.leafBreakdown())
+              << "\n";
+
+    std::cout << "top folded stacks (flamegraph.pl input; pipe the full "
+                 "set into it for a flame graph):\n"
+              << profiling::foldedStacksText(traces, 12);
+    return 0;
+}

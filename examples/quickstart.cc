@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Quickstart: build model parameters by hand, project speedup and
+ * latency reduction for every threading design, and inspect the ideal
+ * bound. Start here.
+ */
+
+#include <iostream>
+
+#include "model/report.hh"
+
+int
+main()
+{
+    using namespace accel::model;
+
+    // Suppose a service spends 20% of its cycles compressing RPC
+    // payloads (alpha), performing 50k compressions per second on a
+    // host that retires 2e9 busy cycles per second. A PCIe compression
+    // ASIC is 25x faster than the host at this kernel, costs 300 cycles
+    // of setup per offload, and 1800 cycles of transfer latency.
+    Params params;
+    params.hostCycles = 2e9;
+    params.alpha = 0.20;
+    params.offloads = 50000;
+    params.setupCycles = 300;
+    params.interfaceCycles = 1800;
+    params.threadSwitchCycles = 4000; // if a design switches threads
+    params.accelFactor = 25;
+    params.strategy = Strategy::OffChip;
+
+    // One call per question you would ask at design time:
+    Accelerometer model(params);
+    std::cout << projectionReport(params,
+                                  "Compression offload projection");
+
+    std::cout << "\nWould a 64-byte compression be worth offloading "
+                 "under Sync?\n";
+    OffloadProfit profit{/*cyclesPerByte=*/6.0, /*beta=*/1.0};
+    std::cout << "  break-even granularity: "
+              << profit.breakEvenSpeedup(ThreadingDesign::Sync, params)
+              << " bytes\n";
+    std::cout << "  64 B profitable: "
+              << (profit.improvesSpeedup(64, ThreadingDesign::Sync,
+                                         params)
+                      ? "yes" : "no")
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every table/figure into results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for b in build/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    name="$(basename "$b")"
+    echo "== $name =="
+    "$b" | tee "results/$name.txt"
+done
+echo "All figure/table outputs written to results/."

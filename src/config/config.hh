@@ -1,0 +1,101 @@
+/**
+ * @file
+ * INI-style configuration files.
+ *
+ * The Accelerometer artifact drives the model from parameter configuration
+ * files; this parser provides that front end. Grammar:
+ *
+ *     # comment            ; comment
+ *     [section]
+ *     key = value
+ *
+ * Keys outside any section land in the "" (global) section. Section and
+ * key lookups are case-sensitive. Duplicate keys overwrite (last wins)
+ * with a warning; duplicate sections merge.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace accel {
+
+/** Parsed configuration with typed accessors. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse configuration text. @throws FatalError on syntax errors. */
+    static Config fromString(const std::string &text);
+
+    /** Load and parse a file. @throws FatalError if unreadable. */
+    static Config fromFile(const std::string &path);
+
+    /** True when the section/key pair exists. */
+    bool has(const std::string &section, const std::string &key) const;
+
+    /** Raw string value, or std::nullopt when absent. */
+    std::optional<std::string> get(const std::string &section,
+                                   const std::string &key) const;
+
+    /**
+     * Required string value.
+     * @throws FatalError when the key is absent.
+     */
+    std::string getString(const std::string &section,
+                          const std::string &key) const;
+
+    /** String with default. */
+    std::string getString(const std::string &section, const std::string &key,
+                          const std::string &fallback) const;
+
+    /** Required double. @throws FatalError when absent or malformed. */
+    double getDouble(const std::string &section,
+                     const std::string &key) const;
+
+    /** Double with default. */
+    double getDouble(const std::string &section, const std::string &key,
+                     double fallback) const;
+
+    /** Required count (non-negative integer, sci notation OK). */
+    std::uint64_t getCount(const std::string &section,
+                           const std::string &key) const;
+
+    /** Count with default. */
+    std::uint64_t getCount(const std::string &section, const std::string &key,
+                           std::uint64_t fallback) const;
+
+    /** Required boolean. */
+    bool getBool(const std::string &section, const std::string &key) const;
+
+    /** Boolean with default. */
+    bool getBool(const std::string &section, const std::string &key,
+                 bool fallback) const;
+
+    /** All section names in insertion order (the global "" first if used). */
+    std::vector<std::string> sections() const;
+
+    /** All keys in a section, in insertion order. */
+    std::vector<std::string> keys(const std::string &section) const;
+
+    /** Insert or overwrite a value programmatically. */
+    void set(const std::string &section, const std::string &key,
+             const std::string &value);
+
+  private:
+    struct Section
+    {
+        std::vector<std::string> order;
+        std::map<std::string, std::string> values;
+    };
+
+    std::vector<std::string> sectionOrder_;
+    std::map<std::string, Section> sections_;
+};
+
+} // namespace accel

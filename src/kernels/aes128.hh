@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Software AES-128 (FIPS-197).
+ *
+ * The paper's first case study accelerates OpenSSL AES encryption in
+ * Cache1 with the AES-NI instruction. We provide a portable software
+ * AES-128 implementation as the *unaccelerated host kernel*: calibration
+ * micro-benchmarks measure its cycles/byte (Cb) and compare against a
+ * table-free "accelerated" path to derive the model's A factor, exactly
+ * mirroring the paper's methodology of building micro-benchmarks from
+ * the OpenSSL AES primitives.
+ *
+ * This is a correctness-oriented reference implementation (encrypt and
+ * decrypt, ECB and CTR modes); it is validated against the FIPS-197 and
+ * NIST SP 800-38A known-answer vectors in the test suite. It is not
+ * hardened against timing side channels and must not be used for real
+ * cryptography.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace accel::kernels {
+
+/** AES-128 block cipher with precomputed round keys. */
+class Aes128
+{
+  public:
+    static constexpr size_t kBlockSize = 16;
+    static constexpr size_t kKeySize = 16;
+    static constexpr size_t kRounds = 10;
+
+    /** Expand the 128-bit key into the round-key schedule. */
+    explicit Aes128(const std::array<std::uint8_t, kKeySize> &key);
+
+    /** Encrypt one 16-byte block in place. */
+    void encryptBlock(std::uint8_t block[kBlockSize]) const;
+
+    /** Decrypt one 16-byte block in place. */
+    void decryptBlock(std::uint8_t block[kBlockSize]) const;
+
+    /**
+     * CTR-mode encryption (also decryption: CTR is an involution).
+     * Processes arbitrary lengths; the 16-byte IV is the initial counter.
+     */
+    std::vector<std::uint8_t>
+    ctr(const std::vector<std::uint8_t> &data,
+        const std::array<std::uint8_t, kBlockSize> &iv) const;
+
+    /**
+     * ECB-mode encryption of whole blocks.
+     * @throws FatalError when the input is not a multiple of 16 bytes.
+     */
+    std::vector<std::uint8_t>
+    ecbEncrypt(const std::vector<std::uint8_t> &data) const;
+
+    /** ECB-mode decryption of whole blocks. */
+    std::vector<std::uint8_t>
+    ecbDecrypt(const std::vector<std::uint8_t> &data) const;
+
+  private:
+    // Round keys: (kRounds + 1) 16-byte round keys.
+    std::array<std::uint8_t, kBlockSize * (kRounds + 1)> roundKeys_;
+};
+
+} // namespace accel::kernels

@@ -1,0 +1,182 @@
+#include "kernels/lz_compress.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace accel::kernels {
+
+namespace {
+
+constexpr std::uint8_t kTokenLiteral = 0x00;
+constexpr std::uint8_t kTokenMatch = 0x01;
+constexpr std::uint32_t kHashBits = 15;
+constexpr std::uint32_t kHashSize = 1u << kHashBits;
+
+/** Multiplicative hash of the 4 bytes at @p p. */
+inline std::uint32_t
+hash4(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+} // namespace
+
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+        value >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t
+getVarint(const std::vector<std::uint8_t> &data, size_t &pos)
+{
+    std::uint64_t value = 0;
+    int shift = 0;
+    for (int i = 0; i < 10; ++i) {
+        if (pos >= data.size())
+            fatal("lz: truncated varint");
+        std::uint8_t byte = data[pos++];
+        value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return value;
+        shift += 7;
+    }
+    fatal("lz: overlong varint");
+}
+
+std::vector<std::uint8_t>
+lzCompress(const std::vector<std::uint8_t> &input, const LzOptions &options)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(input.size() / 2 + 16);
+    putVarint(out, input.size());
+
+    const size_t n = input.size();
+    // head[h]: most recent position with hash h; prev[i]: previous position
+    // in i's chain. Positions are offset by 1 so 0 means "none".
+    std::vector<std::uint32_t> head(kHashSize, 0);
+    std::vector<std::uint32_t> prev(n, 0);
+
+    size_t literal_start = 0;
+    auto flushLiterals = [&](size_t end) {
+        size_t start = literal_start;
+        while (start < end) {
+            size_t run = std::min<size_t>(end - start, 1 << 20);
+            out.push_back(kTokenLiteral);
+            putVarint(out, run);
+            out.insert(out.end(), input.begin() + start,
+                       input.begin() + start + run);
+            start += run;
+        }
+        literal_start = end;
+    };
+
+    size_t pos = 0;
+    while (pos + kLzMinMatch <= n) {
+        std::uint32_t h = hash4(input.data() + pos);
+        std::uint32_t candidate = head[h];
+
+        size_t best_len = 0;
+        size_t best_dist = 0;
+        std::uint32_t probes = options.maxChainLength;
+        while (candidate != 0 && probes-- > 0) {
+            size_t cand_pos = candidate - 1;
+            size_t dist = pos - cand_pos;
+            if (dist > options.windowSize)
+                break;
+            size_t len = 0;
+            size_t max_len = n - pos;
+            while (len < max_len &&
+                   input[cand_pos + len] == input[pos + len]) {
+                ++len;
+            }
+            if (len > best_len) {
+                best_len = len;
+                best_dist = dist;
+            }
+            candidate = prev[cand_pos];
+        }
+
+        if (best_len >= kLzMinMatch) {
+            flushLiterals(pos);
+            out.push_back(kTokenMatch);
+            putVarint(out, best_len);
+            putVarint(out, best_dist);
+
+            // Index every hashable position covered by the match, then
+            // jump past it.
+            size_t match_end = pos + best_len;
+            size_t index_stop = std::min(match_end, n - kLzMinMatch + 1);
+            for (size_t i = pos; i < index_stop; ++i) {
+                std::uint32_t hh = hash4(input.data() + i);
+                prev[i] = head[hh];
+                head[hh] = static_cast<std::uint32_t>(i + 1);
+            }
+            pos = match_end;
+            literal_start = match_end;
+        } else {
+            prev[pos] = head[h];
+            head[h] = static_cast<std::uint32_t>(pos + 1);
+            ++pos;
+        }
+    }
+    flushLiterals(n);
+    return out;
+}
+
+std::vector<std::uint8_t>
+lzDecompress(const std::vector<std::uint8_t> &frame)
+{
+    size_t pos = 0;
+    std::uint64_t raw_size = getVarint(frame, pos);
+    std::vector<std::uint8_t> out;
+    out.reserve(raw_size);
+
+    while (out.size() < raw_size) {
+        if (pos >= frame.size())
+            fatal("lz: truncated frame");
+        std::uint8_t token = frame[pos++];
+        if (token == kTokenLiteral) {
+            std::uint64_t run = getVarint(frame, pos);
+            if (run == 0)
+                fatal("lz: zero-length literal run");
+            if (pos + run > frame.size())
+                fatal("lz: literal run past end of frame");
+            if (out.size() + run > raw_size)
+                fatal("lz: literal run past declared size");
+            out.insert(out.end(), frame.begin() + pos,
+                       frame.begin() + pos + run);
+            pos += run;
+        } else if (token == kTokenMatch) {
+            std::uint64_t len = getVarint(frame, pos);
+            std::uint64_t dist = getVarint(frame, pos);
+            if (len < kLzMinMatch)
+                fatal("lz: match shorter than minimum");
+            if (dist == 0 || dist > out.size())
+                fatal("lz: match distance out of range");
+            if (out.size() + len > raw_size)
+                fatal("lz: match past declared size");
+            // Byte-at-a-time copy: overlapping matches (dist < len)
+            // replicate, exactly like LZ77 requires.
+            size_t src = out.size() - dist;
+            for (std::uint64_t i = 0; i < len; ++i)
+                out.push_back(out[src + i]);
+        } else {
+            fatal("lz: unknown token");
+        }
+    }
+    if (pos != frame.size())
+        fatal("lz: trailing garbage after frame");
+    return out;
+}
+
+} // namespace accel::kernels

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * LZ77-class byte compressor.
+ *
+ * Stands in for the ZSTD leaf category: a hash-chain LZ77 matcher with a
+ * varint-framed token stream (literal runs and back-references). The
+ * compression calibration micro-benchmark measures its cycles/byte to
+ * derive the model's Cb for the compression case studies (Table 7), and
+ * the test suite checks lossless round trips over adversarial inputs.
+ *
+ * Format (little-endian varints):
+ *   frame   := raw_size token*
+ *   token   := literal_run | match
+ *   literal_run := 0x00 length byte[length]        (length >= 1)
+ *   match       := 0x01 length distance            (length >= kMinMatch)
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace accel::kernels {
+
+/** Tunables for the LZ77 matcher. */
+struct LzOptions
+{
+    /** Window the matcher may reference backwards. */
+    std::uint32_t windowSize = 64 * 1024;
+
+    /** Maximum hash-chain probes per position (quality vs. speed). */
+    std::uint32_t maxChainLength = 32;
+};
+
+/** Minimum profitable match length. */
+constexpr std::uint32_t kLzMinMatch = 4;
+
+/** Compress @p input; never fails (worst case grows by the framing). */
+std::vector<std::uint8_t> lzCompress(const std::vector<std::uint8_t> &input,
+                                     const LzOptions &options = {});
+
+/**
+ * Decompress a frame produced by lzCompress().
+ * @throws FatalError on malformed or truncated frames.
+ */
+std::vector<std::uint8_t>
+lzDecompress(const std::vector<std::uint8_t> &frame);
+
+/** Append a LEB128 varint to @p out. */
+void putVarint(std::vector<std::uint8_t> &out, std::uint64_t value);
+
+/**
+ * Read a LEB128 varint at @p pos, advancing it.
+ * @throws FatalError on truncation or overlong encodings (> 10 bytes).
+ */
+std::uint64_t getVarint(const std::vector<std::uint8_t> &data, size_t &pos);
+
+} // namespace accel::kernels

@@ -1,0 +1,60 @@
+#include "kernels/memops.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace accel::kernels {
+
+std::string
+toString(MemOp op)
+{
+    switch (op) {
+      case MemOp::Copy:
+        return "Memory-Copy";
+      case MemOp::Move:
+        return "Memory-Move";
+      case MemOp::Set:
+        return "Memory-Set";
+      case MemOp::Compare:
+        return "Memory-Compare";
+    }
+    panic("toString: unknown MemOp");
+}
+
+MemOpHarness::MemOpHarness(size_t capacity)
+    : src_(capacity), dst_(capacity)
+{
+    require(capacity > 0, "MemOpHarness: capacity must be positive");
+    for (size_t i = 0; i < capacity; ++i)
+        src_[i] = static_cast<std::uint8_t>(i * 131 + 17);
+}
+
+std::uint64_t
+MemOpHarness::run(MemOp op, size_t bytes)
+{
+    require(bytes <= src_.size(), "MemOpHarness: size exceeds capacity");
+    if (bytes == 0)
+        return 0;
+    switch (op) {
+      case MemOp::Copy:
+        std::memcpy(dst_.data(), src_.data(), bytes);
+        return dst_[bytes - 1];
+      case MemOp::Move:
+        // Overlapping move within the destination buffer.
+        std::memcpy(dst_.data(), src_.data(), bytes);
+        std::memmove(dst_.data() + bytes / 4, dst_.data(),
+                     bytes - bytes / 4);
+        return dst_[bytes - 1];
+      case MemOp::Set:
+        ++fill_;
+        std::memset(dst_.data(), fill_, bytes);
+        return dst_[bytes - 1];
+      case MemOp::Compare:
+        return static_cast<std::uint64_t>(
+            std::memcmp(dst_.data(), src_.data(), bytes) + 1);
+    }
+    panic("MemOpHarness: unknown MemOp");
+}
+
+} // namespace accel::kernels

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Memory leaf-function harness.
+ *
+ * The characterization's largest leaf category is memory operations
+ * (copy, set, move, compare). This harness wraps them behind a uniform
+ * interface so the calibration micro-benchmark can measure cycles/byte
+ * for each, mirroring how the paper derives copy-acceleration parameters
+ * (Table 7's memory-copy row).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace accel::kernels {
+
+/** The memory leaf operations from the paper's Fig. 3. */
+enum class MemOp { Copy, Move, Set, Compare };
+
+/** Printable name matching the figure labels. */
+std::string toString(MemOp op);
+
+/**
+ * Scratch buffers for exercising memory operations of a given size.
+ *
+ * Buffers are allocated once; run() performs one operation over @p bytes
+ * and returns a checksum-ish value so the compiler cannot elide the work.
+ */
+class MemOpHarness
+{
+  public:
+    /** Allocate source/destination buffers of @p capacity bytes. */
+    explicit MemOpHarness(size_t capacity);
+
+    /** Buffer capacity in bytes. */
+    size_t capacity() const { return src_.size(); }
+
+    /**
+     * Execute @p op over the first @p bytes.
+     * @throws FatalError when bytes exceeds the capacity.
+     */
+    std::uint64_t run(MemOp op, size_t bytes);
+
+  private:
+    std::vector<std::uint8_t> src_;
+    std::vector<std::uint8_t> dst_;
+    std::uint8_t fill_ = 0;
+};
+
+} // namespace accel::kernels

@@ -1,0 +1,180 @@
+#include "kernels/serde.hh"
+
+#include <cstring>
+
+#include "kernels/lz_compress.hh" // varint helpers
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace accel::kernels {
+
+namespace {
+
+constexpr std::uint8_t kTypeInt = 1;
+constexpr std::uint8_t kTypeDouble = 2;
+constexpr std::uint8_t kTypeString = 3;
+constexpr std::uint8_t kTypeIntList = 4;
+
+} // namespace
+
+std::uint64_t
+zigzagEncode(std::int64_t value)
+{
+    return (static_cast<std::uint64_t>(value) << 1) ^
+           static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t
+zigzagDecode(std::uint64_t value)
+{
+    return static_cast<std::int64_t>(value >> 1) ^
+           -static_cast<std::int64_t>(value & 1);
+}
+
+void
+SerdeMessage::set(std::uint32_t tag, SerdeValue value)
+{
+    require(tag != 0, "SerdeMessage: tag 0 is the end marker");
+    fields_[tag] = std::move(value);
+}
+
+bool
+SerdeMessage::has(std::uint32_t tag) const
+{
+    return fields_.count(tag) > 0;
+}
+
+const SerdeValue &
+SerdeMessage::get(std::uint32_t tag) const
+{
+    auto it = fields_.find(tag);
+    require(it != fields_.end(), "SerdeMessage: missing field");
+    return it->second;
+}
+
+std::vector<std::uint8_t>
+serialize(const SerdeMessage &message)
+{
+    std::vector<std::uint8_t> out;
+    for (const auto &[tag, value] : message.fields()) {
+        putVarint(out, tag);
+        if (const auto *i = std::get_if<std::int64_t>(&value)) {
+            out.push_back(kTypeInt);
+            putVarint(out, zigzagEncode(*i));
+        } else if (const auto *d = std::get_if<double>(&value)) {
+            out.push_back(kTypeDouble);
+            std::uint64_t bits;
+            std::memcpy(&bits, d, sizeof(bits));
+            for (int b = 0; b < 8; ++b)
+                out.push_back(static_cast<std::uint8_t>(bits >> (8 * b)));
+        } else if (const auto *s = std::get_if<std::string>(&value)) {
+            out.push_back(kTypeString);
+            putVarint(out, s->size());
+            out.insert(out.end(), s->begin(), s->end());
+        } else {
+            const auto &list =
+                std::get<std::vector<std::int64_t>>(value);
+            out.push_back(kTypeIntList);
+            putVarint(out, list.size());
+            for (std::int64_t v : list)
+                putVarint(out, zigzagEncode(v));
+        }
+    }
+    out.push_back(0x00);
+    return out;
+}
+
+SerdeMessage
+deserialize(const std::vector<std::uint8_t> &wire)
+{
+    SerdeMessage message;
+    size_t pos = 0;
+    while (true) {
+        std::uint64_t tag = getVarint(wire, pos);
+        if (tag == 0)
+            break;
+        require(tag <= 0xffffffffULL, "serde: tag out of range");
+        require(!message.has(static_cast<std::uint32_t>(tag)),
+                "serde: duplicate tag");
+        require(pos < wire.size(), "serde: truncated field type");
+        std::uint8_t type = wire[pos++];
+        switch (type) {
+          case kTypeInt: {
+            message.set(static_cast<std::uint32_t>(tag),
+                        zigzagDecode(getVarint(wire, pos)));
+            break;
+          }
+          case kTypeDouble: {
+            require(pos + 8 <= wire.size(), "serde: truncated double");
+            std::uint64_t bits = 0;
+            for (int b = 0; b < 8; ++b) {
+                bits |= static_cast<std::uint64_t>(wire[pos + b])
+                        << (8 * b);
+            }
+            pos += 8;
+            double d;
+            std::memcpy(&d, &bits, sizeof(d));
+            message.set(static_cast<std::uint32_t>(tag), d);
+            break;
+          }
+          case kTypeString: {
+            std::uint64_t len = getVarint(wire, pos);
+            require(pos + len <= wire.size(), "serde: truncated string");
+            message.set(static_cast<std::uint32_t>(tag),
+                        std::string(wire.begin() + pos,
+                                    wire.begin() + pos + len));
+            pos += len;
+            break;
+          }
+          case kTypeIntList: {
+            std::uint64_t count = getVarint(wire, pos);
+            require(count <= wire.size(),
+                    "serde: implausible list length");
+            std::vector<std::int64_t> list;
+            list.reserve(count);
+            for (std::uint64_t i = 0; i < count; ++i)
+                list.push_back(zigzagDecode(getVarint(wire, pos)));
+            message.set(static_cast<std::uint32_t>(tag),
+                        std::move(list));
+            break;
+          }
+          default:
+            fatal("serde: unknown field type");
+        }
+    }
+    require(pos == wire.size(), "serde: trailing bytes after message");
+    return message;
+}
+
+SerdeMessage
+makeStoryMessage(size_t approxBytes, std::uint64_t seed)
+{
+    Rng rng(seed, 0x73657264654dULL);
+    SerdeMessage msg;
+    msg.set(1, static_cast<std::int64_t>(rng.next())); // story id
+    msg.set(2, static_cast<std::int64_t>(rng.next())); // author id
+    msg.set(3, rng.uniform());                         // relevance
+
+    // Text blob: about 40% of the target size.
+    size_t text_len = approxBytes * 2 / 5;
+    std::string text;
+    text.reserve(text_len);
+    static const char *words[] = {"story", "ranked", "by", "relevance",
+                                  "for", "user", "feed", "segment"};
+    while (text.size() < text_len) {
+        text += words[rng.below(8)];
+        text += ' ';
+    }
+    msg.set(4, std::move(text));
+
+    // Feature ids: fill the remainder (~2 wire bytes per small id).
+    size_t count = approxBytes / 4;
+    std::vector<std::int64_t> features;
+    features.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        features.push_back(static_cast<std::int64_t>(rng.below(1 << 14)));
+    msg.set(5, std::move(features));
+    return msg;
+}
+
+} // namespace accel::kernels

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Compact binary serialization (Thrift-style).
+ *
+ * The characterization's Serialization functionality is RPC
+ * serialization/deserialization; this kernel implements a compact
+ * binary wire format — zigzag varint integers, length-prefixed strings
+ * and lists — over a small message model, so the serialization Cb can
+ * be calibrated from real encode/decode work and the round-trip
+ * property can be tested.
+ *
+ * Wire format:
+ *   message := field* 0x00
+ *   field   := tag(varint, != 0) type(1B) payload
+ *   types   : 1 = zigzag varint int64, 2 = double (8B LE),
+ *             3 = string (varint len + bytes),
+ *             4 = list<int64> (varint count + zigzag varints)
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace accel::kernels {
+
+/** A field value in a message. */
+using SerdeValue = std::variant<std::int64_t, double, std::string,
+                                std::vector<std::int64_t>>;
+
+/** A message: ordered (tag -> value) fields; tags must be positive. */
+class SerdeMessage
+{
+  public:
+    /** Set a field (overwrites). @throws FatalError for tag 0. */
+    void set(std::uint32_t tag, SerdeValue value);
+
+    /** True when the tag is present. */
+    bool has(std::uint32_t tag) const;
+
+    /** Field access. @throws FatalError when absent. */
+    const SerdeValue &get(std::uint32_t tag) const;
+
+    /** Number of fields. */
+    size_t size() const { return fields_.size(); }
+
+    const std::map<std::uint32_t, SerdeValue> &fields() const
+    {
+        return fields_;
+    }
+
+    bool operator==(const SerdeMessage &other) const = default;
+
+  private:
+    std::map<std::uint32_t, SerdeValue> fields_;
+};
+
+/** Encode a message to its wire form. */
+std::vector<std::uint8_t> serialize(const SerdeMessage &message);
+
+/**
+ * Decode a wire buffer.
+ * @throws FatalError on malformed input (truncation, bad types,
+ *         duplicate or zero tags).
+ */
+SerdeMessage deserialize(const std::vector<std::uint8_t> &wire);
+
+/** Zigzag-encode a signed integer. */
+std::uint64_t zigzagEncode(std::int64_t value);
+
+/** Zigzag-decode to a signed integer. */
+std::int64_t zigzagDecode(std::uint64_t value);
+
+/**
+ * Build a feed-story-like message of roughly @p approxBytes on the
+ * wire (ids, scores, a text blob, and a feature-id list) for
+ * calibration workloads. Deterministic for a given seed.
+ */
+SerdeMessage makeStoryMessage(size_t approxBytes, std::uint64_t seed);
+
+} // namespace accel::kernels

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4).
+ *
+ * The characterization's "Hashing" leaf category is dominated by SHA-style
+ * digests; this reference implementation backs the hashing calibration
+ * micro-benchmark and is validated against the NIST test vectors.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace accel::kernels {
+
+/** Incremental SHA-256 hasher. */
+class Sha256
+{
+  public:
+    static constexpr size_t kDigestSize = 32;
+    static constexpr size_t kBlockSize = 64;
+
+    Sha256();
+
+    /** Absorb @p len bytes. */
+    void update(const std::uint8_t *data, size_t len);
+
+    /** Absorb a byte vector. */
+    void update(const std::vector<std::uint8_t> &data);
+
+    /** Finalize and return the 32-byte digest; the hasher is consumed. */
+    std::array<std::uint8_t, kDigestSize> finish();
+
+    /** One-shot digest of a byte vector. */
+    static std::array<std::uint8_t, kDigestSize>
+    digest(const std::vector<std::uint8_t> &data);
+
+    /** One-shot digest of a string's bytes. */
+    static std::array<std::uint8_t, kDigestSize>
+    digest(const std::string &data);
+
+    /** Lower-case hex rendering of a digest. */
+    static std::string hex(const std::array<std::uint8_t, kDigestSize> &d);
+
+  private:
+    std::array<std::uint32_t, 8> state_;
+    std::array<std::uint8_t, kBlockSize> buffer_;
+    size_t bufferLen_ = 0;
+    std::uint64_t totalBytes_ = 0;
+    bool finished_ = false;
+
+    void compress(const std::uint8_t block[kBlockSize]);
+
+    /** Buffer-and-compress without touching the message length. */
+    void absorb(const std::uint8_t *data, size_t len);
+};
+
+} // namespace accel::kernels

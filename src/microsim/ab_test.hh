@@ -1,0 +1,70 @@
+/**
+ * @file
+ * A/B testing harness (paper §4 validation methodology).
+ *
+ * "A/B testing is the process of comparing two identical systems that
+ * differ only in a single variable." The harness runs two simulated
+ * service instances — identical configuration, same workload seed —
+ * differing only in whether the kernel is accelerated, and reports the
+ * measured throughput speedup and latency change alongside the
+ * Accelerometer model's estimate.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "microsim/service_sim.hh"
+#include "model/accelerometer.hh"
+
+namespace accel::microsim {
+
+/** Outcome of one A/B experiment. */
+struct AbResult
+{
+    ServiceMetrics baseline;
+    ServiceMetrics treatment;
+
+    /** Measured throughput speedup: treatment QPS / baseline QPS. */
+    double measuredSpeedup() const;
+
+    /** Measured latency reduction: baseline mean / treatment mean. */
+    double measuredLatencyReduction() const;
+};
+
+/** An A/B experiment definition. */
+struct AbExperiment
+{
+    ServiceConfig service;      //!< treatment config (accelerated = true)
+    AcceleratorConfig accelerator;
+    WorkloadSpec workload;
+    std::uint64_t seed = 1;
+    double measureSeconds = 1.0;
+    double warmupSeconds = 0.1;
+};
+
+/**
+ * Run baseline (kernels on host) and treatment (kernels offloaded) with
+ * identical seeds and return both measurements.
+ */
+AbResult runAbTest(const AbExperiment &experiment);
+
+/**
+ * Derive the Accelerometer model parameters that describe @p experiment,
+ * the way the paper derives them from production measurements: C from
+ * the baseline run's busy cycles, α from the workload's kernel share,
+ * n from the offload rate, overheads from the service config, and L
+ * from the accelerator interface at the workload's mean granularity.
+ */
+model::Params deriveModelParams(const AbExperiment &experiment,
+                                const AbResult &result);
+
+/**
+ * One-line comparison: measured vs model-estimated speedup and the
+ * estimation error in percentage points, e.g.
+ * "est +15.7% real +14.0% err 1.7pp".
+ */
+std::string compareLine(const AbExperiment &experiment,
+                        const AbResult &result);
+
+} // namespace accel::microsim

@@ -1,0 +1,82 @@
+#include "microsim/accelerator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace accel::microsim {
+
+void
+AcceleratorConfig::validate() const
+{
+    require(speedupFactor >= 1.0, "Accelerator: A must be >= 1");
+    require(fixedLatencyCycles >= 0, "Accelerator: negative fixed latency");
+    require(latencyCyclesPerByte >= 0,
+            "Accelerator: negative per-byte latency");
+    require(channels >= 1, "Accelerator: need at least one channel");
+}
+
+Accelerator::Accelerator(sim::EventQueue &eq,
+                         const AcceleratorConfig &config)
+    : eq_(eq), config_(config)
+{
+    config_.validate();
+}
+
+double
+Accelerator::transferCycles(double bytes) const
+{
+    return config_.fixedLatencyCycles +
+           config_.latencyCyclesPerByte * bytes;
+}
+
+void
+Accelerator::offload(double hostEquivalentCycles, double bytes,
+                     std::function<void()> onComplete,
+                     bool transferPaidByHost)
+{
+    require(hostEquivalentCycles >= 0, "Accelerator: negative work");
+    require(bytes >= 0, "Accelerator: negative granularity");
+
+    double transfer = transferPaidByHost ? 0.0 : transferCycles(bytes);
+    double service = hostEquivalentCycles / config_.speedupFactor;
+    stats_.transferCycles.add(transfer);
+
+    // The offload reaches the device queue after the transfer completes.
+    eq_.scheduleIn(static_cast<sim::Tick>(std::llround(transfer)), [this,
+        service, cb = std::move(onComplete)]() mutable {
+        queue_.push_back(Pending{service, eq_.now(), std::move(cb)});
+        stats_.maxQueueDepth =
+            std::max<std::uint64_t>(stats_.maxQueueDepth, queue_.size());
+        tryServe();
+    });
+}
+
+void
+Accelerator::tryServe()
+{
+    while (busyChannels_ < config_.channels && !queue_.empty()) {
+        Pending item = std::move(queue_.front());
+        queue_.pop_front();
+        ++busyChannels_;
+
+        double wait = static_cast<double>(eq_.now() - item.enqueued);
+        stats_.queueWaitCycles.add(wait);
+        stats_.serviceCycles.add(item.serviceCycles);
+        stats_.busyCycles += item.serviceCycles;
+
+        eq_.scheduleIn(
+            static_cast<sim::Tick>(std::llround(item.serviceCycles)),
+            [this, cb = std::move(item.onComplete)]() mutable {
+                ensure(busyChannels_ > 0,
+                       "Accelerator: channel underflow");
+                --busyChannels_;
+                ++stats_.served;
+                cb();
+                tryServe();
+            });
+    }
+}
+
+} // namespace accel::microsim

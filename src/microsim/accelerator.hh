@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Accelerator device model for the microservice simulator.
+ *
+ * A device with one or more service channels behind a FIFO queue. An
+ * offload arrives after its interface transfer completes, waits for a
+ * free channel, is served at the device's speedup factor, and invokes a
+ * completion callback. Queue waits are emergent, giving the analytical
+ * model's Q parameter a measurable counterpart.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/event_queue.hh"
+#include "stats/online_stats.hh"
+
+namespace accel::microsim {
+
+/** Static description of an accelerator device. */
+struct AcceleratorConfig
+{
+    /** A: service time = host-equivalent cycles / speedupFactor. */
+    double speedupFactor = 1.0;
+
+    /** Fixed interface transfer cycles per offload (part of L). */
+    double fixedLatencyCycles = 0.0;
+
+    /** Per-byte interface transfer cycles (the rest of L). */
+    double latencyCyclesPerByte = 0.0;
+
+    /** Parallel service channels. */
+    std::uint32_t channels = 1;
+
+    /** @throws FatalError on out-of-domain values. */
+    void validate() const;
+};
+
+/** Observed device behaviour over a run. */
+struct AcceleratorStats
+{
+    std::uint64_t served = 0;
+    double busyCycles = 0.0;
+    std::uint64_t maxQueueDepth = 0;
+    OnlineStats queueWaitCycles;   //!< emergent Q per offload
+    OnlineStats serviceCycles;
+    OnlineStats transferCycles;
+};
+
+/** The device: transfer -> queue -> serve -> completion callback. */
+class Accelerator
+{
+  public:
+    /**
+     * @param eq      simulation event queue (must outlive the device)
+     * @param config  validated device description
+     */
+    Accelerator(sim::EventQueue &eq, const AcceleratorConfig &config);
+
+    /**
+     * Dispatch one offload.
+     *
+     * @param hostEquivalentCycles cycles the host would have spent
+     * @param bytes                offload granularity (drives transfer)
+     * @param onComplete           invoked when service finishes
+     * @param transferPaidByHost   true when the caller already held the
+     *                             core for the transfer (driver-awaits-ack
+     *                             designs); the device then skips its own
+     *                             transfer delay so L is charged once
+     */
+    void offload(double hostEquivalentCycles, double bytes,
+                 std::function<void()> onComplete,
+                 bool transferPaidByHost = false);
+
+    /** Clear statistics (used at the end of a warmup window). */
+    void resetStats() { stats_ = AcceleratorStats{}; }
+
+    /** Interface transfer cycles for a given granularity. */
+    double transferCycles(double bytes) const;
+
+    /** Current queue depth (offloads transferred but not yet served). */
+    size_t queueDepth() const { return queue_.size(); }
+
+    /** Observed statistics. */
+    const AcceleratorStats &stats() const { return stats_; }
+
+  private:
+    struct Pending
+    {
+        double serviceCycles;
+        sim::Tick enqueued;
+        std::function<void()> onComplete;
+    };
+
+    sim::EventQueue &eq_;
+    AcceleratorConfig config_;
+    std::deque<Pending> queue_;
+    std::uint32_t busyChannels_ = 0;
+    AcceleratorStats stats_;
+
+    void tryServe();
+};
+
+} // namespace accel::microsim

@@ -1,0 +1,19 @@
+#include "microsim/metrics.hh"
+
+namespace accel::microsim {
+
+double
+ServiceMetrics::qps() const
+{
+    if (measuredSeconds <= 0)
+        return 0.0;
+    return static_cast<double>(requestsCompleted) / measuredSeconds;
+}
+
+double
+ServiceMetrics::meanLatencyCycles() const
+{
+    return latencyCycles.mean();
+}
+
+} // namespace accel::microsim

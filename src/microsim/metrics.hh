@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Metrics collected by a microservice simulation run.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "microsim/accelerator.hh"
+#include "stats/online_stats.hh"
+#include "stats/reservoir.hh"
+
+namespace accel::microsim {
+
+/** Tag under which offload/switch overhead core cycles accumulate. */
+constexpr int kOverheadWorkTag = -2;
+
+/** Everything a run measures; the A/B harness compares two of these. */
+struct ServiceMetrics
+{
+    double measuredSeconds = 0.0;
+    std::uint64_t requestsCompleted = 0;
+
+    /** Open-loop mode only: requests that arrived in the window. */
+    std::uint64_t requestsArrived = 0;
+
+    /** Request latency in cycles (service-local, per the paper). */
+    OnlineStats latencyCycles;
+
+    /** Uniform latency sample for tail quantiles (SLO analysis). */
+    ReservoirSample latencySample;
+
+    /**
+     * End-to-end latency including remote accelerator time that the
+     * service-local latency excludes (Async no-response + remote).
+     */
+    OnlineStats endToEndLatencyCycles;
+
+    /** Core cycles doing useful or overhead work. */
+    double coreBusyCycles = 0.0;
+
+    /**
+     * Core cycles attributed per work tag (see WorkTag): tagged
+     * segments and host-run kernels under their own tags, dispatch and
+     * switch overheads under kOverheadWorkTag. Enables simulated
+     * before/after functionality breakdowns (Figs. 16-18).
+     */
+    std::map<int, double> coreCyclesByTag;
+
+    /** Core cycles held but idle (Sync blocking on the accelerator). */
+    double coreHeldIdleCycles = 0.0;
+
+    /** Core cycles spent on offload dispatch overhead (o0, L-hold). */
+    double dispatchOverheadCycles = 0.0;
+
+    /** Core cycles spent context switching (o1 and cache pollution). */
+    double switchOverheadCycles = 0.0;
+
+    std::uint64_t offloadsIssued = 0;
+    std::uint64_t kernelsOnHost = 0;
+
+    AcceleratorStats accelerator;
+
+    /** Completed requests per simulated second. */
+    double qps() const;
+
+    /** Mean request latency in cycles. */
+    double meanLatencyCycles() const;
+};
+
+} // namespace accel::microsim

@@ -1,0 +1,506 @@
+#include "microsim/service_sim.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace accel::microsim {
+
+using model::Strategy;
+using model::ThreadingDesign;
+
+void
+ServiceConfig::validate() const
+{
+    require(cores >= 1, "ServiceConfig: need at least one core");
+    require(threads >= 1, "ServiceConfig: need at least one thread");
+    require(clockGHz > 0, "ServiceConfig: clock must be positive");
+    require(offloadSetupCycles >= 0, "ServiceConfig: negative o0");
+    require(contextSwitchCycles >= 0, "ServiceConfig: negative o1");
+    require(cachePollutionCycles >= 0,
+            "ServiceConfig: negative cache pollution");
+    require(responsePickupCycles >= 0,
+            "ServiceConfig: negative pickup cost");
+    require(unmodeledPerOffloadCycles >= 0,
+            "ServiceConfig: negative driver slop");
+    require(minOffloadBytes >= 0, "ServiceConfig: negative threshold");
+    require(maxOutstanding >= 1, "ServiceConfig: maxOutstanding >= 1");
+    require(openArrivalsPerSec >= 0,
+            "ServiceConfig: negative arrival rate");
+    if (design == ThreadingDesign::Sync) {
+        require(threads == cores,
+                "ServiceConfig: Sync runs one thread per core");
+    } else if (design == ThreadingDesign::SyncOS) {
+        require(threads > cores,
+                "ServiceConfig: Sync-OS requires over-subscription");
+    } else {
+        require(threads >= cores,
+                "ServiceConfig: async needs threads >= cores");
+    }
+}
+
+ServiceSim::ServiceSim(const ServiceConfig &service,
+                       const AcceleratorConfig &accel,
+                       const WorkloadSpec &workload, std::uint64_t seed)
+    : cfg_(service),
+      accel_(eq_, accel),
+      source_(workload, seed),
+      arrivalRng_(seed ^ 0xa771a15ULL, 0x6f70656e6c6f6fULL)
+{
+    cfg_.validate();
+    threads_.resize(cfg_.threads);
+    resume_.resize(cfg_.threads);
+    freeCores_ = cfg_.cores;
+    if (cfg_.openArrivalsPerSec > 0) {
+        cyclesPerArrival_ =
+            cfg_.clockGHz * 1e9 / cfg_.openArrivalsPerSec;
+    }
+}
+
+// --------------------------------------------------------------------
+// Open-loop arrivals
+// --------------------------------------------------------------------
+
+void
+ServiceSim::scheduleNextArrival()
+{
+    double gap = arrivalRng_.exponential(cyclesPerArrival_);
+    sim::Tick ticks = std::max<sim::Tick>(
+        1, static_cast<sim::Tick>(std::llround(gap)));
+    eq_.scheduleIn(ticks, [this]() { onArrival(); });
+}
+
+void
+ServiceSim::onArrival()
+{
+    if (eq_.now() < endTick_)
+        scheduleNextArrival();
+    arrivals_.push_back(PendingArrival{source_.next(), eq_.now()});
+    if (measuring_)
+        ++metrics_.requestsArrived;
+    if (!idleThreads_.empty()) {
+        size_t tid = idleThreads_.back();
+        idleThreads_.pop_back();
+        ensure(threads_[tid].state == ThreadState::Idle,
+               "onArrival: woken thread not idle");
+        makeReady(tid, [this, tid]() { startNextRequest(tid); });
+    }
+}
+
+// --------------------------------------------------------------------
+// Scheduling
+// --------------------------------------------------------------------
+
+void
+ServiceSim::makeReady(size_t tid, std::function<void()> resume)
+{
+    ThreadCtx &ctx = threads_[tid];
+    ctx.state = ThreadState::Ready;
+    resume_[tid] = std::move(resume);
+    if (ctx.core >= 0) {
+        // The response beat the switch-away drain; the pending release
+        // event enqueues the thread once the core is actually free.
+        return;
+    }
+    readyQueue_.push_back(tid);
+    dispatch();
+}
+
+void
+ServiceSim::dispatch()
+{
+    while (freeCores_ > 0 && !readyQueue_.empty()) {
+        size_t tid = readyQueue_.front();
+        readyQueue_.pop_front();
+        ThreadCtx &ctx = threads_[tid];
+        if (ctx.state != ThreadState::Ready)
+            continue; // stale entry
+        --freeCores_;
+        ctx.core = 1;
+        ctx.state = ThreadState::Running;
+
+        std::function<void()> resume = std::move(resume_[tid]);
+        ensure(static_cast<bool>(resume), "dispatch: missing continuation");
+        double switch_in = ctx.needsSwitchIn
+            ? cfg_.contextSwitchCycles + cfg_.cachePollutionCycles : 0.0;
+        ctx.needsSwitchIn = false;
+        if (switch_in > 0) {
+            if (measuring_)
+                metrics_.switchOverheadCycles += switch_in;
+            runOnCore(tid, switch_in, std::move(resume),
+                      kOverheadWorkTag);
+        } else {
+            resume();
+        }
+    }
+}
+
+void
+ServiceSim::releaseCore(size_t tid)
+{
+    ThreadCtx &ctx = threads_[tid];
+    ensure(ctx.core >= 0, "releaseCore: thread not on a core");
+    ctx.core = -1;
+    ++freeCores_;
+}
+
+void
+ServiceSim::yieldCore(size_t tid)
+{
+    ThreadCtx &ctx = threads_[tid];
+    ctx.state = ThreadState::Blocked;
+    double switch_away = cfg_.contextSwitchCycles;
+    if (switch_away > 0) {
+        if (measuring_)
+            metrics_.switchOverheadCycles += switch_away;
+        eq_.scheduleIn(
+            static_cast<sim::Tick>(std::llround(switch_away)),
+            [this, tid]() {
+                releaseCore(tid);
+                if (threads_[tid].state == ThreadState::Ready)
+                    readyQueue_.push_back(tid);
+                dispatch();
+            });
+    } else {
+        releaseCore(tid);
+        dispatch();
+    }
+}
+
+double
+ServiceSim::chargeStolen(double cycles)
+{
+    // Response-pickup work "steals" core time from whichever thread runs
+    // next (see the class comment); fold the pool into this charge.
+    double stolen = pendingStolenCycles_;
+    pendingStolenCycles_ = 0.0;
+    if (measuring_ && stolen > 0) {
+        metrics_.switchOverheadCycles += stolen;
+        metrics_.coreCyclesByTag[kOverheadWorkTag] += stolen;
+    }
+    return cycles + stolen;
+}
+
+void
+ServiceSim::runOnCore(size_t tid, double cycles,
+                      std::function<void()> done, WorkTag tag)
+{
+    ThreadCtx &ctx = threads_[tid];
+    ensure(ctx.state == ThreadState::Running && ctx.core >= 0,
+           "runOnCore: thread must be running on a core");
+    double charged = chargeStolen(cycles);
+    if (measuring_) {
+        metrics_.coreBusyCycles += charged;
+        metrics_.coreCyclesByTag[tag] += cycles;
+    }
+    // At least one tick so zero-cost request chains always advance time.
+    sim::Tick ticks =
+        std::max<sim::Tick>(1, static_cast<sim::Tick>(
+                                   std::llround(charged)));
+    eq_.scheduleIn(ticks, std::move(done));
+}
+
+// --------------------------------------------------------------------
+// Request flow
+// --------------------------------------------------------------------
+
+void
+ServiceSim::startNextRequest(size_t tid)
+{
+    ThreadCtx &ctx = threads_[tid];
+    if (eq_.now() >= endTick_) {
+        ctx.state = ThreadState::Parked;
+        if (ctx.core >= 0) {
+            releaseCore(tid);
+            dispatch();
+        }
+        return;
+    }
+    sim::Tick started = eq_.now();
+    if (cfg_.openArrivalsPerSec > 0) {
+        if (arrivals_.empty()) {
+            // Nothing to do: park until an arrival wakes us.
+            ctx.state = ThreadState::Idle;
+            if (ctx.core >= 0) {
+                releaseCore(tid);
+                dispatch();
+            }
+            idleThreads_.push_back(tid);
+            return;
+        }
+        PendingArrival next = std::move(arrivals_.front());
+        arrivals_.pop_front();
+        ctx.req = std::move(next.req);
+        // Latency is measured from arrival, so queueing time counts.
+        started = next.arrived;
+    } else {
+        ctx.req = source_.next();
+    }
+    ctx.kernelIdx = 0;
+    ctx.segmentIdx = 0;
+    ctx.inflight = std::make_shared<InFlight>();
+    ctx.inflight->start = started;
+    maybeNext(tid);
+}
+
+void
+ServiceSim::maybeNext(size_t tid)
+{
+    ThreadCtx &ctx = threads_[tid];
+    // Kernels scheduled after already-executed segments come first,
+    // then the next segment, then request completion.
+    if (ctx.kernelIdx < ctx.req.kernels.size() &&
+        ctx.req.kernels[ctx.kernelIdx].afterSegment < ctx.segmentIdx) {
+        handleKernel(tid);
+    } else if (ctx.segmentIdx < ctx.req.segments.size()) {
+        execSegment(tid);
+    } else if (ctx.kernelIdx < ctx.req.kernels.size()) {
+        // Kernels pointing past the last segment still run.
+        handleKernel(tid);
+    } else {
+        finishHostWork(tid);
+    }
+}
+
+void
+ServiceSim::execSegment(size_t tid)
+{
+    ThreadCtx &ctx = threads_[tid];
+    const WorkSegment &seg = ctx.req.segments[ctx.segmentIdx];
+    ++ctx.segmentIdx;
+    runOnCore(tid, seg.cycles, [this, tid]() { maybeNext(tid); },
+              seg.tag);
+}
+
+void
+ServiceSim::handleKernel(size_t tid)
+{
+    ThreadCtx &ctx = threads_[tid];
+    const KernelInvocation &k = ctx.req.kernels[ctx.kernelIdx++];
+
+    bool offload = cfg_.accelerated && k.bytes >= cfg_.minOffloadBytes;
+    if (!offload) {
+        if (measuring_)
+            ++metrics_.kernelsOnHost;
+        runOnCore(tid, k.hostCycles, [this, tid]() { maybeNext(tid); },
+                  k.tag);
+        return;
+    }
+
+    if (measuring_)
+        ++metrics_.offloadsIssued;
+    switch (cfg_.design) {
+      case ThreadingDesign::Sync:
+        offloadSync(tid, k);
+        break;
+      case ThreadingDesign::SyncOS:
+        offloadSyncOS(tid, k);
+        break;
+      case ThreadingDesign::AsyncSameThread:
+      case ThreadingDesign::AsyncDistinctThread:
+      case ThreadingDesign::AsyncNoResponse:
+        offloadAsync(tid, k);
+        break;
+    }
+}
+
+void
+ServiceSim::finishHostWork(size_t tid)
+{
+    ThreadCtx &ctx = threads_[tid];
+    ctx.inflight->hostDone = true;
+    maybeCompleteRequest(ctx.inflight,
+                         cfg_.design == ThreadingDesign::AsyncNoResponse &&
+                             cfg_.strategy == Strategy::Remote);
+    startNextRequest(tid);
+}
+
+void
+ServiceSim::maybeCompleteRequest(const std::shared_ptr<InFlight> &inflight,
+                                 bool remoteExcluded)
+{
+    // Service-local latency: remote no-response offloads do not hold the
+    // request open (their time lands on the application's end-to-end
+    // path instead).
+    bool service_done = inflight->hostDone &&
+        (remoteExcluded || inflight->pendingKernels == 0);
+    if (service_done && !inflight->counted) {
+        inflight->counted = true;
+        if (measuring_) {
+            ++metrics_.requestsCompleted;
+            double latency =
+                static_cast<double>(eq_.now() - inflight->start);
+            metrics_.latencyCycles.add(latency);
+            metrics_.latencySample.add(latency);
+        }
+    }
+    if (inflight->hostDone && inflight->pendingKernels == 0 &&
+        measuring_ && inflight->counted) {
+        metrics_.endToEndLatencyCycles.add(
+            static_cast<double>(eq_.now() - inflight->start));
+    }
+}
+
+// --------------------------------------------------------------------
+// Offload paths
+// --------------------------------------------------------------------
+
+void
+ServiceSim::offloadSync(size_t tid, const KernelInvocation &k)
+{
+    double issue = cfg_.offloadSetupCycles + cfg_.unmodeledPerOffloadCycles;
+    if (measuring_)
+        metrics_.dispatchOverheadCycles += issue;
+    runOnCore(tid, issue, [this, tid, k]() {
+        // The core stays held (idle) across transfer + queue + service.
+        sim::Tick held_from = eq_.now();
+        accel_.offload(k.hostCycles, k.bytes,
+                       [this, tid, held_from]() {
+                           if (measuring_) {
+                               metrics_.coreHeldIdleCycles +=
+                                   static_cast<double>(eq_.now() -
+                                                       held_from);
+                           }
+                           maybeNext(tid);
+                       });
+    }, kOverheadWorkTag);
+}
+
+void
+ServiceSim::offloadSyncOS(size_t tid, const KernelInvocation &k)
+{
+    double hold = cfg_.offloadSetupCycles + cfg_.unmodeledPerOffloadCycles;
+    if (cfg_.driverWaitsForAck)
+        hold += accel_.transferCycles(k.bytes);
+    if (measuring_)
+        metrics_.dispatchOverheadCycles += hold;
+    runOnCore(tid, hold, [this, tid, k]() {
+        accel_.offload(
+            k.hostCycles, k.bytes,
+            [this, tid]() {
+                ThreadCtx &ctx = threads_[tid];
+                ctx.needsSwitchIn = true;
+                makeReady(tid, [this, tid]() { maybeNext(tid); });
+            },
+            /*transferPaidByHost=*/cfg_.driverWaitsForAck);
+        yieldCore(tid);
+    }, kOverheadWorkTag);
+}
+
+void
+ServiceSim::offloadAsync(size_t tid, const KernelInvocation &k)
+{
+    ThreadCtx &ctx = threads_[tid];
+    double hold = cfg_.offloadSetupCycles + cfg_.unmodeledPerOffloadCycles;
+    if (cfg_.driverWaitsForAck)
+        hold += accel_.transferCycles(k.bytes);
+    if (measuring_)
+        metrics_.dispatchOverheadCycles += hold;
+
+    bool tracks_outstanding =
+        cfg_.design != ThreadingDesign::AsyncNoResponse;
+
+    std::shared_ptr<InFlight> inflight = ctx.inflight;
+    ++inflight->pendingKernels;
+    if (tracks_outstanding)
+        ++ctx.outstanding;
+
+    runOnCore(tid, hold, [this, tid, k, inflight,
+                          tracks_outstanding]() {
+        accel_.offload(
+            k.hostCycles, k.bytes,
+            [this, tid, inflight]() { onAsyncResponse(tid, inflight); },
+            /*transferPaidByHost=*/cfg_.driverWaitsForAck);
+
+        ThreadCtx &ctx = threads_[tid];
+        if (tracks_outstanding && ctx.outstanding >= cfg_.maxOutstanding) {
+            // Backpressure: stop issuing until responses drain. The
+            // analytical model has no notion of this; it only bites at
+            // high accelerator load.
+            ctx.blockedOnOutstanding = true;
+            ctx.state = ThreadState::Blocked;
+            resume_[tid] = [this, tid]() { maybeNext(tid); };
+            releaseCore(tid);
+            dispatch();
+        } else {
+            maybeNext(tid);
+        }
+    }, kOverheadWorkTag);
+}
+
+void
+ServiceSim::onAsyncResponse(size_t tid,
+                            const std::shared_ptr<InFlight> &inflight)
+{
+    ThreadCtx &ctx = threads_[tid];
+    ensure(inflight->pendingKernels > 0,
+           "onAsyncResponse: no pending kernels");
+    --inflight->pendingKernels;
+    inflight->lastResponse = eq_.now();
+
+    bool no_response = cfg_.design == ThreadingDesign::AsyncNoResponse;
+    if (!no_response) {
+        ensure(ctx.outstanding > 0, "onAsyncResponse: outstanding = 0");
+        --ctx.outstanding;
+        double stolen = cfg_.responsePickupCycles;
+        if (cfg_.design == ThreadingDesign::AsyncDistinctThread) {
+            stolen += cfg_.contextSwitchCycles +
+                      cfg_.cachePollutionCycles;
+        }
+        pendingStolenCycles_ += stolen;
+    }
+
+    maybeCompleteRequest(inflight,
+                         no_response &&
+                             cfg_.strategy == Strategy::Remote);
+
+    if (ctx.blockedOnOutstanding &&
+        ctx.outstanding < cfg_.maxOutstanding) {
+        ctx.blockedOnOutstanding = false;
+        std::function<void()> resume = std::move(resume_[tid]);
+        makeReady(tid, std::move(resume));
+    }
+}
+
+// --------------------------------------------------------------------
+// Run loop
+// --------------------------------------------------------------------
+
+ServiceMetrics
+ServiceSim::run(double measureSeconds, double warmupSeconds)
+{
+    require(measureSeconds > 0, "ServiceSim::run: window must be positive");
+    require(warmupSeconds >= 0, "ServiceSim::run: negative warmup");
+    ensure(endTick_ == 0, "ServiceSim::run: single-use object");
+
+    double cycles_per_second = cfg_.clockGHz * 1e9;
+    sim::Tick warmup_tick =
+        static_cast<sim::Tick>(warmupSeconds * cycles_per_second);
+    endTick_ = warmup_tick +
+        static_cast<sim::Tick>(measureSeconds * cycles_per_second);
+
+    metrics_ = ServiceMetrics();
+    metrics_.measuredSeconds = measureSeconds;
+    measuring_ = warmupSeconds == 0;
+
+    if (!measuring_) {
+        eq_.schedule(warmup_tick, [this]() {
+            ServiceMetrics fresh;
+            fresh.measuredSeconds = metrics_.measuredSeconds;
+            metrics_ = fresh;
+            accel_.resetStats();
+            measuring_ = true;
+        }, /*priority=*/-100);
+    }
+
+    if (cfg_.openArrivalsPerSec > 0)
+        scheduleNextArrival();
+    for (size_t tid = 0; tid < threads_.size(); ++tid)
+        makeReady(tid, [this, tid]() { startNextRequest(tid); });
+
+    eq_.runUntil(endTick_);
+    metrics_.accelerator = accel_.stats();
+    return metrics_;
+}
+
+} // namespace accel::microsim

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Closed-loop microservice instance simulator.
+ *
+ * Simulates one service instance: worker threads on cores process
+ * requests back-to-back (closed loop = the paper's "peak load"
+ * measurement). Requests contain offloadable kernels; the configured
+ * threading design determines how an offload interacts with cores:
+ *
+ *  - Sync: one thread per core; the core is held idle during the
+ *    transfer, queue wait, and accelerator service (Fig. 12).
+ *  - Sync-OS: over-subscribed threads; the core pays a switch (o1),
+ *    runs another thread, and pays a second switch when the blocked
+ *    thread resumes (Fig. 13).
+ *  - Async same-thread: the thread issues the offload and keeps
+ *    processing; the response is picked up without a switch (Fig. 14).
+ *  - Async distinct-thread: responses are handled by a dedicated thread,
+ *    costing one switch per offload.
+ *  - Async no-response: the host never consumes the response.
+ *
+ * The simulator deliberately includes effects the analytical model
+ * abstracts away — emergent accelerator queuing, switch-in cache
+ * pollution, response pickup work, per-offload driver slop, and
+ * bounded-outstanding backpressure — so A/B comparisons against it play
+ * the role of the paper's production measurements.
+ */
+
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "microsim/accelerator.hh"
+#include "microsim/metrics.hh"
+#include "microsim/request_gen.hh"
+#include "model/params.hh"
+#include "sim/event_queue.hh"
+
+namespace accel::microsim {
+
+/** Static description of a service instance. */
+struct ServiceConfig
+{
+    std::uint32_t cores = 1;
+    std::uint32_t threads = 1;
+    model::ThreadingDesign design = model::ThreadingDesign::Sync;
+    model::Strategy strategy = model::Strategy::OffChip;
+    double clockGHz = 2.0;
+
+    /** False = baseline run: every kernel executes on the host. */
+    bool accelerated = true;
+
+    double offloadSetupCycles = 0.0;   //!< o0 charged on the core
+    double contextSwitchCycles = 0.0;  //!< o1 per switch
+    /** Unmodeled extra cycles after a switch (cache pollution). */
+    double cachePollutionCycles = 0.0;
+    /** Unmodeled response pickup work per async response. */
+    double responsePickupCycles = 0.0;
+    /** Unmodeled driver slop per offload. */
+    double unmodeledPerOffloadCycles = 0.0;
+
+    /**
+     * When true, the core is held during the interface transfer while
+     * the driver awaits the device's receipt acknowledgement (the paper's
+     * "(L+Q) persists" case). When false (e.g. remote accelerators), the
+     * transfer overlaps with host execution.
+     */
+    bool driverWaitsForAck = true;
+
+    /** Kernels smaller than this execute on the host (selective offload). */
+    double minOffloadBytes = 0.0;
+
+    /** Per-thread cap on outstanding async offloads (backpressure). */
+    std::uint32_t maxOutstanding = 64;
+
+    /**
+     * Load mode. 0 (default) runs the closed loop the paper's
+     * peak-load measurements correspond to: every thread processes
+     * requests back to back. A positive value switches to open-loop
+     * Poisson arrivals at this rate; idle threads park until work
+     * arrives, and request latency then includes arrival queueing —
+     * enabling latency-vs-load and SLO analysis.
+     */
+    double openArrivalsPerSec = 0.0;
+
+    /** @throws FatalError on inconsistent settings. */
+    void validate() const;
+};
+
+/** One simulated service instance. */
+class ServiceSim
+{
+  public:
+    /**
+     * @param service   instance configuration
+     * @param accel     accelerator device description
+     * @param workload  request mix
+     * @param seed      RNG seed (deterministic replay)
+     */
+    ServiceSim(const ServiceConfig &service, const AcceleratorConfig &accel,
+               const WorkloadSpec &workload, std::uint64_t seed);
+
+    /**
+     * Run the closed loop and return metrics for the measurement window.
+     *
+     * @param measureSeconds  measurement window length
+     * @param warmupSeconds   cycles discarded before measuring
+     */
+    ServiceMetrics run(double measureSeconds, double warmupSeconds = 0.1);
+
+  private:
+    enum class ThreadState { Ready, Running, Blocked, Idle, Parked };
+
+    /** Per-request completion tracking shared with response callbacks. */
+    struct InFlight
+    {
+        sim::Tick start = 0;
+        std::uint32_t pendingKernels = 0;
+        bool hostDone = false;
+        bool counted = false;
+        sim::Tick lastResponse = 0;
+    };
+
+    struct ThreadCtx
+    {
+        ThreadState state = ThreadState::Ready;
+        Request req;
+        size_t kernelIdx = 0;
+        size_t segmentIdx = 0;
+        std::shared_ptr<InFlight> inflight;
+        std::uint32_t outstanding = 0;
+        bool blockedOnOutstanding = false;
+        bool needsSwitchIn = false;
+        int core = -1;
+    };
+
+    // --- configuration ---
+    ServiceConfig cfg_;
+    sim::EventQueue eq_;
+    Accelerator accel_;
+    RequestSource source_;
+
+    // --- scheduler state ---
+    std::vector<ThreadCtx> threads_;
+    std::deque<size_t> readyQueue_;
+    std::uint32_t freeCores_ = 0;
+
+    // --- open-loop arrivals ---
+    struct PendingArrival
+    {
+        Request req;
+        sim::Tick arrived;
+    };
+    std::deque<PendingArrival> arrivals_;
+    std::vector<size_t> idleThreads_;
+    Rng arrivalRng_;
+    double cyclesPerArrival_ = 0.0;
+
+    void scheduleNextArrival();
+    void onArrival();
+
+    // --- response-pickup accounting pool (see DESIGN.md) ---
+    double pendingStolenCycles_ = 0.0;
+
+    // --- run bookkeeping ---
+    sim::Tick endTick_ = 0;
+    bool measuring_ = false;
+    ServiceMetrics metrics_;
+
+    // --- scheduling ---
+    void makeReady(size_t tid, std::function<void()> resume);
+    void dispatch();
+    void releaseCore(size_t tid);
+    void yieldCore(size_t tid);
+
+    /**
+     * Occupy the thread's core for @p cycles, then call @p done.
+     * @p tag attributes the cycles in coreCyclesByTag.
+     */
+    void runOnCore(size_t tid, double cycles, std::function<void()> done,
+                   WorkTag tag = kUntagged);
+
+    // --- request flow ---
+    void startNextRequest(size_t tid);
+    /** Run segments/kernels in order; dispatches the next work item. */
+    void maybeNext(size_t tid);
+    void execSegment(size_t tid);
+    void handleKernel(size_t tid);
+    void finishHostWork(size_t tid);
+    void maybeCompleteRequest(const std::shared_ptr<InFlight> &inflight,
+                              bool remoteExcluded);
+
+    // --- offload paths ---
+    void offloadSync(size_t tid, const KernelInvocation &k);
+    void offloadSyncOS(size_t tid, const KernelInvocation &k);
+    void offloadAsync(size_t tid, const KernelInvocation &k);
+    void onAsyncResponse(size_t tid,
+                         const std::shared_ptr<InFlight> &inflight);
+
+    /** Per-thread resume continuation while blocked. */
+    std::vector<std::function<void()>> resume_;
+
+    double chargeStolen(double cycles);
+};
+
+} // namespace accel::microsim

@@ -1,0 +1,41 @@
+#include "model/fleet.hh"
+
+#include "util/logging.hh"
+
+namespace accel::model {
+
+double
+FleetService::speedup() const
+{
+    Accelerometer model(params);
+    return model.speedup(design);
+}
+
+double
+FleetProjection::capacityFraction() const
+{
+    return totalServers > 0 ? serversFreed / totalServers : 0.0;
+}
+
+FleetProjection
+projectFleet(const std::vector<FleetService> &services)
+{
+    require(!services.empty(), "projectFleet: no services");
+
+    FleetProjection out;
+    out.totalServers = 0;
+    double servers_after = 0;
+    for (const FleetService &svc : services) {
+        require(svc.servers > 0,
+                "projectFleet: server count must be positive");
+        double s = svc.speedup();
+        out.perService.emplace_back(svc.name, s);
+        out.totalServers += svc.servers;
+        servers_after += svc.servers / s;
+    }
+    out.fleetSpeedup = out.totalServers / servers_after;
+    out.serversFreed = out.totalServers - servers_after;
+    return out;
+}
+
+} // namespace accel::model

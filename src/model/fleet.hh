@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fleet-level projection (paper §3, "Applying the Accelerometer model",
+ * use case 1): data-center operators project fleet-wide gains from
+ * accelerating a common overhead across many services.
+ *
+ * Each service contributes its own model parameters and its share of
+ * the installed server base; the fleet speedup is the capacity-weighted
+ * harmonic composition of per-service speedups (equivalently: total
+ * fleet cycles before / after). The module also converts speedup into
+ * the headline operators care about — servers freed at constant load.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/accelerometer.hh"
+
+namespace accel::model {
+
+/** One service's stake in the fleet. */
+struct FleetService
+{
+    std::string name;
+    double servers;          //!< installed base running this service
+    Params params;           //!< acceleration parameters for it
+    ThreadingDesign design;  //!< offload design it would use
+
+    /** Projected speedup for this service alone. */
+    double speedup() const;
+};
+
+/** Result of a fleet projection. */
+struct FleetProjection
+{
+    double fleetSpeedup;     //!< total-cycles-before / total-cycles-after
+    double serversFreed;     //!< servers recovered at constant load
+    double totalServers;
+    std::vector<std::pair<std::string, double>> perService;
+
+    /** Fraction of the fleet freed: serversFreed / totalServers. */
+    double capacityFraction() const;
+};
+
+/**
+ * Project the fleet-wide effect of deploying the per-service
+ * accelerations in @p services.
+ *
+ * Services with speedup s need 1/s of their servers for the same load,
+ * so: fleetSpeedup = Σ servers / Σ (servers / s_i).
+ *
+ * @throws FatalError when @p services is empty or has non-positive
+ *         server counts.
+ */
+FleetProjection projectFleet(const std::vector<FleetService> &services);
+
+} // namespace accel::model

@@ -1,0 +1,40 @@
+#include "model/granularity.hh"
+
+#include "util/logging.hh"
+
+namespace accel::model {
+
+GranularityPlan
+planOffloads(const BucketDist &sizes, double totalOffloads, double alpha,
+             const OffloadProfit &profit, ThreadingDesign design,
+             const Params &base, AlphaWeighting weighting)
+{
+    require(totalOffloads >= 0, "planOffloads: negative offload count");
+    require(alpha >= 0.0 && alpha <= 1.0,
+            "planOffloads: alpha outside [0,1]");
+
+    GranularityPlan plan;
+    plan.breakEven = profit.breakEvenSpeedup(design, base);
+    plan.profitableFraction = sizes.fractionAtLeast(plan.breakEven);
+    plan.bytesFraction = sizes.valueFractionAtLeast(plan.breakEven);
+    plan.profitableOffloads = totalOffloads * plan.profitableFraction;
+
+    double scale = weighting == AlphaWeighting::CountWeighted
+        ? plan.profitableFraction : plan.bytesFraction;
+    plan.effectiveAlpha = alpha * scale;
+    plan.offloadedFraction = scale;
+    return plan;
+}
+
+Params
+applyPlan(const Params &base, double alpha, const GranularityPlan &plan)
+{
+    Params p = base;
+    p.alpha = alpha;
+    p.offloads = plan.profitableOffloads;
+    p.offloadedFraction = plan.offloadedFraction;
+    p.validate();
+    return p;
+}
+
+} // namespace accel::model

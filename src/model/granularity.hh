@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Granularity-aware offload planning (paper §4-§5 methodology).
+ *
+ * The paper's validation workflow is: (1) find the offload sizes g that
+ * improve speedup, (2) count how many such offloads occur per time unit
+ * (n) and the kernel-cycle fraction they represent (α_eff), (3) feed
+ * those into the model. This module automates that workflow from a
+ * granularity CDF (BucketDist) and a per-byte kernel cost.
+ */
+
+#pragma once
+
+#include "model/accelerometer.hh"
+#include "stats/bucket_dist.hh"
+
+namespace accel::model {
+
+/** How to scale α by the share of offloads above break-even. */
+enum class AlphaWeighting
+{
+    /**
+     * α_eff = α · n_profitable / n_total. This is the rule the paper's
+     * "Applying" section uses (it exactly reproduces Fig. 20's off-chip
+     * numbers; see DESIGN.md).
+     */
+    CountWeighted,
+    /**
+     * α_eff = α · (bytes carried by profitable offloads / total bytes).
+     * For a linear-complexity kernel, cycles scale with bytes, making
+     * this the physically sharper estimate; provided as an extension.
+     */
+    BytesWeighted,
+};
+
+/** Result of planning which offloads to accelerate. */
+struct GranularityPlan
+{
+    double breakEven;          //!< g*: smallest profitable granularity
+    double profitableFraction; //!< count fraction of offloads >= g*
+    double bytesFraction;      //!< byte fraction carried by offloads >= g*
+    double profitableOffloads; //!< n = n_total · profitableFraction
+    double effectiveAlpha;     //!< α_eff under the chosen weighting
+    double offloadedFraction;  //!< α_eff / α, the Params field
+};
+
+/**
+ * Derive the profitable-offload plan for a kernel.
+ *
+ * @param sizes          granularity distribution of kernel invocations
+ * @param totalOffloads  total kernel invocations per time unit
+ * @param alpha          kernel fraction of host cycles (α)
+ * @param profit         per-byte cost and complexity of the kernel
+ * @param design         threading design under evaluation
+ * @param base           overhead parameters (o0, L, Q, o1, A, strategy)
+ * @param weighting      count- (paper) or bytes-weighted α scaling
+ *
+ * @throws FatalError on invalid inputs (alpha outside [0,1], negative n).
+ */
+GranularityPlan planOffloads(const BucketDist &sizes, double totalOffloads,
+                             double alpha, const OffloadProfit &profit,
+                             ThreadingDesign design, const Params &base,
+                             AlphaWeighting weighting =
+                                 AlphaWeighting::CountWeighted);
+
+/**
+ * Produce model parameters implementing a plan: n and offloadedFraction
+ * are replaced by the plan's values, everything else copied from @p base.
+ */
+Params applyPlan(const Params &base, double alpha,
+                 const GranularityPlan &plan);
+
+} // namespace accel::model

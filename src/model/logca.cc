@@ -1,0 +1,115 @@
+#include "model/logca.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace accel::model {
+
+void
+LogCAParams::validate() const
+{
+    require(latencyPerByte >= 0, "LogCA: L must be non-negative");
+    require(overheadCycles >= 0, "LogCA: o must be non-negative");
+    require(cyclesPerByte > 0, "LogCA: C must be positive");
+    require(accelFactor >= 1.0, "LogCA: A must be >= 1");
+    require(beta > 0, "LogCA: beta must be positive");
+}
+
+LogCA::LogCA(LogCAParams params)
+    : params_(params)
+{
+    params_.validate();
+}
+
+double
+LogCA::hostTime(double granularity) const
+{
+    require(granularity >= 0, "LogCA: negative granularity");
+    return params_.cyclesPerByte * std::pow(granularity, params_.beta);
+}
+
+double
+LogCA::accelTime(double granularity) const
+{
+    require(granularity >= 0, "LogCA: negative granularity");
+    double transfer = params_.latencyPerByte * granularity;
+    double execute = hostTime(granularity) / params_.accelFactor;
+    double kernel = params_.pipelined ? std::max(transfer, execute)
+                                      : transfer + execute;
+    return params_.overheadCycles + kernel;
+}
+
+double
+LogCA::speedup(double granularity) const
+{
+    double t1 = accelTime(granularity);
+    if (t1 <= 0)
+        return 1.0;
+    return hostTime(granularity) / t1;
+}
+
+double
+LogCA::peakSpeedup() const
+{
+    if (params_.beta > 1.0) {
+        // Superlinear kernels amortize the linear transfer cost entirely.
+        return params_.accelFactor;
+    }
+    if (params_.beta < 1.0) {
+        // Sublinear kernels are eventually dominated by transfer latency.
+        return params_.latencyPerByte > 0
+            ? 0.0 : params_.accelFactor;
+    }
+    double denom = params_.pipelined
+        ? std::max(params_.latencyPerByte,
+                   params_.cyclesPerByte / params_.accelFactor)
+        : params_.latencyPerByte +
+              params_.cyclesPerByte / params_.accelFactor;
+    ensure(denom > 0, "LogCA: non-positive accelerated rate");
+    return params_.cyclesPerByte / denom;
+}
+
+double
+LogCA::granularityForSpeedup(double target) const
+{
+    // Bisection on [1, 2^60]; speedup is monotone non-decreasing in g for
+    // beta >= 1 (overhead amortizes), so a sign change brackets the root.
+    double lo = 1.0;
+    double hi = 1.0;
+    const double limit = std::ldexp(1.0, 60);
+    while (speedup(hi) < target) {
+        hi *= 2.0;
+        if (hi > limit)
+            return std::numeric_limits<double>::infinity();
+    }
+    if (speedup(lo) >= target)
+        return lo;
+    for (int i = 0; i < 200; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (speedup(mid) >= target)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+double
+LogCA::g1() const
+{
+    return granularityForSpeedup(1.0);
+}
+
+double
+LogCA::gHalf() const
+{
+    double peak = peakSpeedup();
+    if (!std::isfinite(peak) || peak <= 0)
+        return std::numeric_limits<double>::infinity();
+    return granularityForSpeedup(peak / 2.0);
+}
+
+} // namespace accel::model

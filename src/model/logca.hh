@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The LogCA baseline model (Altaf & Wood, ISCA 2017).
+ *
+ * Accelerometer extends LogCA; we implement LogCA itself as the baseline
+ * the paper compares against. LogCA describes a single kernel offload of
+ * granularity g with five parameters: L (per-byte interface latency),
+ * o (setup overhead), g (granularity), C (computational index: host
+ * cycles per byte), and A (peak acceleration). It assumes the host waits
+ * for the accelerator — i.e., offload is synchronous — which is exactly
+ * the assumption Accelerometer relaxes.
+ */
+
+#pragma once
+
+namespace accel::model {
+
+/** LogCA parameters for one kernel. */
+struct LogCAParams
+{
+    double latencyPerByte;   //!< L: interface cycles per offloaded byte
+    double overheadCycles;   //!< o: fixed setup cycles per offload
+    double cyclesPerByte;    //!< C: host cycles per byte of kernel work
+    double accelFactor;      //!< A: peak accelerator speedup (>= 1)
+    double beta = 1.0;       //!< kernel complexity exponent
+
+    /**
+     * Pipelined interface: the transfer overlaps accelerator execution,
+     * so the offload pays max(L·g, C·g^β/A) instead of their sum. The
+     * paper notes this case ("when data offload is pipelined, L is
+     * independent of g") but studies only unpipelined offloads; we
+     * implement both.
+     */
+    bool pipelined = false;
+
+    /** @throws FatalError when a parameter is out of domain. */
+    void validate() const;
+};
+
+/**
+ * Closed-form LogCA evaluation.
+ *
+ * Time on host:        T0(g) = C·g^β
+ * Unpipelined offload: T1(g) = o + L·g + C·g^β / A
+ * Pipelined offload:   T1(g) = o + max(L·g, C·g^β / A)
+ */
+class LogCA
+{
+  public:
+    /** @throws FatalError on invalid parameters. */
+    explicit LogCA(LogCAParams params);
+
+    const LogCAParams &params() const { return params_; }
+
+    /** Unaccelerated host execution time for a g-byte kernel. */
+    double hostTime(double granularity) const;
+
+    /** Accelerated execution time including offload overheads. */
+    double accelTime(double granularity) const;
+
+    /** Kernel speedup T0/T1 at granularity g. */
+    double speedup(double granularity) const;
+
+    /**
+     * g1: the break-even granularity where speedup reaches 1, found by
+     * bisection (closed form exists only for β = 1). Returns +inf when
+     * no granularity breaks even.
+     */
+    double g1() const;
+
+    /**
+     * g_{A/2}: granularity achieving half the peak achievable speedup,
+     * LogCA's "reasonable utilization" marker. +inf when unreachable.
+     */
+    double gHalf() const;
+
+    /**
+     * Peak achievable speedup as g → ∞. For β = 1 this is
+     * C / (L + C/A); for β > 1 it approaches A.
+     */
+    double peakSpeedup() const;
+
+  private:
+    LogCAParams params_;
+
+    /** Smallest g (by bisection) where speedup(g) >= target, or +inf. */
+    double granularityForSpeedup(double target) const;
+};
+
+} // namespace accel::model

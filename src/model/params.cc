@@ -1,0 +1,85 @@
+#include "model/params.hh"
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace accel::model {
+
+std::string
+toString(Strategy s)
+{
+    switch (s) {
+      case Strategy::OnChip:
+        return "on-chip";
+      case Strategy::OffChip:
+        return "off-chip";
+      case Strategy::Remote:
+        return "remote";
+    }
+    panic("toString: unknown Strategy");
+}
+
+std::string
+toString(ThreadingDesign d)
+{
+    switch (d) {
+      case ThreadingDesign::Sync:
+        return "Sync";
+      case ThreadingDesign::SyncOS:
+        return "Sync-OS";
+      case ThreadingDesign::AsyncSameThread:
+        return "Async";
+      case ThreadingDesign::AsyncDistinctThread:
+        return "Async-distinct-thread";
+      case ThreadingDesign::AsyncNoResponse:
+        return "Async-no-response";
+    }
+    panic("toString: unknown ThreadingDesign");
+}
+
+Strategy
+strategyFromString(const std::string &name)
+{
+    std::string t = toLower(trim(name));
+    if (t == "on-chip" || t == "onchip" || t == "on_chip")
+        return Strategy::OnChip;
+    if (t == "off-chip" || t == "offchip" || t == "off_chip")
+        return Strategy::OffChip;
+    if (t == "remote")
+        return Strategy::Remote;
+    fatal("unknown acceleration strategy '" + name + "'");
+}
+
+ThreadingDesign
+threadingFromString(const std::string &name)
+{
+    std::string t = toLower(trim(name));
+    if (t == "sync")
+        return ThreadingDesign::Sync;
+    if (t == "sync-os" || t == "syncos" || t == "sync_os")
+        return ThreadingDesign::SyncOS;
+    if (t == "async" || t == "async-same-thread")
+        return ThreadingDesign::AsyncSameThread;
+    if (t == "async-distinct-thread" || t == "async-distinct")
+        return ThreadingDesign::AsyncDistinctThread;
+    if (t == "async-no-response" || t == "async-fire-and-forget")
+        return ThreadingDesign::AsyncNoResponse;
+    fatal("unknown threading design '" + name + "'");
+}
+
+void
+Params::validate() const
+{
+    require(hostCycles > 0, "Params: C (hostCycles) must be positive");
+    require(alpha >= 0.0 && alpha <= 1.0, "Params: alpha must be in [0,1]");
+    require(offloads >= 0, "Params: n (offloads) must be non-negative");
+    require(setupCycles >= 0, "Params: o0 must be non-negative");
+    require(queueCycles >= 0, "Params: Q must be non-negative");
+    require(interfaceCycles >= 0, "Params: L must be non-negative");
+    require(threadSwitchCycles >= 0, "Params: o1 must be non-negative");
+    require(accelFactor >= 1.0, "Params: A must be >= 1");
+    require(offloadedFraction >= 0.0 && offloadedFraction <= 1.0,
+            "Params: offloadedFraction must be in [0,1]");
+}
+
+} // namespace accel::model

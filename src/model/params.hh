@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Accelerometer model parameters (paper Table 5) and enumerations of the
+ * acceleration strategies and microservice threading designs (paper §3).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace accel::model {
+
+/**
+ * Where the accelerator lives relative to the host CPU.
+ *
+ * The strategy mainly determines typical interface latencies (ns-scale
+ * on-chip, µs-scale PCIe, ms-scale commodity network) and how remote
+ * accelerator time is accounted in per-request latency.
+ */
+enum class Strategy
+{
+    OnChip,  //!< CPU-die optimization (e.g. AES-NI, wider SIMD)
+    OffChip, //!< PCIe / coherent-interconnect device (GPU, ASIC, smartNIC)
+    Remote,  //!< off-platform device reached over the network
+};
+
+/**
+ * How the microservice's threads interact with an offload (paper §3).
+ *
+ * The paper's key observation is that speedup depends on this design, not
+ * just on accelerator parameters.
+ */
+enum class ThreadingDesign
+{
+    /** One thread per core; the core blocks awaiting the response (eq. 1). */
+    Sync,
+    /**
+     * Over-subscribed threads: the core switches to another thread while
+     * the offloading thread blocks, paying o1 twice (eqs. 3, 5).
+     */
+    SyncOS,
+    /**
+     * Asynchronous offload; the same thread later picks up the response,
+     * so no thread switch is paid (eqs. 6, 8).
+     */
+    AsyncSameThread,
+    /**
+     * Asynchronous offload with a dedicated response thread: one o1 per
+     * offload (speedup of eq. 3 with a single o1; latency of eq. 5).
+     */
+    AsyncDistinctThread,
+    /**
+     * Asynchronous offload where the host never consumes the response
+     * (e.g. the accelerator forwards encrypted RPCs downstream). Speedup
+     * follows eq. 6; per-request latency depends on the strategy: off-chip
+     * accelerator time stays on the request path (eq. 8) but remote
+     * accelerator time moves to the application's end-to-end latency
+     * (eq. 6).
+     */
+    AsyncNoResponse,
+};
+
+/** Printable name of a strategy. */
+std::string toString(Strategy s);
+
+/** Printable name of a threading design. */
+std::string toString(ThreadingDesign d);
+
+/** Parse a strategy name (case-insensitive; "on-chip"/"onchip" etc.). */
+Strategy strategyFromString(const std::string &name);
+
+/** Parse a threading design name (case-insensitive). */
+ThreadingDesign threadingFromString(const std::string &name);
+
+/**
+ * Model parameters (paper Table 5).
+ *
+ * All cycle quantities are expressed in host clock cycles; @ref hostCycles
+ * (C) fixes the time unit (the paper uses the host's busy cycles in one
+ * second).
+ */
+struct Params
+{
+    /** C: total host cycles spent executing all logic per time unit. */
+    double hostCycles = 0.0;
+
+    /** α: fraction of C spent executing the kernel on the host (≤ 1). */
+    double alpha = 0.0;
+
+    /** n: number of profitable kernel offloads per time unit. */
+    double offloads = 0.0;
+
+    /** o0: host cycles to set up one offload. */
+    double setupCycles = 0.0;
+
+    /** Q: mean queuing cycles between host and accelerator per offload. */
+    double queueCycles = 0.0;
+
+    /** L: mean cycles to move one offload across the interface. */
+    double interfaceCycles = 0.0;
+
+    /** o1: cycles for one thread switch (context switch + cache pollution). */
+    double threadSwitchCycles = 0.0;
+
+    /** A: peak accelerator speedup factor (>= 1; 1 models a remote CPU). */
+    double accelFactor = 1.0;
+
+    /**
+     * Fraction of the kernel's host cycles that are actually offloaded,
+     * in [0, 1]. The paper's "Applying" section offloads only those
+     * granularities above break-even and scales the offloaded kernel
+     * fraction by the count-fraction of profitable offloads
+     * (α_eff = α · n_profitable / n_total); residual kernel cycles stay
+     * on the host at full cost. 1.0 reproduces the full-offload equations
+     * exactly as printed in the paper.
+     */
+    double offloadedFraction = 1.0;
+
+    /** Acceleration strategy (affects remote latency accounting). */
+    Strategy strategy = Strategy::OffChip;
+
+    /**
+     * Check parameter domains.
+     * @throws FatalError describing the first violated requirement.
+     */
+    void validate() const;
+
+    /** Kernel cycles on the host when unaccelerated: α·C. */
+    double kernelCycles() const { return alpha * hostCycles; }
+
+    /** Offloaded kernel cycles: α·C·offloadedFraction. */
+    double offloadedCycles() const
+    {
+        return kernelCycles() * offloadedFraction;
+    }
+
+    /** Kernel cycles that stay on the host: α·C·(1 - offloadedFraction). */
+    double residualKernelCycles() const
+    {
+        return kernelCycles() * (1.0 - offloadedFraction);
+    }
+
+    /** Per-offload dispatch overhead o0 + L + Q. */
+    double dispatchCycles() const
+    {
+        return setupCycles + interfaceCycles + queueCycles;
+    }
+};
+
+} // namespace accel::model

@@ -1,0 +1,45 @@
+#include "model/queueing.hh"
+
+#include "util/logging.hh"
+
+namespace accel::model {
+
+double
+utilization(double serviceCycles, double offloadsPerSec, double clockHz)
+{
+    require(serviceCycles >= 0, "utilization: negative service time");
+    require(offloadsPerSec >= 0, "utilization: negative load");
+    require(clockHz > 0, "utilization: clock must be positive");
+    return offloadsPerSec * serviceCycles / clockHz;
+}
+
+double
+mm1WaitCycles(double serviceCycles, double offloadsPerSec, double clockHz)
+{
+    double rho = utilization(serviceCycles, offloadsPerSec, clockHz);
+    require(rho < 1.0, "mm1WaitCycles: utilization >= 1, queue unstable");
+    return rho / (1.0 - rho) * serviceCycles;
+}
+
+double
+md1WaitCycles(double serviceCycles, double offloadsPerSec, double clockHz)
+{
+    double rho = utilization(serviceCycles, offloadsPerSec, clockHz);
+    require(rho < 1.0, "md1WaitCycles: utilization >= 1, queue unstable");
+    return 0.5 * rho / (1.0 - rho) * serviceCycles;
+}
+
+double
+meanQueueCycles(const std::vector<double> &sampledDelays)
+{
+    if (sampledDelays.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double d : sampledDelays) {
+        require(d >= 0, "meanQueueCycles: negative delay sample");
+        sum += d;
+    }
+    return sum / static_cast<double>(sampledDelays.size());
+}
+
+} // namespace accel::model

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Accelerator queuing helpers.
+ *
+ * The model's Q parameter is the mean queuing delay per offload; the
+ * paper notes that replacing n·Q with Σ Qi models the full queuing
+ * distribution, and that Q lets operators project speedup as a function
+ * of accelerator load. These helpers derive Q from load (M/M/1 and M/D/1
+ * approximations) or from a sampled delay distribution.
+ */
+
+#pragma once
+
+#include <vector>
+
+namespace accel::model {
+
+/**
+ * Mean M/M/1 queue wait (cycles) for a shared accelerator.
+ *
+ * @param serviceCycles  mean accelerator service time per offload, cycles
+ * @param offloadsPerSec offered load, offloads per second
+ * @param clockHz        cycles per second used to convert load to
+ *                       utilization
+ *
+ * @throws FatalError when utilization >= 1 (unstable queue) or inputs
+ *         are out of domain.
+ */
+double mm1WaitCycles(double serviceCycles, double offloadsPerSec,
+                     double clockHz);
+
+/**
+ * Mean M/D/1 queue wait (cycles): deterministic service, half the M/M/1
+ * wait at equal utilization.
+ */
+double md1WaitCycles(double serviceCycles, double offloadsPerSec,
+                     double clockHz);
+
+/** Accelerator utilization ρ = λ·s. @throws FatalError on bad input. */
+double utilization(double serviceCycles, double offloadsPerSec,
+                   double clockHz);
+
+/**
+ * Mean queuing delay from a sampled per-offload delay distribution:
+ * the Σ Qi / n form the paper describes.
+ */
+double meanQueueCycles(const std::vector<double> &sampledDelays);
+
+} // namespace accel::model

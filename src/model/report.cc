@@ -1,0 +1,69 @@
+#include "model/report.hh"
+
+#include <sstream>
+
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace accel::model {
+
+const std::vector<ThreadingDesign> &
+reportedDesigns()
+{
+    static const std::vector<ThreadingDesign> designs = {
+        ThreadingDesign::Sync,
+        ThreadingDesign::SyncOS,
+        ThreadingDesign::AsyncSameThread,
+        ThreadingDesign::AsyncDistinctThread,
+        ThreadingDesign::AsyncNoResponse,
+    };
+    return designs;
+}
+
+std::string
+projectionReport(const Params &params, const std::string &title)
+{
+    Accelerometer model(params);
+    std::ostringstream os;
+    if (!title.empty())
+        os << title << "\n";
+    os << "strategy=" << toString(params.strategy)
+       << "  C=" << formatCount(params.hostCycles)
+       << "  alpha=" << fmtF(params.alpha, 4)
+       << "  n=" << formatCount(params.offloads)
+       << "  o0=" << fmtF(params.setupCycles, 0)
+       << "  Q=" << fmtF(params.queueCycles, 0)
+       << "  L=" << fmtF(params.interfaceCycles, 0)
+       << "  o1=" << fmtF(params.threadSwitchCycles, 0)
+       << "  A=" << fmtF(params.accelFactor, 2)
+       << "  offloaded=" << fmtPct(params.offloadedFraction, 1) << "\n";
+
+    TextTable table({"threading design", "speedup", "latency reduction"});
+    table.setAlign(1, Align::Right);
+    table.setAlign(2, Align::Right);
+    for (ThreadingDesign d : reportedDesigns()) {
+        Projection proj = model.project(d);
+        table.addRow({toString(d),
+                      fmtPct(proj.speedup - 1.0, 2),
+                      fmtPct(proj.latencyReduction - 1.0, 2)});
+    }
+    table.addSeparator();
+    table.addRow({"ideal (Amdahl)",
+                  fmtPct(model.idealSpeedup() - 1.0, 2),
+                  fmtPct(model.idealSpeedup() - 1.0, 2)});
+    os << table.str();
+    return os.str();
+}
+
+std::string
+projectionLine(const Params &params, ThreadingDesign design)
+{
+    Accelerometer model(params);
+    Projection proj = model.project(design);
+    std::ostringstream os;
+    os << toString(design) << ": speedup " << fmtPct(proj.speedup - 1.0, 2)
+       << ", latency reduction " << fmtPct(proj.latencyReduction - 1.0, 2);
+    return os.str();
+}
+
+} // namespace accel::model

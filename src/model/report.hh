@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Human-readable model reports: the textual equivalent of the artifact's
+ * "run the model on a config, print the estimated speedup".
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/accelerometer.hh"
+
+namespace accel::model {
+
+/**
+ * Render a table of speedup and latency reduction across threading
+ * designs for one parameter set, including the Amdahl ideal.
+ */
+std::string projectionReport(const Params &params,
+                             const std::string &title = "");
+
+/**
+ * Render a one-line summary for a single design, e.g.
+ * "Sync: speedup 15.7%, latency reduction 15.7%".
+ */
+std::string projectionLine(const Params &params, ThreadingDesign design);
+
+/** The designs a report covers, in display order. */
+const std::vector<ThreadingDesign> &reportedDesigns();
+
+} // namespace accel::model

@@ -1,0 +1,98 @@
+#include "model/sensitivity.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace accel::model {
+
+namespace {
+
+/** A perturbable parameter: name + member accessor. */
+struct Knob
+{
+    const char *name;
+    double Params::*field;
+    double lowerBound; //!< clamp for the negative perturbation
+    double upperBound; //!< clamp for the positive perturbation
+};
+
+constexpr double kUnbounded = std::numeric_limits<double>::infinity();
+
+const Knob kKnobs[] = {
+    {"alpha", &Params::alpha, 0.0, 1.0},
+    {"n", &Params::offloads, 0.0, kUnbounded},
+    {"o0", &Params::setupCycles, 0.0, kUnbounded},
+    {"Q", &Params::queueCycles, 0.0, kUnbounded},
+    {"L", &Params::interfaceCycles, 0.0, kUnbounded},
+    {"o1", &Params::threadSwitchCycles, 0.0, kUnbounded},
+    {"A", &Params::accelFactor, 1.0, kUnbounded},
+    {"offloaded_fraction", &Params::offloadedFraction, 0.0, 1.0},
+};
+
+double
+speedupAt(const Params &params, ThreadingDesign design)
+{
+    Accelerometer model(params);
+    return model.speedup(design);
+}
+
+} // namespace
+
+std::vector<Sensitivity>
+speedupSensitivities(const Params &params, ThreadingDesign design,
+                     double relStep)
+{
+    require(relStep > 0, "speedupSensitivities: step must be positive");
+    params.validate();
+    double base = speedupAt(params, design);
+
+    std::vector<Sensitivity> out;
+    for (const Knob &knob : kKnobs) {
+        double value = params.*(knob.field);
+        double step = value != 0 ? std::abs(value) * relStep : relStep;
+
+        Params up = params;
+        up.*(knob.field) = std::min(knob.upperBound, value + step);
+        Params down = params;
+        down.*(knob.field) = std::max(knob.lowerBound, value - step);
+        double actual_span = up.*(knob.field) - down.*(knob.field);
+        ensure(actual_span > 0, "speedupSensitivities: zero span");
+
+        double derivative =
+            (speedupAt(up, design) - speedupAt(down, design)) /
+            actual_span;
+        double elasticity =
+            value != 0 ? derivative * value / base : 0.0;
+        out.push_back({knob.name, value, derivative, elasticity});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Sensitivity &a, const Sensitivity &b) {
+                  return std::abs(a.elasticity) > std::abs(b.elasticity);
+              });
+    return out;
+}
+
+std::string
+sensitivityReport(const Params &params, ThreadingDesign design)
+{
+    auto sens = speedupSensitivities(params, design);
+    TextTable table({"parameter", "value", "d(speedup)/d(param)",
+                     "elasticity"});
+    for (size_t c = 1; c <= 3; ++c)
+        table.setAlign(c, Align::Right);
+    for (const Sensitivity &s : sens) {
+        std::string value = s.value < 1000 ? fmtF(s.value, 4)
+                                           : formatCount(s.value);
+        table.addRow({s.parameter, value, fmtF(s.derivative, 8),
+                      fmtF(s.elasticity, 4)});
+    }
+    return "sensitivity of " + toString(design) + " speedup\n" +
+           table.str();
+}
+
+} // namespace accel::model

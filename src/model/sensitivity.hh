@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Parameter sensitivity analysis.
+ *
+ * Architects asking "which parameter should I fight for?" need more
+ * than a point estimate: this module ranks model parameters by their
+ * elasticity — the relative change in projected speedup per relative
+ * change in the parameter — via central finite differences. A large
+ * |elasticity| for L says the interface dominates; a near-zero one for
+ * A says a faster device buys nothing (the paper's Fig. 20 lesson,
+ * quantified per parameter).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/accelerometer.hh"
+
+namespace accel::model {
+
+/** Sensitivity of the projected speedup to one parameter. */
+struct Sensitivity
+{
+    std::string parameter; //!< "alpha", "n", "o0", "Q", "L", "o1", "A"
+    double value;          //!< the parameter's current value
+
+    /** d(speedup)/d(param), central difference. */
+    double derivative;
+
+    /**
+     * Elasticity: (param / speedup) · d(speedup)/d(param). Zero-valued
+     * parameters have zero elasticity by construction; consult the
+     * derivative for them.
+     */
+    double elasticity;
+};
+
+/**
+ * Compute sensitivities of the speedup under @p design for every model
+ * parameter, ranked by |elasticity| descending.
+ *
+ * @param relStep relative perturbation for the finite difference
+ *                (absolute step of @p relStep for zero-valued params)
+ *
+ * @throws FatalError for invalid params or non-positive step.
+ */
+std::vector<Sensitivity>
+speedupSensitivities(const Params &params, ThreadingDesign design,
+                     double relStep = 1e-4);
+
+/** Render the ranking as a table. */
+std::string sensitivityReport(const Params &params,
+                              ThreadingDesign design);
+
+} // namespace accel::model

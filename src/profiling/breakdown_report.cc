@@ -1,0 +1,85 @@
+#include "profiling/breakdown_report.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "profiling/sampler.hh"
+#include "util/table.hh"
+#include "workload/categories.hh"
+
+namespace accel::profiling {
+
+template <typename Category>
+std::string
+shareBlock(const std::string &title,
+           const std::map<Category, double> &shares, size_t barWidth)
+{
+    std::ostringstream os;
+    os << title << "\n";
+    TextTable table({"category", "%", "share"});
+    table.setAlign(1, Align::Right);
+    for (const auto &[cat, pct] : shares) {
+        if (pct < 0.05)
+            continue;
+        table.addRow({toString(cat), fmtF(pct, 1),
+                      percentBar(pct, barWidth)});
+    }
+    os << table.str();
+    return os.str();
+}
+
+template <typename Category>
+std::string
+comparisonBlock(const std::string &title,
+                const std::map<Category, double> &paper,
+                const std::map<Category, double> &recovered)
+{
+    std::ostringstream os;
+    os << title << "\n";
+    TextTable table({"category", "paper %", "recovered %", "|diff|"});
+    for (size_t c = 1; c <= 3; ++c)
+        table.setAlign(c, Align::Right);
+    for (const auto &[cat, pct] : paper) {
+        double rec = 0;
+        auto it = recovered.find(cat);
+        if (it != recovered.end())
+            rec = it->second;
+        if (pct < 0.05 && rec < 0.05)
+            continue;
+        table.addRow({toString(cat), fmtF(pct, 1), fmtF(rec, 1),
+                      fmtF(std::abs(pct - rec), 1)});
+    }
+    os << table.str();
+    return os.str();
+}
+
+// Explicit instantiations for the category types the benches use.
+#define ACCEL_INSTANTIATE_REPORT(Category)                                 \
+    template std::string shareBlock<Category>(                             \
+        const std::string &, const std::map<Category, double> &, size_t);  \
+    template std::string comparisonBlock<Category>(                        \
+        const std::string &, const std::map<Category, double> &,           \
+        const std::map<Category, double> &)
+
+ACCEL_INSTANTIATE_REPORT(workload::LeafCategory);
+ACCEL_INSTANTIATE_REPORT(workload::Functionality);
+ACCEL_INSTANTIATE_REPORT(workload::MemoryLeaf);
+ACCEL_INSTANTIATE_REPORT(workload::CopyOrigin);
+ACCEL_INSTANTIATE_REPORT(workload::KernelLeaf);
+ACCEL_INSTANTIATE_REPORT(workload::SyncLeaf);
+ACCEL_INSTANTIATE_REPORT(workload::ClibLeaf);
+
+#undef ACCEL_INSTANTIATE_REPORT
+
+Aggregator
+profileService(workload::ServiceId id, workload::CpuGen gen,
+               std::uint64_t seed, size_t traceCount)
+{
+    TraceSampler sampler(workload::profile(id), gen, seed);
+    Aggregator agg;
+    for (size_t i = 0; i < traceCount; ++i)
+        agg.add(sampler.sample());
+    return agg;
+}
+
+} // namespace accel::profiling

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure-shaped textual reports: render encoded profile tables and
+ * pipeline-recovered breakdowns side by side, the way the paper's
+ * figures present them.
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "profiling/aggregator.hh"
+#include "workload/platforms.hh"
+#include "workload/profiles.hh"
+
+namespace accel::profiling {
+
+/**
+ * Render one service's share map as a labeled bar block, e.g.
+ *
+ *     Web
+ *       Memory            37.0  ####################
+ */
+template <typename Category>
+std::string
+shareBlock(const std::string &title,
+           const std::map<Category, double> &shares, size_t barWidth = 40);
+
+/**
+ * Render encoded (paper) vs recovered (pipeline) shares side by side
+ * with the absolute difference per category.
+ */
+template <typename Category>
+std::string
+comparisonBlock(const std::string &title,
+                const std::map<Category, double> &paper,
+                const std::map<Category, double> &recovered);
+
+/**
+ * Run the full pipeline for a service — sample traces, tag, aggregate —
+ * and return the aggregator. @p traceCount controls sampling precision.
+ */
+Aggregator profileService(workload::ServiceId id, workload::CpuGen gen,
+                          std::uint64_t seed, size_t traceCount = 200000);
+
+} // namespace accel::profiling

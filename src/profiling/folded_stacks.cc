@@ -1,0 +1,46 @@
+#include "profiling/folded_stacks.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "util/string_utils.hh"
+
+namespace accel::profiling {
+
+std::vector<FoldedStack>
+foldStacks(const std::vector<CallTrace> &traces)
+{
+    std::map<std::string, double> folded;
+    for (const CallTrace &trace : traces)
+        folded[join(trace.frames, ";")] += trace.cycles;
+
+    std::vector<FoldedStack> out;
+    out.reserve(folded.size());
+    for (auto &[stack, cycles] : folded)
+        out.push_back({stack, cycles});
+    std::sort(out.begin(), out.end(),
+              [](const FoldedStack &a, const FoldedStack &b) {
+                  if (a.cycles != b.cycles)
+                      return a.cycles > b.cycles;
+                  return a.stack < b.stack;
+              });
+    return out;
+}
+
+std::string
+foldedStacksText(const std::vector<CallTrace> &traces, size_t maxStacks)
+{
+    auto folded = foldStacks(traces);
+    if (maxStacks > 0 && folded.size() > maxStacks)
+        folded.resize(maxStacks);
+    std::ostringstream os;
+    for (const FoldedStack &f : folded) {
+        os << f.stack << " "
+           << static_cast<long long>(std::llround(f.cycles)) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace accel::profiling

@@ -1,0 +1,52 @@
+#include "sim/event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace accel::sim {
+
+void
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    require(when >= now_, "EventQueue: scheduling into the past");
+    ensure(static_cast<bool>(cb), "EventQueue: empty callback");
+    heap_.push(Event{when, priority, sequence_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleIn(Tick delay, Callback cb, int priority)
+{
+    schedule(now_ + delay, std::move(cb), priority);
+}
+
+bool
+EventQueue::runNext()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast is UB-free
+    // here because we pop immediately. Copy instead for clarity.
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.when;
+    ++processed_;
+    ev.callback();
+    return true;
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit)
+        runNext();
+    if (now_ < limit)
+        now_ = limit;
+}
+
+void
+EventQueue::runAll()
+{
+    while (runNext()) {
+    }
+}
+
+} // namespace accel::sim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * A minimal, deterministic event queue in simulated host cycles. The
+ * microservice simulator (microsim) is built on top of it; the engine
+ * itself knows nothing about services or accelerators.
+ *
+ * Determinism: events at equal ticks execute in (priority, insertion
+ * sequence) order, so a seeded simulation always replays identically.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace accel::sim {
+
+/** Simulated time in host clock cycles. */
+using Tick = std::uint64_t;
+
+/** Scheduled work: lower priority values run first within a tick. */
+using Callback = std::function<void()>;
+
+/** Deterministic min-heap event queue. */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p cb at absolute time @p when.
+     * @throws FatalError when @p when precedes now().
+     */
+    void schedule(Tick when, Callback cb, int priority = 0);
+
+    /** Schedule @p cb @p delay cycles from now. */
+    void scheduleIn(Tick delay, Callback cb, int priority = 0);
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    size_t pending() const { return heap_.size(); }
+
+    /** Total events executed so far. */
+    std::uint64_t processed() const { return processed_; }
+
+    /**
+     * Execute the earliest event, advancing now().
+     * @return false when the queue was empty.
+     */
+    bool runNext();
+
+    /**
+     * Run events with timestamps <= @p limit, then advance now() to
+     * @p limit. Events scheduled past the limit stay queued.
+     */
+    void runUntil(Tick limit);
+
+    /** Run until the queue drains. */
+    void runAll();
+
+  private:
+    struct Event
+    {
+        Tick when;
+        int priority;
+        std::uint64_t sequence;
+        Callback callback;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t sequence_ = 0;
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace accel::sim

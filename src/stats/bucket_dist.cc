@@ -1,0 +1,136 @@
+#include "stats/bucket_dist.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace accel {
+
+BucketDist::BucketDist(std::vector<DistBucket> buckets)
+    : buckets_(std::move(buckets))
+{
+    require(!buckets_.empty(), "BucketDist: no buckets");
+    double total = 0.0;
+    double prev_hi = -std::numeric_limits<double>::infinity();
+    for (const auto &b : buckets_) {
+        require(b.hi > b.lo, "BucketDist: bucket hi must exceed lo");
+        require(b.lo >= prev_hi, "BucketDist: buckets must ascend");
+        require(b.mass >= 0, "BucketDist: negative mass");
+        require(std::isfinite(b.hi), "BucketDist: bucket hi must be finite");
+        prev_hi = b.hi;
+        total += b.mass;
+    }
+    require(total > 0, "BucketDist: total mass must be positive");
+
+    cumulative_.reserve(buckets_.size());
+    double cum = 0.0;
+    for (auto &b : buckets_) {
+        b.mass /= total;
+        cum += b.mass;
+        cumulative_.push_back(cum);
+    }
+    // Guard against floating point drift.
+    cumulative_.back() = 1.0;
+}
+
+const DistBucket &
+BucketDist::bucket(size_t i) const
+{
+    ensure(i < buckets_.size(), "BucketDist: bucket index out of range");
+    return buckets_[i];
+}
+
+double
+BucketDist::fractionAtLeast(double x) const
+{
+    double frac = 0.0;
+    for (const auto &b : buckets_) {
+        if (x <= b.lo) {
+            frac += b.mass;
+        } else if (x < b.hi) {
+            frac += b.mass * (b.hi - x) / (b.hi - b.lo);
+        }
+    }
+    return frac;
+}
+
+double
+BucketDist::valueFractionAtLeast(double x) const
+{
+    // With uniform density within [lo, hi), the value (e.g. bytes) carried
+    // by the bucket is mass * midpoint; the part above x carries
+    // mass_above * (x + hi) / 2.
+    double total = 0.0;
+    double above = 0.0;
+    for (const auto &b : buckets_) {
+        double bucket_value = b.mass * 0.5 * (b.lo + b.hi);
+        total += bucket_value;
+        if (x <= b.lo) {
+            above += bucket_value;
+        } else if (x < b.hi) {
+            double mass_above = b.mass * (b.hi - x) / (b.hi - b.lo);
+            above += mass_above * 0.5 * (x + b.hi);
+        }
+    }
+    ensure(total > 0, "BucketDist: zero total value");
+    return above / total;
+}
+
+double
+BucketDist::mean() const
+{
+    double m = 0.0;
+    for (const auto &b : buckets_)
+        m += b.mass * 0.5 * (b.lo + b.hi);
+    return m;
+}
+
+double
+BucketDist::quantile(double p) const
+{
+    require(p >= 0.0 && p <= 1.0, "BucketDist::quantile: p outside [0,1]");
+    if (p <= 0.0)
+        return buckets_.front().lo;
+    auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), p);
+    size_t i = static_cast<size_t>(it - cumulative_.begin());
+    i = std::min(i, buckets_.size() - 1);
+    const auto &b = buckets_[i];
+    double below = i == 0 ? 0.0 : cumulative_[i - 1];
+    if (b.mass <= 0)
+        return b.lo;
+    double within = (p - below) / b.mass;
+    return b.lo + within * (b.hi - b.lo);
+}
+
+double
+BucketDist::sample(Rng &rng) const
+{
+    double u = rng.uniform();
+    auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+    size_t i = static_cast<size_t>(it - cumulative_.begin());
+    i = std::min(i, buckets_.size() - 1);
+    const auto &b = buckets_[i];
+    return rng.uniform(b.lo, b.hi);
+}
+
+std::string
+BucketDist::bucketLabel(size_t i) const
+{
+    const auto &b = bucket(i);
+    auto fmt = [](double v) {
+        std::ostringstream os;
+        if (v >= 1024 && std::fmod(v, 1024.0) == 0)
+            os << static_cast<long long>(v / 1024) << "K";
+        else
+            os << static_cast<long long>(v);
+        return os.str();
+    };
+    std::ostringstream os;
+    os << fmt(b.lo) << "-" << fmt(b.hi);
+    return os.str();
+}
+
+} // namespace accel

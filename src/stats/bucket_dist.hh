@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Empirical bucketed distributions.
+ *
+ * The paper characterizes offload granularities as CDFs over byte-range
+ * buckets (Figs. 15, 19, 21, 22). BucketDist represents exactly that: a
+ * probability mass per [lo, hi) range, with uniform interpolation within a
+ * bucket. The model queries it for the fraction of offloads at or above a
+ * break-even granularity (count- and bytes-weighted), and the workload
+ * generator samples from it.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace accel {
+
+/** One bucket of an empirical distribution: mass over [lo, hi). */
+struct DistBucket
+{
+    double lo;   //!< inclusive lower bound
+    double hi;   //!< exclusive upper bound; must be finite
+    double mass; //!< unnormalized non-negative weight
+};
+
+/** Empirical distribution over contiguous value ranges. */
+class BucketDist
+{
+  public:
+    /**
+     * Build from buckets; they must be non-overlapping, ascending, with
+     * non-negative mass summing to a positive total. Mass is normalized.
+     *
+     * @throws FatalError on malformed bucket lists.
+     */
+    explicit BucketDist(std::vector<DistBucket> buckets);
+
+    /** Number of buckets. */
+    size_t bucketCount() const { return buckets_.size(); }
+
+    /** Access bucket @p i (normalized mass). */
+    const DistBucket &bucket(size_t i) const;
+
+    /** P(X >= x), interpolating uniformly within the straddled bucket. */
+    double fractionAtLeast(double x) const;
+
+    /** P(X < x) = 1 - fractionAtLeast(x). */
+    double cdf(double x) const { return 1.0 - fractionAtLeast(x); }
+
+    /**
+     * Fraction of total *value mass* (e.g. bytes) carried by samples
+     * >= x, assuming uniform density within each bucket.
+     */
+    double valueFractionAtLeast(double x) const;
+
+    /** Mean value, using bucket midpoints for uniform in-bucket density. */
+    double mean() const;
+
+    /** Quantile: smallest x with CDF(x) >= p, for p in [0, 1]. */
+    double quantile(double p) const;
+
+    /** Draw one sample (uniform within the selected bucket). */
+    double sample(Rng &rng) const;
+
+    /** Human-readable bucket label, e.g. "256-512". */
+    std::string bucketLabel(size_t i) const;
+
+  private:
+    std::vector<DistBucket> buckets_; // masses normalized to sum 1
+    std::vector<double> cumulative_;  // cumulative mass after bucket i
+};
+
+} // namespace accel

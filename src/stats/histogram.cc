@@ -1,0 +1,117 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace accel {
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges))
+{
+    require(edges_.size() >= 2, "Histogram: need at least two edges");
+    for (size_t i = 1; i < edges_.size(); ++i) {
+        require(edges_[i] > edges_[i - 1],
+                "Histogram: edges must be strictly ascending");
+    }
+    // Buckets between edges plus the overflow bucket.
+    counts_.assign(edges_.size(), 0.0);
+}
+
+Histogram
+Histogram::makePow2(double first, double last)
+{
+    require(first > 0 && last >= first,
+            "Histogram::makePow2: need 0 < first <= last");
+    std::vector<double> edges{0.0};
+    for (double e = first; e <= last; e *= 2.0)
+        edges.push_back(e);
+    return Histogram(std::move(edges));
+}
+
+void
+Histogram::add(double value)
+{
+    addWeighted(value, 1.0);
+}
+
+void
+Histogram::addWeighted(double value, double weight)
+{
+    require(weight >= 0, "Histogram: negative weight");
+    counts_[bucketIndex(value)] += weight;
+    total_ += weight;
+    stats_.add(value);
+}
+
+double
+Histogram::bucketWeight(size_t i) const
+{
+    ensure(i < counts_.size(), "Histogram: bucket index out of range");
+    return counts_[i];
+}
+
+double
+Histogram::bucketLo(size_t i) const
+{
+    ensure(i < counts_.size(), "Histogram: bucket index out of range");
+    return edges_[i];
+}
+
+double
+Histogram::bucketHi(size_t i) const
+{
+    ensure(i < counts_.size(), "Histogram: bucket index out of range");
+    if (i + 1 < edges_.size())
+        return edges_[i + 1];
+    return std::numeric_limits<double>::infinity();
+}
+
+std::string
+Histogram::bucketLabel(size_t i) const
+{
+    auto fmt = [](double v) {
+        std::ostringstream os;
+        if (v >= 1024 && std::fmod(v, 1024.0) == 0)
+            os << static_cast<long long>(v / 1024) << "K";
+        else
+            os << static_cast<long long>(v);
+        return os.str();
+    };
+    if (i + 1 >= edges_.size())
+        return ">" + fmt(edges_.back());
+    std::ostringstream os;
+    os << fmt(edges_[i]) << "-" << fmt(edges_[i + 1]);
+    return os.str();
+}
+
+double
+Histogram::cumulativeFraction(size_t i) const
+{
+    ensure(i < counts_.size(), "Histogram: bucket index out of range");
+    if (total_ == 0)
+        return 0.0;
+    double cum = 0.0;
+    for (size_t b = 0; b <= i; ++b)
+        cum += counts_[b];
+    return cum / total_;
+}
+
+size_t
+Histogram::bucketIndex(double value) const
+{
+    if (value < edges_.front())
+        return 0;
+    // upper_bound over interior edges: bucket i covers [edges[i],
+    // edges[i+1]); values >= last edge land in the overflow bucket.
+    auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+    size_t idx = static_cast<size_t>(it - edges_.begin());
+    if (idx == 0)
+        return 0;
+    return std::min(idx - 1, counts_.size() - 1);
+}
+
+} // namespace accel

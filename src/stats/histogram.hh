@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Bucketed histograms for collecting simulated measurements (latencies,
+ * offload sizes) and turning them into the CDF figures the paper reports.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/online_stats.hh"
+
+namespace accel {
+
+/**
+ * Histogram over explicit, contiguous [lo, hi) buckets plus an implicit
+ * overflow bucket [last_hi, +inf).
+ *
+ * The paper's CDF figures use power-of-two byte buckets (e.g. Fig. 15's
+ * 0-4, 4-8, ..., >4K); makePow2() builds that scheme.
+ */
+class Histogram
+{
+  public:
+    /** Build from ascending bucket edges; edges.size() >= 2 required. */
+    explicit Histogram(std::vector<double> edges);
+
+    /**
+     * Power-of-two byte buckets: [0, first), [first, 2*first), ... up to
+     * [last, +inf). Matches the paper's CDF figure bucketing.
+     */
+    static Histogram makePow2(double first, double last);
+
+    /** Record one observation (negative values clamp to the first bucket). */
+    void add(double value);
+
+    /** Record @p weight observations of @p value. */
+    void addWeighted(double value, double weight);
+
+    /** Total recorded weight. */
+    double total() const { return total_; }
+
+    /** Number of buckets, including the overflow bucket. */
+    size_t bucketCount() const { return counts_.size(); }
+
+    /** Weight in bucket @p i. */
+    double bucketWeight(size_t i) const;
+
+    /** Inclusive lower edge of bucket @p i. */
+    double bucketLo(size_t i) const;
+
+    /** Exclusive upper edge of bucket @p i (+inf for overflow). */
+    double bucketHi(size_t i) const;
+
+    /** Human-readable label, e.g. "256-512" or ">4096". */
+    std::string bucketLabel(size_t i) const;
+
+    /** Cumulative fraction of weight in buckets 0..i (inclusive). */
+    double cumulativeFraction(size_t i) const;
+
+    /** Summary statistics of raw observations. */
+    const OnlineStats &stats() const { return stats_; }
+
+  private:
+    std::vector<double> edges_;
+    std::vector<double> counts_; // one per bucket incl. overflow
+    double total_ = 0.0;
+    OnlineStats stats_;
+
+    size_t bucketIndex(double value) const;
+};
+
+} // namespace accel

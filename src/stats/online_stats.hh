@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Streaming summary statistics (Welford / Chan parallel merge).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace accel {
+
+/**
+ * Single-pass mean/variance/min/max accumulator.
+ *
+ * Uses Welford's algorithm for numerical stability; two accumulators can
+ * be merged exactly (Chan et al.), which the A/B harness uses to combine
+ * per-run metrics.
+ */
+class OnlineStats
+{
+  public:
+    /** Fold one observation into the summary. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const OnlineStats &other);
+
+    /** Number of observations. */
+    std::uint64_t count() const { return count_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Sum of observations. */
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+    /** Population variance; 0 with fewer than two observations. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest observation; -inf when empty. */
+    double max() const { return max_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace accel

@@ -1,0 +1,50 @@
+#include "stats/reservoir.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace accel {
+
+ReservoirSample::ReservoirSample(size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed, 0x7265736572764eULL)
+{
+    require(capacity_ > 0, "ReservoirSample: capacity must be positive");
+    values_.reserve(capacity_);
+}
+
+void
+ReservoirSample::add(double value)
+{
+    ++seen_;
+    dirty_ = true;
+    if (values_.size() < capacity_) {
+        values_.push_back(value);
+        return;
+    }
+    // Algorithm R: replace a uniformly random slot with probability
+    // capacity / seen.
+    std::uint64_t slot = rng_.next() % seen_;
+    if (slot < capacity_)
+        values_[static_cast<size_t>(slot)] = value;
+}
+
+double
+ReservoirSample::quantile(double p) const
+{
+    require(!values_.empty(), "ReservoirSample: no observations");
+    require(p >= 0.0 && p <= 1.0, "ReservoirSample: p outside [0,1]");
+    if (dirty_) {
+        sorted_ = values_;
+        std::sort(sorted_.begin(), sorted_.end());
+        dirty_ = false;
+    }
+    size_t rank = static_cast<size_t>(
+        std::ceil(p * static_cast<double>(sorted_.size())));
+    if (rank > 0)
+        --rank;
+    return sorted_[std::min(rank, sorted_.size() - 1)];
+}
+
+} // namespace accel

@@ -1,0 +1,49 @@
+#include "util/csv.hh"
+
+#include "util/logging.hh"
+
+namespace accel {
+
+CsvWriter::CsvWriter(std::ostream &os, std::vector<std::string> headers)
+    : os_(os), columns_(headers.size())
+{
+    ensure(columns_ > 0, "CsvWriter requires at least one column");
+    writeRow(headers);
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    ensure(cells.size() == columns_, "CsvWriter::row: cell count mismatch");
+    writeRow(cells);
+    ++rows_;
+}
+
+std::string
+CsvWriter::quote(const std::string &field)
+{
+    bool needs = field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            os_ << ',';
+        os_ << quote(cells[i]);
+    }
+    os_ << '\n';
+}
+
+} // namespace accel

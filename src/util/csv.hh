@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal CSV emitter so benches can dump machine-readable series next to
+ * the human-readable tables.
+ */
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace accel {
+
+/**
+ * Streams rows of comma-separated values with RFC-4180 quoting.
+ *
+ * The writer does not own the output stream; callers keep it alive for the
+ * writer's lifetime.
+ */
+class CsvWriter
+{
+  public:
+    /** Bind to an output stream and emit the header row. */
+    CsvWriter(std::ostream &os, std::vector<std::string> headers);
+
+    /**
+     * Emit one data row.
+     * @throws PanicError when the cell count differs from the header count.
+     */
+    void row(const std::vector<std::string> &cells);
+
+    /** Number of data rows written so far. */
+    size_t rows() const { return rows_; }
+
+    /** Quote a single field per RFC 4180 when needed. */
+    static std::string quote(const std::string &field);
+
+  private:
+    std::ostream &os_;
+    size_t columns_;
+    size_t rows_ = 0;
+
+    void writeRow(const std::vector<std::string> &cells);
+};
+
+} // namespace accel

@@ -1,0 +1,51 @@
+#include "util/logging.hh"
+
+#include <iostream>
+
+namespace accel {
+
+namespace {
+LogLevel g_level = LogLevel::Inform;
+} // namespace
+
+LogLevel
+setLogLevel(LogLevel level)
+{
+    LogLevel prev = g_level;
+    g_level = level;
+    return prev;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+inform(const std::string &msg)
+{
+    if (g_level >= LogLevel::Inform)
+        std::cerr << "info: " << msg << "\n";
+}
+
+void
+warn(const std::string &msg)
+{
+    if (g_level >= LogLevel::Warn)
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError(msg);
+}
+
+} // namespace accel

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 idiom: inform() for status, warn() for suspicious but
+ * survivable conditions, fatal() for user errors (bad configuration,
+ * invalid arguments), and panic() for internal invariant violations.
+ * Unlike gem5 we raise typed exceptions instead of terminating the
+ * process so library users and tests can observe and handle failures.
+ */
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace accel {
+
+/** Error raised by fatal(): the caller supplied invalid input. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error("fatal: " + msg)
+    {}
+};
+
+/** Error raised by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error("panic: " + msg)
+    {}
+};
+
+/**
+ * Verbosity control for inform()/warn(). Messages below the threshold are
+ * suppressed; benches use this to keep figure output clean.
+ */
+enum class LogLevel { Silent = 0, Warn = 1, Inform = 2 };
+
+/** Set the global log level; returns the previous level. */
+LogLevel setLogLevel(LogLevel level);
+
+/** Current global log level. */
+LogLevel logLevel();
+
+/** Print an informational status message to stderr. */
+void inform(const std::string &msg);
+
+/** Print a warning about a survivable but suspicious condition. */
+void warn(const std::string &msg);
+
+/**
+ * Report an unrecoverable user error (bad config, invalid argument).
+ * @throws FatalError always.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Report an internal invariant violation (a bug in this library).
+ * @throws PanicError always.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Check a user-facing precondition, raising FatalError on failure.
+ *
+ * The const char* overload keeps the success path allocation-free;
+ * the message only becomes a std::string when the check fails. Hot
+ * paths (the simulator's per-event checks, the allocator) rely on
+ * this.
+ *
+ * @param ok    condition that must hold
+ * @param msg   description of the violated requirement
+ */
+inline void
+require(bool ok, const char *msg)
+{
+    if (!ok) [[unlikely]]
+        fatal(msg);
+}
+
+/** require() for messages composed at the call site. */
+inline void
+require(bool ok, const std::string &msg)
+{
+    if (!ok) [[unlikely]]
+        fatal(msg);
+}
+
+/** Check an internal invariant, raising PanicError on failure. */
+inline void
+ensure(bool ok, const char *msg)
+{
+    if (!ok) [[unlikely]]
+        panic(msg);
+}
+
+/** ensure() for messages composed at the call site. */
+inline void
+ensure(bool ok, const std::string &msg)
+{
+    if (!ok) [[unlikely]]
+        panic(msg);
+}
+
+} // namespace accel

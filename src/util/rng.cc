@@ -1,0 +1,34 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace accel {
+
+double
+Rng::exponential(double mean)
+{
+    require(mean > 0, "Rng::exponential: mean must be positive");
+    // Avoid log(0) by nudging into (0, 1].
+    double u = 1.0 - uniform();
+    return -mean * std::log(u);
+}
+
+double
+Rng::gaussian()
+{
+    double u1 = 1.0 - uniform();
+    double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    require(sigma >= 0, "Rng::logNormal: sigma must be non-negative");
+    return std::exp(mu + sigma * gaussian());
+}
+
+} // namespace accel

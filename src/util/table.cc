@@ -1,0 +1,100 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace accel {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::Left)
+{
+    ensure(!headers_.empty(), "TextTable requires at least one column");
+}
+
+void
+TextTable::setAlign(size_t col, Align align)
+{
+    ensure(col < aligns_.size(), "TextTable::setAlign: column out of range");
+    aligns_[col] = align;
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    ensure(cells.size() == headers_.size(),
+           "TextTable::addRow: cell count mismatch");
+    rows_.push_back(std::move(cells));
+    ++numDataRows_;
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+TextTable::str() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::ostringstream os;
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0)
+                os << "  ";
+            os << (aligns_[c] == Align::Left ? std::left : std::right)
+               << std::setw(static_cast<int>(widths[c])) << cells[c];
+        }
+        return os.str();
+    };
+
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c > 0 ? 2 : 0);
+
+    std::ostringstream os;
+    os << renderRow(headers_) << "\n";
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_) {
+        if (row.empty())
+            os << std::string(total, '-') << "\n";
+        else
+            os << renderRow(row) << "\n";
+    }
+    return os.str();
+}
+
+std::string
+percentBar(double percent, size_t width)
+{
+    double clamped = std::clamp(percent, 0.0, 100.0);
+    size_t glyphs = static_cast<size_t>(
+        clamped / 100.0 * static_cast<double>(width) + 0.5);
+    return std::string(glyphs, '#');
+}
+
+std::string
+fmtF(double v, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << v;
+    return os.str();
+}
+
+std::string
+fmtPct(double fraction01, int decimals)
+{
+    return fmtF(fraction01 * 100.0, decimals) + "%";
+}
+
+} // namespace accel

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fixed-width ASCII table and horizontal-bar rendering used by the
+ * benchmark harnesses to print the paper's tables and figures.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace accel {
+
+/** Column alignment for TextTable. */
+enum class Align { Left, Right };
+
+/**
+ * A simple monospace table renderer.
+ *
+ * Columns are sized to their widest cell; headers are underlined. Intended
+ * for terminal output of experiment results.
+ */
+class TextTable
+{
+  public:
+    /** Construct with column headers; column count is fixed thereafter. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Set per-column alignment; defaults to Left. */
+    void setAlign(size_t col, Align align);
+
+    /**
+     * Append a row.
+     * @throws PanicError when the cell count differs from the header count.
+     */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render the table to a string terminated by a newline. */
+    std::string str() const;
+
+    /** Number of data rows (separators excluded). */
+    size_t rows() const { return numDataRows_; }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    // A separator is encoded as an empty row vector.
+    std::vector<std::vector<std::string>> rows_;
+    size_t numDataRows_ = 0;
+};
+
+/**
+ * Render a percentage as a horizontal bar of '#' glyphs, mimicking the
+ * stacked-bar figures in the paper.
+ *
+ * @param percent  value in [0, 100]
+ * @param width    glyph count corresponding to 100 %
+ */
+std::string percentBar(double percent, size_t width = 50);
+
+/** Format a double with fixed decimals. */
+std::string fmtF(double v, int decimals = 1);
+
+/** Format a double as a percentage string, e.g. "15.7%". */
+std::string fmtPct(double fraction01, int decimals = 1);
+
+} // namespace accel

@@ -1,0 +1,76 @@
+#include "util/units.hh"
+
+#include <array>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace accel {
+
+std::string
+formatBytes(double bytes)
+{
+    static constexpr std::array<const char *, 5> suffixes = {
+        "B", "KiB", "MiB", "GiB", "TiB"};
+    double v = bytes;
+    size_t i = 0;
+    while (v >= 1024.0 && i + 1 < suffixes.size()) {
+        v /= 1024.0;
+        ++i;
+    }
+    std::ostringstream os;
+    os.precision(v < 10 && i > 0 ? 2 : 1);
+    os << std::fixed << v << suffixes[i];
+    return os.str();
+}
+
+std::string
+formatCount(double count)
+{
+    static constexpr std::array<const char *, 5> suffixes = {
+        "", "K", "M", "G", "T"};
+    double v = count;
+    size_t i = 0;
+    while (std::abs(v) >= 1000.0 && i + 1 < suffixes.size()) {
+        v /= 1000.0;
+        ++i;
+    }
+    std::ostringstream os;
+    os.precision(i == 0 ? 0 : 2);
+    os << std::fixed << v << suffixes[i];
+    return os.str();
+}
+
+Bytes
+parseBytes(std::string_view s)
+{
+    std::string t = trim(s);
+    if (t.empty())
+        fatal("parseBytes: empty string");
+
+    double multiplier = 1.0;
+    std::string lower = toLower(t);
+    struct Suffix { const char *text; double mult; };
+    static constexpr std::array<Suffix, 8> suffixes = {{
+        {"kib", 1024.0}, {"mib", 1048576.0}, {"gib", 1073741824.0},
+        {"k", 1024.0}, {"m", 1048576.0}, {"g", 1073741824.0},
+        {"b", 1.0}, {"", 1.0},
+    }};
+    std::string number = t;
+    for (const auto &suffix : suffixes) {
+        if (*suffix.text != '\0' && endsWith(lower, suffix.text)) {
+            multiplier = suffix.mult;
+            number = t.substr(0, t.size() - std::string(suffix.text).size());
+            break;
+        }
+    }
+
+    double v = parseDouble(number) * multiplier;
+    if (v < 0)
+        fatal("parseBytes: negative size '" + t + "'");
+    return static_cast<Bytes>(std::llround(v));
+}
+
+} // namespace accel

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Unit formatting and parsing for bytes, cycles, and rates.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace accel {
+
+/** Cycle counts are the model's universal currency. */
+using Cycles = double;
+
+/** Offload granularity: bytes transferred per offload. */
+using Bytes = std::uint64_t;
+
+/** Format a byte count with binary suffixes, e.g. "4.0KiB". */
+std::string formatBytes(double bytes);
+
+/** Format a count with engineering suffixes, e.g. "2.30G". */
+std::string formatCount(double count);
+
+/**
+ * Parse a byte size with optional binary suffix: "512", "4K", "2KiB",
+ * "1.5MiB". Bare suffix letters use binary multiples (K = 1024).
+ *
+ * @throws FatalError on malformed input.
+ */
+Bytes parseBytes(std::string_view s);
+
+} // namespace accel

@@ -1,0 +1,56 @@
+#include "workload/before_after.hh"
+
+#include "util/logging.hh"
+
+namespace accel::workload {
+
+BeforeAfter
+beforeAfterBreakdown(const ServiceProfile &profile, Functionality target,
+                     const model::Params &params,
+                     model::ThreadingDesign design, bool accelOnHost,
+                     std::optional<Functionality> overheadSink)
+{
+    using model::ThreadingDesign;
+
+    double overhead_frac =
+        params.offloads * params.dispatchCycles() / params.hostCycles;
+    if (design == ThreadingDesign::SyncOS) {
+        overhead_frac += params.offloads * 2 *
+            params.threadSwitchCycles / params.hostCycles;
+    } else if (design == ThreadingDesign::AsyncDistinctThread) {
+        overhead_frac += params.offloads * params.threadSwitchCycles /
+            params.hostCycles;
+    }
+    Functionality sink = overheadSink.value_or(target);
+    double overhead_pct = overhead_frac * 100.0;
+    double resident_pct =
+        accelOnHost ? params.alpha / params.accelFactor * 100.0 : 0.0;
+
+    double alpha_pct = params.alpha * 100.0;
+    double target_before = profile.functionalityShare.at(target);
+    require(alpha_pct <= target_before + 1e-9,
+            "beforeAfterBreakdown: kernel exceeds its functionality");
+
+    double target_after_abs = target_before - alpha_pct + resident_pct +
+        (sink == target ? overhead_pct : 0.0);
+    double total_after =
+        100.0 - alpha_pct + resident_pct + overhead_pct;
+
+    BeforeAfter out;
+    for (Functionality f : allFunctionalities()) {
+        double before = profile.functionalityShare.at(f);
+        double after_abs = f == target ? target_after_abs : before;
+        if (f == sink && sink != target)
+            after_abs += overhead_pct;
+        out.shifts.push_back(
+            {f, before, after_abs / total_after * 100.0});
+    }
+    out.freedPercent = alpha_pct - resident_pct - overhead_pct;
+    out.targetImprovementPercent =
+        target_before > 0
+            ? (target_before - target_after_abs) / target_before * 100.0
+            : 0.0;
+    return out;
+}
+
+} // namespace accel::workload

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Before/after functionality breakdowns (paper Figs. 16-18): how a
+ * service's cycle shares shift when one kernel inside a functionality
+ * is accelerated.
+ */
+
+#pragma once
+
+#include <optional>
+
+#include "model/accelerometer.hh"
+#include "workload/profiles.hh"
+
+namespace accel::workload {
+
+/** One functionality's share before and after acceleration. */
+struct ShareShift
+{
+    Functionality functionality;
+    double beforePercent; //!< share of the unaccelerated total
+    double afterPercent;  //!< share of the accelerated total
+};
+
+/** The full before/after picture. */
+struct BeforeAfter
+{
+    std::vector<ShareShift> shifts;
+
+    /** Host cycles freed, as % of the unaccelerated total. */
+    double freedPercent;
+
+    /** Relative improvement of the target functionality's share. */
+    double targetImprovementPercent;
+};
+
+/**
+ * Compute the accelerated functionality breakdown.
+ *
+ * The accelerated kernel's host cycles shrink from α·C to the
+ * per-offload overheads (o0+L+Q, plus switch charges per the design)
+ * plus — when @p accelOnHost — the accelerated execution α/A itself
+ * (on-chip instructions retire on the core). All shares re-normalize
+ * against the smaller total.
+ *
+ * @param profile      service profile (Fig. 9 shares)
+ * @param target       functionality containing the kernel
+ * @param params       acceleration parameters (α is the kernel share)
+ * @param design       threading design used to offload
+ * @param accelOnHost  true when accelerator time stays on the host
+ * @param overheadSink functionality the per-offload overheads are
+ *                     attributed to. Defaults to @p target; Fig. 18
+ *                     attributes remote-offload I/O (o0) to the I/O bar
+ *                     ("Ads1 must invoke many more IO calls"), leaving
+ *                     the inference bar fully freed.
+ */
+BeforeAfter
+beforeAfterBreakdown(const ServiceProfile &profile, Functionality target,
+                     const model::Params &params,
+                     model::ThreadingDesign design, bool accelOnHost,
+                     std::optional<Functionality> overheadSink =
+                         std::nullopt);
+
+} // namespace accel::workload

@@ -1,0 +1,236 @@
+#include "workload/categories.hh"
+
+#include "util/logging.hh"
+
+namespace accel::workload {
+
+std::string
+toString(LeafCategory c)
+{
+    switch (c) {
+      case LeafCategory::Memory:
+        return "Memory";
+      case LeafCategory::Kernel:
+        return "Kernel";
+      case LeafCategory::Hashing:
+        return "Hashing";
+      case LeafCategory::Synchronization:
+        return "Synchronization";
+      case LeafCategory::Zstd:
+        return "ZSTD";
+      case LeafCategory::Math:
+        return "Math";
+      case LeafCategory::Ssl:
+        return "SSL";
+      case LeafCategory::CLibraries:
+        return "C Libraries";
+      case LeafCategory::Miscellaneous:
+        return "Miscellaneous";
+    }
+    panic("toString: unknown LeafCategory");
+}
+
+std::string
+toString(Functionality c)
+{
+    switch (c) {
+      case Functionality::SecureInsecureIO:
+        return "Secure + Insecure IO";
+      case Functionality::IOPrePostProcessing:
+        return "IO Pre/Post Processing";
+      case Functionality::Compression:
+        return "Compression";
+      case Functionality::Serialization:
+        return "Serialization/Deserialization";
+      case Functionality::FeatureExtraction:
+        return "Feature Extraction";
+      case Functionality::PredictionRanking:
+        return "Prediction/Ranking";
+      case Functionality::ApplicationLogic:
+        return "Application Logic";
+      case Functionality::Logging:
+        return "Logging";
+      case Functionality::ThreadPoolManagement:
+        return "Thread Pool Management";
+      case Functionality::Miscellaneous:
+        return "Miscellaneous";
+    }
+    panic("toString: unknown Functionality");
+}
+
+std::string
+toString(MemoryLeaf c)
+{
+    switch (c) {
+      case MemoryLeaf::Copy:
+        return "Memory-Copy";
+      case MemoryLeaf::Free:
+        return "Memory-Free";
+      case MemoryLeaf::Allocation:
+        return "Memory-Allocation";
+      case MemoryLeaf::Move:
+        return "Memory-Move";
+      case MemoryLeaf::Set:
+        return "Memory-Set";
+      case MemoryLeaf::Compare:
+        return "Memory-Compare";
+    }
+    panic("toString: unknown MemoryLeaf");
+}
+
+std::string
+toString(CopyOrigin c)
+{
+    switch (c) {
+      case CopyOrigin::SecureInsecureIO:
+        return "Secure + Insecure IO";
+      case CopyOrigin::IOPrePostProcessing:
+        return "IO Pre/Post Processing";
+      case CopyOrigin::Serialization:
+        return "Serialization/Deserialization";
+      case CopyOrigin::ApplicationLogic:
+        return "Application Logic";
+    }
+    panic("toString: unknown CopyOrigin");
+}
+
+std::string
+toString(KernelLeaf c)
+{
+    switch (c) {
+      case KernelLeaf::Scheduler:
+        return "Scheduler";
+      case KernelLeaf::EventHandling:
+        return "Event Handling";
+      case KernelLeaf::Network:
+        return "Network";
+      case KernelLeaf::Synchronization:
+        return "Synchronization";
+      case KernelLeaf::MemoryManagement:
+        return "Memory Management";
+      case KernelLeaf::Miscellaneous:
+        return "Miscellaneous";
+    }
+    panic("toString: unknown KernelLeaf");
+}
+
+std::string
+toString(SyncLeaf c)
+{
+    switch (c) {
+      case SyncLeaf::CppAtomics:
+        return "C++ Atomics";
+      case SyncLeaf::Mutex:
+        return "Mutex";
+      case SyncLeaf::CompareExchangeSwap:
+        return "Compare-Exchange-Swap";
+      case SyncLeaf::SpinLock:
+        return "Spin Lock";
+    }
+    panic("toString: unknown SyncLeaf");
+}
+
+std::string
+toString(ClibLeaf c)
+{
+    switch (c) {
+      case ClibLeaf::StdAlgorithms:
+        return "Std algorithms";
+      case ClibLeaf::ConstructorsDestructors:
+        return "Constructors/Destructors";
+      case ClibLeaf::Strings:
+        return "Strings";
+      case ClibLeaf::HashTables:
+        return "Hash tables";
+      case ClibLeaf::Vectors:
+        return "Vectors";
+      case ClibLeaf::Trees:
+        return "Trees";
+      case ClibLeaf::OperatorOverride:
+        return "Operator override";
+      case ClibLeaf::Miscellaneous:
+        return "Miscellaneous";
+    }
+    panic("toString: unknown ClibLeaf");
+}
+
+const std::vector<LeafCategory> &
+allLeafCategories()
+{
+    static const std::vector<LeafCategory> all = {
+        LeafCategory::Memory, LeafCategory::Kernel, LeafCategory::Hashing,
+        LeafCategory::Synchronization, LeafCategory::Zstd,
+        LeafCategory::Math, LeafCategory::Ssl, LeafCategory::CLibraries,
+        LeafCategory::Miscellaneous,
+    };
+    return all;
+}
+
+const std::vector<Functionality> &
+allFunctionalities()
+{
+    static const std::vector<Functionality> all = {
+        Functionality::SecureInsecureIO,
+        Functionality::IOPrePostProcessing, Functionality::Compression,
+        Functionality::Serialization, Functionality::FeatureExtraction,
+        Functionality::PredictionRanking, Functionality::ApplicationLogic,
+        Functionality::Logging, Functionality::ThreadPoolManagement,
+        Functionality::Miscellaneous,
+    };
+    return all;
+}
+
+const std::vector<MemoryLeaf> &
+allMemoryLeaves()
+{
+    static const std::vector<MemoryLeaf> all = {
+        MemoryLeaf::Copy, MemoryLeaf::Free, MemoryLeaf::Allocation,
+        MemoryLeaf::Move, MemoryLeaf::Set, MemoryLeaf::Compare,
+    };
+    return all;
+}
+
+const std::vector<CopyOrigin> &
+allCopyOrigins()
+{
+    static const std::vector<CopyOrigin> all = {
+        CopyOrigin::SecureInsecureIO, CopyOrigin::IOPrePostProcessing,
+        CopyOrigin::Serialization, CopyOrigin::ApplicationLogic,
+    };
+    return all;
+}
+
+const std::vector<KernelLeaf> &
+allKernelLeaves()
+{
+    static const std::vector<KernelLeaf> all = {
+        KernelLeaf::Scheduler, KernelLeaf::EventHandling,
+        KernelLeaf::Network, KernelLeaf::Synchronization,
+        KernelLeaf::MemoryManagement, KernelLeaf::Miscellaneous,
+    };
+    return all;
+}
+
+const std::vector<SyncLeaf> &
+allSyncLeaves()
+{
+    static const std::vector<SyncLeaf> all = {
+        SyncLeaf::CppAtomics, SyncLeaf::Mutex,
+        SyncLeaf::CompareExchangeSwap, SyncLeaf::SpinLock,
+    };
+    return all;
+}
+
+const std::vector<ClibLeaf> &
+allClibLeaves()
+{
+    static const std::vector<ClibLeaf> all = {
+        ClibLeaf::StdAlgorithms, ClibLeaf::ConstructorsDestructors,
+        ClibLeaf::Strings, ClibLeaf::HashTables, ClibLeaf::Vectors,
+        ClibLeaf::Trees, ClibLeaf::OperatorOverride,
+        ClibLeaf::Miscellaneous,
+    };
+    return all;
+}
+
+} // namespace accel::workload

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Category taxonomies from the paper's characterization:
+ * leaf-function categories (Table 2), microservice functionality
+ * categories (Table 3), and the sub-breakdowns of Figures 3-7.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace accel::workload {
+
+/** Leaf-function categories (paper Table 2 / Fig. 2). */
+enum class LeafCategory
+{
+    Memory,          //!< copy, allocation, free, compare
+    Kernel,          //!< scheduling, interrupts, network, memory mgmt
+    Hashing,         //!< SHA & other hash algorithms
+    Synchronization, //!< atomics, mutexes, spin locks, CAS
+    Zstd,            //!< compression / decompression
+    Math,            //!< MKL, AVX
+    Ssl,             //!< encryption / decryption
+    CLibraries,      //!< search, array & string compute
+    Miscellaneous,
+};
+
+/** Microservice functionality categories (paper Table 3 / Fig. 9). */
+enum class Functionality
+{
+    SecureInsecureIO,    //!< encrypted/plain-text I/O sends & receives
+    IOPrePostProcessing, //!< allocations, copies etc. around I/O
+    Compression,
+    Serialization,       //!< RPC serialization / deserialization
+    FeatureExtraction,   //!< feature vector creation in ML services
+    PredictionRanking,   //!< ML inference algorithms
+    ApplicationLogic,    //!< core business logic
+    Logging,             //!< creating, reading, updating logs
+    ThreadPoolManagement,
+    Miscellaneous,
+};
+
+/** Memory leaf sub-categories (Fig. 3). */
+enum class MemoryLeaf { Copy, Free, Allocation, Move, Set, Compare };
+
+/** Origins of memory copies (Fig. 4). */
+enum class CopyOrigin
+{
+    SecureInsecureIO,
+    IOPrePostProcessing,
+    Serialization,
+    ApplicationLogic,
+};
+
+/** Kernel leaf sub-categories (Fig. 5). */
+enum class KernelLeaf
+{
+    Scheduler,
+    EventHandling,
+    Network,
+    Synchronization,
+    MemoryManagement,
+    Miscellaneous,
+};
+
+/** Synchronization leaf sub-categories (Fig. 6). */
+enum class SyncLeaf { CppAtomics, Mutex, CompareExchangeSwap, SpinLock };
+
+/** C-library leaf sub-categories (Fig. 7). */
+enum class ClibLeaf
+{
+    StdAlgorithms,
+    ConstructorsDestructors,
+    Strings,
+    HashTables,
+    Vectors,
+    Trees,
+    OperatorOverride,
+    Miscellaneous,
+};
+
+std::string toString(LeafCategory c);
+std::string toString(Functionality c);
+std::string toString(MemoryLeaf c);
+std::string toString(CopyOrigin c);
+std::string toString(KernelLeaf c);
+std::string toString(SyncLeaf c);
+std::string toString(ClibLeaf c);
+
+const std::vector<LeafCategory> &allLeafCategories();
+const std::vector<Functionality> &allFunctionalities();
+const std::vector<MemoryLeaf> &allMemoryLeaves();
+const std::vector<CopyOrigin> &allCopyOrigins();
+const std::vector<KernelLeaf> &allKernelLeaves();
+const std::vector<SyncLeaf> &allSyncLeaves();
+const std::vector<ClibLeaf> &allClibLeaves();
+
+} // namespace accel::workload

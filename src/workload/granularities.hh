@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Offload granularity distributions (the paper's CDF figures).
+ *
+ * Fig. 15: bytes encrypted by Cache1 (buckets 0-4 ... >4K).
+ * Fig. 19: bytes compressed by Feed1 and Cache1 (1-64 ... >32K).
+ * Fig. 21: bytes copied, per service (0, 1-64 ... >4K).
+ * Fig. 22: bytes allocated, per service (0, 1-64 ... >4K).
+ *
+ * The Feed1 compression distribution is constructed so the published
+ * profitable-offload counts fall out exactly: with Cb = 5.62 cycles/B
+ * (derived from the paper's 425 B off-chip break-even), n_total = 15008
+ * yields n = 9629 (Sync, >= 425 B), 9769 (Async, >= 409 B), and ~3986
+ * (Sync-OS, >= 2455 B), matching Table 7.
+ */
+
+#pragma once
+
+#include <memory>
+
+#include "stats/bucket_dist.hh"
+#include "workload/profiles.hh"
+
+namespace accel::workload {
+
+/** Fig. 15: Cache1 encryption granularities (mostly < 512 B). */
+std::shared_ptr<const BucketDist> encryptionSizes(ServiceId id);
+
+/** Fig. 19: compression granularities (Feed1 large, Cache1 small). */
+std::shared_ptr<const BucketDist> compressionSizes(ServiceId id);
+
+/** Fig. 21: memory-copy granularities (mostly < 512 B). */
+std::shared_ptr<const BucketDist> copySizes(ServiceId id);
+
+/** Fig. 22: allocation granularities (mostly < 512 B). */
+std::shared_ptr<const BucketDist> allocationSizes(ServiceId id);
+
+/** Kernel invocation rates per second (the model's n_total). */
+struct KernelRates
+{
+    double encryptionsPerSec;
+    double compressionsPerSec;
+    double copiesPerSec;
+    double allocationsPerSec;
+};
+
+/**
+ * Published or derived invocation rates. Table 6 pins Cache1
+ * encryption (298,951/s); Table 7 pins Feed1 compression (15,008/s
+ * total on-chip), Ads1 copies (1,473,681/s), and Cache1 allocations
+ * (51,695/s). Other services get scaled estimates.
+ */
+KernelRates kernelRates(ServiceId id);
+
+} // namespace accel::workload

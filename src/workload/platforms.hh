@@ -1,0 +1,60 @@
+/**
+ * @file
+ * CPU platform models: Table 1's GenA (Haswell), GenB (Broadwell), and
+ * GenC (Skylake) attributes plus per-category IPC tables used to
+ * reproduce the IPC-scaling figures (Figs. 8 and 10).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/categories.hh"
+
+namespace accel::workload {
+
+/** The three CPU generations of Table 1. */
+enum class CpuGen { GenA, GenB, GenC };
+
+std::string toString(CpuGen gen);
+const std::vector<CpuGen> &allCpuGens();
+
+/** Static platform attributes (paper Table 1). */
+struct Platform
+{
+    CpuGen gen;
+    std::string microarchitecture;
+    std::uint32_t coresPerSocket;
+    std::uint32_t smtWays;
+    std::uint32_t cacheBlockBytes;
+    std::uint32_t l1iKiB;
+    std::uint32_t l1dKiB;
+    std::uint32_t l2KiB;          //!< private L2 per core
+    double llcMiB;                //!< shared last-level cache
+    double theoreticalPeakIpc;    //!< per-core issue width
+};
+
+/** Table 1 row for a generation. */
+const Platform &platform(CpuGen gen);
+
+/**
+ * Cache1's per-core IPC for a leaf category on a generation (Fig. 8).
+ * Values are reconstructions anchored to the figure's shape: every
+ * category below half the 4.0 peak, kernel lowest and nearly flat,
+ * C libraries scaling best.
+ */
+double leafIpc(CpuGen gen, LeafCategory category);
+
+/** Cache1's per-core IPC for a functionality category (Fig. 10). */
+double functionalityIpc(CpuGen gen, Functionality category);
+
+/** Functionalities with IPC data in Fig. 10. */
+const std::vector<Functionality> &ipcReportedFunctionalities();
+
+/** Leaf categories with IPC data in Fig. 8. */
+const std::vector<LeafCategory> &ipcReportedLeafCategories();
+
+} // namespace accel::workload

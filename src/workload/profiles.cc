@@ -1,0 +1,582 @@
+#include "workload/profiles.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace accel::workload {
+
+namespace {
+
+using F = Functionality;
+using L = LeafCategory;
+using M = MemoryLeaf;
+using O = CopyOrigin;
+using K = KernelLeaf;
+using S = SyncLeaf;
+using C = ClibLeaf;
+
+/** Build all eight service profiles once. */
+std::map<ServiceId, ServiceProfile>
+buildProfiles()
+{
+    std::map<ServiceId, ServiceProfile> out;
+
+    // ---------------- Web ----------------
+    // Anchors: 18 % core web-serving logic, 23 % logging (paper §2.4);
+    // memory leaves 37 % of cycles (§2.3 / Fig. 3 net); high string and
+    // hash-table C-library usage (§2.3.4).
+    {
+        ServiceProfile p;
+        p.id = ServiceId::Web;
+        p.name = "Web";
+        p.description =
+            "HipHop VM serving web requests with request-level "
+            "parallelism";
+        p.functionalityShare = {
+            {F::SecureInsecureIO, 21}, {F::IOPrePostProcessing, 4},
+            {F::Compression, 7},       {F::Serialization, 5},
+            {F::FeatureExtraction, 0}, {F::PredictionRanking, 0},
+            {F::ApplicationLogic, 18}, {F::Logging, 23},
+            {F::ThreadPoolManagement, 4}, {F::Miscellaneous, 18},
+        };
+        p.leafShare = {
+            {L::Memory, 37}, {L::Kernel, 7},      {L::Hashing, 1},
+            {L::Synchronization, 2}, {L::Zstd, 5}, {L::Math, 0},
+            {L::Ssl, 0},     {L::CLibraries, 31}, {L::Miscellaneous, 17},
+        };
+        p.memoryShare = {
+            {M::Copy, 49}, {M::Free, 12}, {M::Allocation, 15},
+            {M::Move, 12}, {M::Set, 8},   {M::Compare, 4},
+        };
+        p.copyOriginShare = {
+            {O::SecureInsecureIO, 36}, {O::IOPrePostProcessing, 46},
+            {O::Serialization, 9},     {O::ApplicationLogic, 9},
+        };
+        p.copyNetPercent = 13;
+        p.kernelShare = {
+            {K::Scheduler, 19}, {K::EventHandling, 19}, {K::Network, 16},
+            {K::Synchronization, 13}, {K::MemoryManagement, 33},
+            {K::Miscellaneous, 0},
+        };
+        p.syncShare = {
+            {S::CppAtomics, 6}, {S::Mutex, 71},
+            {S::CompareExchangeSwap, 5}, {S::SpinLock, 18},
+        };
+        p.clibShare = {
+            {C::StdAlgorithms, 5}, {C::ConstructorsDestructors, 5},
+            {C::Strings, 24},      {C::HashTables, 32},
+            {C::Vectors, 1},       {C::Trees, 16},
+            {C::OperatorOverride, 6}, {C::Miscellaneous, 11},
+        };
+        out.emplace(p.id, std::move(p));
+    }
+
+    // ---------------- Feed1 ----------------
+    // Anchors: compression is 15 % of cycles (Table 7); inference share
+    // 58 % gives the paper's 2.38x ideal bound; high thread-pool
+    // management (§2.4); math-heavy leaves (MLP inference).
+    {
+        ServiceProfile p;
+        p.id = ServiceId::Feed1;
+        p.name = "Feed1";
+        p.description =
+            "News Feed ranking: predicts user relevance vectors from "
+            "dense feature vectors";
+        p.functionalityShare = {
+            {F::SecureInsecureIO, 7},  {F::IOPrePostProcessing, 3},
+            {F::Compression, 15},      {F::Serialization, 6},
+            {F::FeatureExtraction, 0}, {F::PredictionRanking, 58},
+            {F::ApplicationLogic, 1},  {F::Logging, 0},
+            {F::ThreadPoolManagement, 7}, {F::Miscellaneous, 3},
+        };
+        p.leafShare = {
+            {L::Memory, 8},  {L::Kernel, 3},     {L::Hashing, 0},
+            {L::Synchronization, 1}, {L::Zstd, 19}, {L::Math, 44},
+            {L::Ssl, 0},     {L::CLibraries, 5}, {L::Miscellaneous, 20},
+        };
+        p.memoryShare = {
+            {M::Copy, 38}, {M::Free, 32}, {M::Allocation, 11},
+            {M::Move, 5},  {M::Set, 9},   {M::Compare, 5},
+        };
+        p.copyOriginShare = {
+            {O::SecureInsecureIO, 0}, {O::IOPrePostProcessing, 0},
+            {O::Serialization, 7},    {O::ApplicationLogic, 93},
+        };
+        p.copyNetPercent = 6;
+        p.kernelShare = {
+            {K::Scheduler, 14}, {K::EventHandling, 5}, {K::Network, 12},
+            {K::Synchronization, 7}, {K::MemoryManagement, 27},
+            {K::Miscellaneous, 35},
+        };
+        p.syncShare = {
+            {S::CppAtomics, 26}, {S::Mutex, 63},
+            {S::CompareExchangeSwap, 0}, {S::SpinLock, 11},
+        };
+        p.clibShare = {
+            {C::StdAlgorithms, 3}, {C::ConstructorsDestructors, 5},
+            {C::Strings, 47},      {C::HashTables, 0},
+            {C::Vectors, 6},       {C::Trees, 18},
+            {C::OperatorOverride, 2}, {C::Miscellaneous, 19},
+        };
+        out.emplace(p.id, std::move(p));
+    }
+
+    // ---------------- Feed2 ----------------
+    // Anchors: heavy feature extraction and vector C-library work
+    // (§2.3.4); math <= 13 % despite being an ML service (§2.3);
+    // compression+serialization significant (§2.4).
+    {
+        ServiceProfile p;
+        p.id = ServiceId::Feed2;
+        p.name = "Feed2";
+        p.description =
+            "News Feed aggregation: builds stories and dense feature "
+            "vectors for Feed1";
+        p.functionalityShare = {
+            {F::SecureInsecureIO, 6},   {F::IOPrePostProcessing, 6},
+            {F::Compression, 17},       {F::Serialization, 11},
+            {F::FeatureExtraction, 14}, {F::PredictionRanking, 35},
+            {F::ApplicationLogic, 1},   {F::Logging, 0},
+            {F::ThreadPoolManagement, 8}, {F::Miscellaneous, 2},
+        };
+        p.leafShare = {
+            {L::Memory, 20}, {L::Kernel, 4},      {L::Hashing, 2},
+            {L::Synchronization, 3}, {L::Zstd, 11}, {L::Math, 13},
+            {L::Ssl, 0},     {L::CLibraries, 37}, {L::Miscellaneous, 10},
+        };
+        p.memoryShare = {
+            {M::Copy, 44}, {M::Free, 19}, {M::Allocation, 24},
+            {M::Move, 5},  {M::Set, 3},   {M::Compare, 5},
+        };
+        p.copyOriginShare = {
+            {O::SecureInsecureIO, 0}, {O::IOPrePostProcessing, 0},
+            {O::Serialization, 0},    {O::ApplicationLogic, 100},
+        };
+        p.copyNetPercent = 8;
+        p.kernelShare = {
+            {K::Scheduler, 19}, {K::EventHandling, 20}, {K::Network, 8},
+            {K::Synchronization, 16}, {K::MemoryManagement, 10},
+            {K::Miscellaneous, 27},
+        };
+        p.syncShare = {
+            {S::CppAtomics, 41}, {S::Mutex, 59},
+            {S::CompareExchangeSwap, 0}, {S::SpinLock, 0},
+        };
+        p.clibShare = {
+            {C::StdAlgorithms, 15}, {C::ConstructorsDestructors, 6},
+            {C::Strings, 10},       {C::HashTables, 1},
+            {C::Vectors, 53},       {C::Trees, 0},
+            {C::OperatorOverride, 0}, {C::Miscellaneous, 15},
+        };
+        out.emplace(p.id, std::move(p));
+    }
+
+    // ---------------- Ads1 ----------------
+    // Anchors: inference α = 0.52 (Table 6 case study 3); highest
+    // memory-copy overhead (§5, Fig. 21) with copy α = 0.1512 (Table 7);
+    // high thread-pool management (§2.4).
+    {
+        ServiceProfile p;
+        p.id = ServiceId::Ads1;
+        p.name = "Ads1";
+        p.description =
+            "Ad serving: user-specific data, ad ranking, and inference";
+        p.functionalityShare = {
+            {F::SecureInsecureIO, 17}, {F::IOPrePostProcessing, 3},
+            {F::Compression, 4},       {F::Serialization, 9},
+            {F::FeatureExtraction, 6}, {F::PredictionRanking, 52},
+            {F::ApplicationLogic, 4},  {F::Logging, 0},
+            {F::ThreadPoolManagement, 5}, {F::Miscellaneous, 0},
+        };
+        p.leafShare = {
+            {L::Memory, 28}, {L::Kernel, 6},      {L::Hashing, 2},
+            {L::Synchronization, 3}, {L::Zstd, 4}, {L::Math, 10},
+            {L::Ssl, 0},     {L::CLibraries, 17}, {L::Miscellaneous, 30},
+        };
+        p.memoryShare = {
+            {M::Copy, 54}, {M::Free, 18}, {M::Allocation, 13},
+            {M::Move, 5},  {M::Set, 5},   {M::Compare, 5},
+        };
+        p.copyOriginShare = {
+            {O::SecureInsecureIO, 8}, {O::IOPrePostProcessing, 17},
+            {O::Serialization, 25},   {O::ApplicationLogic, 50},
+        };
+        p.copyNetPercent = 15;
+        p.kernelShare = {
+            {K::Scheduler, 47}, {K::EventHandling, 9}, {K::Network, 10},
+            {K::Synchronization, 18}, {K::MemoryManagement, 16},
+            {K::Miscellaneous, 0},
+        };
+        p.syncShare = {
+            {S::CppAtomics, 50}, {S::Mutex, 50},
+            {S::CompareExchangeSwap, 0}, {S::SpinLock, 0},
+        };
+        p.clibShare = {
+            {C::StdAlgorithms, 19}, {C::ConstructorsDestructors, 11},
+            {C::Strings, 15},       {C::HashTables, 6},
+            {C::Vectors, 34},       {C::Trees, 0},
+            {C::OperatorOverride, 5}, {C::Miscellaneous, 10},
+        };
+        out.emplace(p.id, std::move(p));
+    }
+
+    // ---------------- Ads2 ----------------
+    // Anchors: inference 33 % gives the paper's 1.49x ideal bound;
+    // math <= 13 %; heavy vector C-library usage.
+    {
+        ServiceProfile p;
+        p.id = ServiceId::Ads2;
+        p.name = "Ads2";
+        p.description =
+            "Ad serving: traverses a sorted ad list against targeting "
+            "criteria";
+        p.functionalityShare = {
+            {F::SecureInsecureIO, 6},   {F::IOPrePostProcessing, 5},
+            {F::Compression, 3},        {F::Serialization, 5},
+            {F::FeatureExtraction, 11}, {F::PredictionRanking, 33},
+            {F::ApplicationLogic, 24},  {F::Logging, 0},
+            {F::ThreadPoolManagement, 6}, {F::Miscellaneous, 7},
+        };
+        p.leafShare = {
+            {L::Memory, 28}, {L::Kernel, 4},      {L::Hashing, 2},
+            {L::Synchronization, 5}, {L::Zstd, 2}, {L::Math, 13},
+            {L::Ssl, 0},     {L::CLibraries, 42}, {L::Miscellaneous, 4},
+        };
+        p.memoryShare = {
+            {M::Copy, 42}, {M::Free, 15}, {M::Allocation, 21},
+            {M::Move, 8},  {M::Set, 8},   {M::Compare, 6},
+        };
+        p.copyOriginShare = {
+            {O::SecureInsecureIO, 13}, {O::IOPrePostProcessing, 17},
+            {O::Serialization, 25},    {O::ApplicationLogic, 45},
+        };
+        p.copyNetPercent = 12;
+        p.kernelShare = {
+            {K::Scheduler, 30}, {K::EventHandling, 11}, {K::Network, 17},
+            {K::Synchronization, 13}, {K::MemoryManagement, 13},
+            {K::Miscellaneous, 16},
+        };
+        p.syncShare = {
+            {S::CppAtomics, 100}, {S::Mutex, 0},
+            {S::CompareExchangeSwap, 0}, {S::SpinLock, 0},
+        };
+        p.clibShare = {
+            {C::StdAlgorithms, 8}, {C::ConstructorsDestructors, 3},
+            {C::Strings, 24},      {C::HashTables, 1},
+            {C::Vectors, 32},      {C::Trees, 16},
+            {C::OperatorOverride, 6}, {C::Miscellaneous, 10},
+        };
+        out.emplace(p.id, std::move(p));
+    }
+
+    // ---------------- Cache1 ----------------
+    // Anchors: encryption α = 0.165844 within secure I/O (Table 6);
+    // 6 % of cycles in leaf encryption (§2.3); high kernel (scheduler)
+    // share from context switches (§2.3.2); spin-lock-heavy
+    // synchronization (§2.3.3); highest allocation overhead (§5).
+    {
+        ServiceProfile p;
+        p.id = ServiceId::Cache1;
+        p.name = "Cache1";
+        p.description =
+            "Distributed-memory object cache, inner tier (misses go to "
+            "the database cluster)";
+        p.functionalityShare = {
+            {F::SecureInsecureIO, 38}, {F::IOPrePostProcessing, 15},
+            {F::Compression, 8},       {F::Serialization, 10},
+            {F::FeatureExtraction, 0}, {F::PredictionRanking, 0},
+            {F::ApplicationLogic, 20}, {F::Logging, 0},
+            {F::ThreadPoolManagement, 5}, {F::Miscellaneous, 4},
+        };
+        p.leafShare = {
+            {L::Memory, 26}, {L::Kernel, 22},     {L::Hashing, 4},
+            {L::Synchronization, 19}, {L::Zstd, 5}, {L::Math, 0},
+            {L::Ssl, 6},     {L::CLibraries, 13}, {L::Miscellaneous, 5},
+        };
+        p.memoryShare = {
+            {M::Copy, 38}, {M::Free, 12}, {M::Allocation, 26},
+            {M::Move, 6},  {M::Set, 12},  {M::Compare, 6},
+        };
+        p.copyOriginShare = {
+            {O::SecureInsecureIO, 17}, {O::IOPrePostProcessing, 9},
+            {O::Serialization, 7},     {O::ApplicationLogic, 67},
+        };
+        p.copyNetPercent = 12;
+        p.kernelShare = {
+            {K::Scheduler, 47}, {K::EventHandling, 19}, {K::Network, 23},
+            {K::Synchronization, 7}, {K::MemoryManagement, 4},
+            {K::Miscellaneous, 0},
+        };
+        p.syncShare = {
+            {S::CppAtomics, 6}, {S::Mutex, 30},
+            {S::CompareExchangeSwap, 0}, {S::SpinLock, 64},
+        };
+        p.clibShare = {
+            {C::StdAlgorithms, 3}, {C::ConstructorsDestructors, 2},
+            {C::Strings, 13},      {C::HashTables, 18},
+            {C::Vectors, 18},      {C::Trees, 17},
+            {C::OperatorOverride, 1}, {C::Miscellaneous, 28},
+        };
+        out.emplace(p.id, std::move(p));
+    }
+
+    // ---------------- Cache2 ----------------
+    // Anchors: 52 % of cycles sending/receiving I/O (§1, §2.4); the
+    // highest kernel leaf share with significant network interaction
+    // (§2.3.2); spin locks significant (§2.3.3).
+    {
+        ServiceProfile p;
+        p.id = ServiceId::Cache2;
+        p.name = "Cache2";
+        p.description =
+            "Distributed-memory object cache, client-facing tier";
+        p.functionalityShare = {
+            {F::SecureInsecureIO, 52}, {F::IOPrePostProcessing, 12},
+            {F::Compression, 3},       {F::Serialization, 8},
+            {F::FeatureExtraction, 0}, {F::PredictionRanking, 0},
+            {F::ApplicationLogic, 14}, {F::Logging, 0},
+            {F::ThreadPoolManagement, 4}, {F::Miscellaneous, 7},
+        };
+        p.leafShare = {
+            {L::Memory, 19}, {L::Kernel, 44},     {L::Hashing, 3},
+            {L::Synchronization, 10}, {L::Zstd, 2}, {L::Math, 0},
+            {L::Ssl, 2},     {L::CLibraries, 10}, {L::Miscellaneous, 10},
+        };
+        p.memoryShare = {
+            {M::Copy, 44}, {M::Free, 9}, {M::Allocation, 21},
+            {M::Move, 11}, {M::Set, 12}, {M::Compare, 3},
+        };
+        p.copyOriginShare = {
+            {O::SecureInsecureIO, 38}, {O::IOPrePostProcessing, 8},
+            {O::Serialization, 4},     {O::ApplicationLogic, 50},
+        };
+        p.copyNetPercent = 11;
+        p.kernelShare = {
+            {K::Scheduler, 32}, {K::EventHandling, 14}, {K::Network, 31},
+            {K::Synchronization, 16}, {K::MemoryManagement, 7},
+            {K::Miscellaneous, 0},
+        };
+        p.syncShare = {
+            {S::CppAtomics, 0}, {S::Mutex, 50},
+            {S::CompareExchangeSwap, 5}, {S::SpinLock, 45},
+        };
+        p.clibShare = {
+            {C::StdAlgorithms, 5}, {C::ConstructorsDestructors, 5},
+            {C::Strings, 6},       {C::HashTables, 16},
+            {C::Vectors, 19},      {C::Trees, 32},
+            {C::OperatorOverride, 10}, {C::Miscellaneous, 7},
+        };
+        out.emplace(p.id, std::move(p));
+    }
+
+    // ---------------- Cache3 ----------------
+    // Case study 2 (§4, Fig. 17): a caching service similar to Cache1/2;
+    // its functionality breakdown has no compression category. The
+    // encryption kernel is α = 0.19154 of cycles, inside secure I/O.
+    {
+        ServiceProfile p;
+        p.id = ServiceId::Cache3;
+        p.name = "Cache3";
+        p.description =
+            "Caching microservice of case study 2 (off-chip encryption)";
+        p.functionalityShare = {
+            {F::SecureInsecureIO, 40}, {F::IOPrePostProcessing, 12},
+            {F::Compression, 0},       {F::Serialization, 10},
+            {F::FeatureExtraction, 0}, {F::PredictionRanking, 0},
+            {F::ApplicationLogic, 30}, {F::Logging, 0},
+            {F::ThreadPoolManagement, 8}, {F::Miscellaneous, 0},
+        };
+        p.leafShare = {
+            {L::Memory, 24}, {L::Kernel, 26},     {L::Hashing, 3},
+            {L::Synchronization, 12}, {L::Zstd, 0}, {L::Math, 0},
+            {L::Ssl, 19},    {L::CLibraries, 11}, {L::Miscellaneous, 5},
+        };
+        p.memoryShare = {
+            {M::Copy, 40}, {M::Free, 12}, {M::Allocation, 24},
+            {M::Move, 8},  {M::Set, 10},  {M::Compare, 6},
+        };
+        p.copyOriginShare = {
+            {O::SecureInsecureIO, 30}, {O::IOPrePostProcessing, 10},
+            {O::Serialization, 6},     {O::ApplicationLogic, 54},
+        };
+        p.copyNetPercent = 10;
+        p.kernelShare = {
+            {K::Scheduler, 40}, {K::EventHandling, 18}, {K::Network, 26},
+            {K::Synchronization, 10}, {K::MemoryManagement, 6},
+            {K::Miscellaneous, 0},
+        };
+        p.syncShare = {
+            {S::CppAtomics, 5}, {S::Mutex, 35},
+            {S::CompareExchangeSwap, 0}, {S::SpinLock, 60},
+        };
+        p.clibShare = {
+            {C::StdAlgorithms, 4}, {C::ConstructorsDestructors, 3},
+            {C::Strings, 10},      {C::HashTables, 20},
+            {C::Vectors, 15},      {C::Trees, 25},
+            {C::OperatorOverride, 3}, {C::Miscellaneous, 20},
+        };
+        out.emplace(p.id, std::move(p));
+    }
+
+    for (const auto &[id, p] : out) {
+        checkShares(p.functionalityShare);
+        checkShares(p.leafShare);
+        checkShares(p.memoryShare);
+        checkShares(p.copyOriginShare);
+        checkShares(p.kernelShare);
+        checkShares(p.syncShare);
+        checkShares(p.clibShare);
+    }
+    return out;
+}
+
+} // namespace
+
+template <typename Category>
+void
+checkShares(const ShareMap<Category> &shares, double tolerance)
+{
+    double total = 0;
+    for (const auto &[cat, pct] : shares) {
+        ensure(pct >= 0, "profile share is negative");
+        total += pct;
+    }
+    ensure(std::abs(total - 100.0) <= tolerance,
+           "profile shares do not sum to 100");
+}
+
+template void checkShares<Functionality>(const ShareMap<Functionality> &,
+                                         double);
+template void checkShares<LeafCategory>(const ShareMap<LeafCategory> &,
+                                        double);
+template void checkShares<MemoryLeaf>(const ShareMap<MemoryLeaf> &,
+                                      double);
+template void checkShares<CopyOrigin>(const ShareMap<CopyOrigin> &,
+                                      double);
+template void checkShares<KernelLeaf>(const ShareMap<KernelLeaf> &,
+                                      double);
+template void checkShares<SyncLeaf>(const ShareMap<SyncLeaf> &, double);
+template void checkShares<ClibLeaf>(const ShareMap<ClibLeaf> &, double);
+
+std::string
+toString(ServiceId id)
+{
+    switch (id) {
+      case ServiceId::Web:
+        return "Web";
+      case ServiceId::Feed1:
+        return "Feed1";
+      case ServiceId::Feed2:
+        return "Feed2";
+      case ServiceId::Ads1:
+        return "Ads1";
+      case ServiceId::Ads2:
+        return "Ads2";
+      case ServiceId::Cache1:
+        return "Cache1";
+      case ServiceId::Cache2:
+        return "Cache2";
+      case ServiceId::Cache3:
+        return "Cache3";
+    }
+    panic("toString: unknown ServiceId");
+}
+
+const std::vector<ServiceId> &
+characterizedServices()
+{
+    static const std::vector<ServiceId> all = {
+        ServiceId::Web,  ServiceId::Feed1,  ServiceId::Feed2,
+        ServiceId::Ads1, ServiceId::Ads2,   ServiceId::Cache1,
+        ServiceId::Cache2,
+    };
+    return all;
+}
+
+const std::vector<ServiceId> &
+allServices()
+{
+    static const std::vector<ServiceId> all = {
+        ServiceId::Web,  ServiceId::Feed1,  ServiceId::Feed2,
+        ServiceId::Ads1, ServiceId::Ads2,   ServiceId::Cache1,
+        ServiceId::Cache2, ServiceId::Cache3,
+    };
+    return all;
+}
+
+double
+ServiceProfile::applicationLogicPercent() const
+{
+    // Fig. 1 counts ML inference as core application logic: it is what
+    // the service exists to compute.
+    double app = 0;
+    app += functionalityShare.at(Functionality::ApplicationLogic);
+    app += functionalityShare.at(Functionality::PredictionRanking);
+    return app;
+}
+
+double
+ServiceProfile::orchestrationPercent() const
+{
+    return 100.0 - applicationLogicPercent();
+}
+
+const ServiceProfile &
+profile(ServiceId id)
+{
+    static const std::map<ServiceId, ServiceProfile> profiles =
+        buildProfiles();
+    auto it = profiles.find(id);
+    require(it != profiles.end(), "profile: unknown service");
+    return it->second;
+}
+
+const std::vector<ReferenceLeafRow> &
+referenceLeafRows()
+{
+    // Reference rows for Fig. 2 / Fig. 3: Google's fleet [Kanev'15]
+    // (memory copy + allocation = 13 % of cycles; scheduler-dominated
+    // kernel time) and four SPEC CPU2006 benchmarks whose leaves are
+    // math / C-library dominated. Shape-faithful reconstructions.
+    static const std::vector<ReferenceLeafRow> rows = {
+        {"Google [Kanev'15]",
+         {{L::Memory, 13}, {L::Kernel, 19}, {L::Hashing, 2},
+          {L::Synchronization, 3}, {L::Zstd, 3}, {L::Math, 10},
+          {L::Ssl, 1}, {L::CLibraries, 25}, {L::Miscellaneous, 24}},
+         {{M::Copy, 38}, {M::Free, 0}, {M::Allocation, 62},
+          {M::Move, 0}, {M::Set, 0}, {M::Compare, 0}},
+         13},
+        {"400.perlbench",
+         {{L::Memory, 7}, {L::Kernel, 0}, {L::Hashing, 0},
+          {L::Synchronization, 0}, {L::Zstd, 0}, {L::Math, 6},
+          {L::Ssl, 0}, {L::CLibraries, 62}, {L::Miscellaneous, 25}},
+         {{M::Copy, 9}, {M::Free, 40}, {M::Allocation, 24},
+          {M::Move, 12}, {M::Set, 3}, {M::Compare, 12}},
+         7},
+        {"403.gcc",
+         {{L::Memory, 31}, {L::Kernel, 0}, {L::Hashing, 0},
+          {L::Synchronization, 0}, {L::Zstd, 0}, {L::Math, 10},
+          {L::Ssl, 0}, {L::CLibraries, 31}, {L::Miscellaneous, 28}},
+         {{M::Copy, 1}, {M::Free, 19}, {M::Allocation, 13},
+          {M::Move, 26}, {M::Set, 39}, {M::Compare, 2}},
+         31},
+        {"471.omnetpp",
+         {{L::Memory, 11}, {L::Kernel, 0}, {L::Hashing, 0},
+          {L::Synchronization, 0}, {L::Zstd, 0}, {L::Math, 7},
+          {L::Ssl, 0}, {L::CLibraries, 62}, {L::Miscellaneous, 20}},
+         {{M::Copy, 7}, {M::Free, 35}, {M::Allocation, 45},
+          {M::Move, 10}, {M::Set, 0}, {M::Compare, 3}},
+         11},
+        {"473.astar",
+         {{L::Memory, 3}, {L::Kernel, 0}, {L::Hashing, 0},
+          {L::Synchronization, 0}, {L::Zstd, 0}, {L::Math, 31},
+          {L::Ssl, 0}, {L::CLibraries, 24}, {L::Miscellaneous, 42}},
+         {{M::Copy, 7}, {M::Free, 73}, {M::Allocation, 20},
+          {M::Move, 0}, {M::Set, 0}, {M::Compare, 0}},
+         3},
+    };
+    return rows;
+}
+
+} // namespace accel::workload

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Per-service workload profiles.
+ *
+ * Encodes the characterization of the seven production microservices
+ * (plus Cache3 from case study 2) as distributions the rest of the
+ * library consumes: functionality mixes (Fig. 9), leaf mixes (Fig. 2),
+ * the sub-breakdowns of Figs. 3-7, and reference rows for Google's
+ * fleet and SPEC CPU2006.
+ *
+ * Numbers stated in the paper's prose or tables are encoded exactly
+ * (Web app-logic 18 %, Web logging 23 %, caching I/O 52 %, Cache1 SSL
+ * leaf 6 %, Table 6/7 α values, ...). Unlabeled bar-chart segments are
+ * shape-faithful reconstructions; see DESIGN.md and EXPERIMENTS.md.
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/categories.hh"
+
+namespace accel::workload {
+
+/** The services the paper characterizes (Cache3 appears in §4). */
+enum class ServiceId
+{
+    Web,
+    Feed1,
+    Feed2,
+    Ads1,
+    Ads2,
+    Cache1,
+    Cache2,
+    Cache3,
+};
+
+std::string toString(ServiceId id);
+
+/** The seven characterized services (Fig. 1/2/9 order). */
+const std::vector<ServiceId> &characterizedServices();
+
+/** All services including Cache3. */
+const std::vector<ServiceId> &allServices();
+
+/** Shares are percentages of the relevant whole, summing to ~100. */
+template <typename Category>
+using ShareMap = std::map<Category, double>;
+
+/** Everything we encode about one service. */
+struct ServiceProfile
+{
+    ServiceId id;
+    std::string name;
+    std::string description;
+
+    /** Fig. 9: % of total cycles per functionality (sums to 100). */
+    ShareMap<Functionality> functionalityShare;
+
+    /** Fig. 2: % of total cycles per leaf category (sums to 100). */
+    ShareMap<LeafCategory> leafShare;
+
+    /** Fig. 3: % of *memory* cycles per memory leaf (sums to 100). */
+    ShareMap<MemoryLeaf> memoryShare;
+
+    /** Fig. 4: % of *copy* cycles per origin (sums to 100). */
+    ShareMap<CopyOrigin> copyOriginShare;
+
+    /** Fig. 4 annotation: copies as % of total cycles. */
+    double copyNetPercent;
+
+    /** Fig. 5: % of *kernel* cycles per kernel leaf (sums to 100). */
+    ShareMap<KernelLeaf> kernelShare;
+
+    /** Fig. 6: % of *synchronization* cycles per sync leaf. */
+    ShareMap<SyncLeaf> syncShare;
+
+    /** Fig. 7: % of *C library* cycles per C-library leaf. */
+    ShareMap<ClibLeaf> clibShare;
+
+    /** % of cycles in core application logic (Fig. 1; = functionality
+     *  ApplicationLogic + PredictionRanking for ML services). */
+    double applicationLogicPercent() const;
+
+    /** % of cycles in orchestration work (Fig. 1's complement). */
+    double orchestrationPercent() const;
+};
+
+/** Profile lookup. @throws FatalError for unknown ids. */
+const ServiceProfile &profile(ServiceId id);
+
+/** Reference leaf rows: Google fleet + SPEC CPU2006 (Fig. 2 bottom). */
+struct ReferenceLeafRow
+{
+    std::string name;
+    ShareMap<LeafCategory> leafShare;
+    ShareMap<MemoryLeaf> memoryShare; //!< Fig. 3 reference rows
+    double memoryNetPercent;          //!< memory as % of total cycles
+};
+
+const std::vector<ReferenceLeafRow> &referenceLeafRows();
+
+/**
+ * Validate that a share map sums to ~100 (± @p tolerance).
+ * @throws PanicError when it does not; profiles are static data, so a
+ * violation is a library bug.
+ */
+template <typename Category>
+void checkShares(const ShareMap<Category> &shares,
+                 double tolerance = 0.51);
+
+} // namespace accel::workload

@@ -1,0 +1,270 @@
+#include "workload/request_factory.hh"
+
+#include "model/granularity.hh"
+#include "util/logging.hh"
+#include "workload/granularities.hh"
+
+namespace accel::workload {
+
+using model::Strategy;
+using model::ThreadingDesign;
+
+microsim::WorkloadSpec
+makeWorkload(double hostCyclesPerSec, double alpha, double offloadsPerSec,
+             std::shared_ptr<const BucketDist> sizes, double nonKernelCv)
+{
+    require(hostCyclesPerSec > 0, "makeWorkload: C must be positive");
+    require(alpha > 0 && alpha < 1, "makeWorkload: alpha must be in (0,1)");
+    require(offloadsPerSec > 0, "makeWorkload: n must be positive");
+    require(sizes != nullptr, "makeWorkload: missing granularity dist");
+
+    microsim::WorkloadSpec spec;
+    spec.kernelsPerRequest = 1;
+    spec.granularity = sizes;
+    double kernel_cycles = alpha * hostCyclesPerSec / offloadsPerSec;
+    spec.cyclesPerByte = kernel_cycles / sizes->mean();
+    spec.nonKernelCyclesMean =
+        (1.0 - alpha) * hostCyclesPerSec / offloadsPerSec;
+    spec.nonKernelCv = nonKernelCv;
+    spec.beta = 1.0;
+    return spec;
+}
+
+CaseStudy
+aesNiCaseStudy()
+{
+    CaseStudy cs;
+    cs.name = "AES-NI for Cache1";
+    cs.acceleration = "on-chip (AES-NI instruction)";
+    cs.design = ThreadingDesign::Sync;
+    cs.paperEstimatedSpeedup = 0.157;
+    cs.paperRealSpeedup = 0.14;
+
+    model::Params &p = cs.publishedParams;
+    p.hostCycles = 2.0e9;
+    p.alpha = 0.165844;
+    p.offloads = 298951;
+    p.setupCycles = 10;
+    p.queueCycles = 0;
+    p.interfaceCycles = 3;
+    p.accelFactor = 6;
+    p.strategy = Strategy::OnChip;
+    p.validate();
+
+    microsim::AbExperiment &e = cs.experiment;
+    e.service.cores = 1;
+    e.service.threads = 1;
+    e.service.design = cs.design;
+    e.service.strategy = Strategy::OnChip;
+    e.service.clockGHz = 2.0;
+    e.service.offloadSetupCycles = p.setupCycles;
+    // Production effect the model's o0 = 10 understates: AES key
+    // schedule re-derivation and register save/restore around the
+    // instruction sequence.
+    e.service.unmodeledPerOffloadCycles = 80;
+    e.accelerator.speedupFactor = p.accelFactor;
+    e.accelerator.fixedLatencyCycles = p.interfaceCycles;
+    e.accelerator.channels = 1;
+    e.workload = makeWorkload(p.hostCycles, p.alpha, p.offloads,
+                              encryptionSizes(ServiceId::Cache1));
+    e.seed = 11;
+    e.measureSeconds = 0.5;
+    return cs;
+}
+
+CaseStudy
+offChipEncryptionCaseStudy()
+{
+    CaseStudy cs;
+    cs.name = "Off-chip encryption for Cache3";
+    cs.acceleration = "off-chip (PCIe encryption device)";
+    cs.design = ThreadingDesign::AsyncNoResponse;
+    cs.paperEstimatedSpeedup = 0.086;
+    cs.paperRealSpeedup = 0.075;
+
+    model::Params &p = cs.publishedParams;
+    p.hostCycles = 2.3e9;
+    p.alpha = 0.19154;
+    p.offloads = 101863;
+    p.setupCycles = 0;
+    p.queueCycles = 0;
+    p.interfaceCycles = 2530;
+    // The accelerator's speedup factor is immaterial for Async
+    // no-response throughput (Table 6 lists it as N/A); model it as a
+    // fast crypto ASIC.
+    p.accelFactor = 27;
+    p.strategy = Strategy::OffChip;
+    p.validate();
+
+    microsim::AbExperiment &e = cs.experiment;
+    e.service.cores = 1;
+    e.service.threads = 1;
+    e.service.design = cs.design;
+    e.service.strategy = Strategy::OffChip;
+    e.service.clockGHz = 2.3;
+    e.service.offloadSetupCycles = 0;
+    // The host's device driver synchronously awaits the accelerator's
+    // receipt acknowledgement (paper §4, case study 2).
+    e.service.driverWaitsForAck = true;
+    // Completion-interrupt handling and descriptor recycling the model
+    // does not charge.
+    e.service.unmodeledPerOffloadCycles = 220;
+    e.accelerator.speedupFactor = p.accelFactor;
+    e.accelerator.fixedLatencyCycles = p.interfaceCycles;
+    e.accelerator.channels = 2;
+    e.workload = makeWorkload(p.hostCycles, p.alpha, p.offloads,
+                              encryptionSizes(ServiceId::Cache3));
+    e.seed = 12;
+    e.measureSeconds = 0.5;
+    return cs;
+}
+
+CaseStudy
+remoteInferenceCaseStudy()
+{
+    CaseStudy cs;
+    cs.name = "Remote inference for Ads1";
+    cs.acceleration = "remote (general-purpose CPU over the network)";
+    cs.design = ThreadingDesign::AsyncDistinctThread;
+    cs.paperEstimatedSpeedup = 0.7239;
+    cs.paperRealSpeedup = 0.6869;
+
+    model::Params &p = cs.publishedParams;
+    p.hostCycles = 2.5e9;
+    p.alpha = 0.52;
+    p.offloads = 10; // carefully batched inference offloads
+    p.setupCycles = 25e6; // I/O overhead of shipping feature vectors
+    p.queueCycles = 0;
+    p.interfaceCycles = 0; // L + Q = 0 for remote accelerators
+    p.threadSwitchCycles = 12500;
+    p.accelFactor = 1; // a remote CPU, not a faster device
+    p.strategy = Strategy::Remote;
+    p.validate();
+
+    microsim::AbExperiment &e = cs.experiment;
+    e.service.cores = 1;
+    e.service.threads = 1;
+    e.service.design = cs.design;
+    e.service.strategy = Strategy::Remote;
+    e.service.clockGHz = 2.5;
+    e.service.offloadSetupCycles = p.setupCycles;
+    e.service.contextSwitchCycles = p.threadSwitchCycles;
+    e.service.driverWaitsForAck = false; // async network send
+    // Response-path deserialization of returned relevance vectors; the
+    // model charges I/O only on the send side (o0).
+    e.service.responsePickupCycles = 3.2e6;
+    e.service.maxOutstanding = 16;
+    e.accelerator.speedupFactor = 1.0;
+    // Round-trip network traversal per batch (~10 ms each way at
+    // 2.5 GHz). It never consumes host cycles (async, no ack) but sits
+    // on the response path, producing the paper's per-request latency
+    // degradation.
+    e.accelerator.fixedLatencyCycles = 50e6;
+    e.accelerator.channels = 4;
+
+    // Batch-granularity workload: each "request" is one inference batch
+    // (the model's abstraction level); granularity is the serialized
+    // feature-vector payload.
+    std::vector<DistBucket> payload = {
+        {200e3, 400e3, 0.3}, {400e3, 800e3, 0.5}, {800e3, 1.6e6, 0.2}};
+    e.workload = makeWorkload(p.hostCycles, p.alpha, p.offloads,
+                              std::make_shared<const BucketDist>(payload),
+                              /*nonKernelCv=*/0.1);
+    e.seed = 13;
+    e.measureSeconds = 30.0;
+    e.warmupSeconds = 2.0;
+    return cs;
+}
+
+std::vector<CaseStudy>
+allCaseStudies()
+{
+    return {aesNiCaseStudy(), offChipEncryptionCaseStudy(),
+            remoteInferenceCaseStudy()};
+}
+
+double
+feed1CompressionCyclesPerByte()
+{
+    // The paper's off-chip Sync compression offload breaks even at
+    // g = 425 B with L = 2300 and A = 27 (eq. 2):
+    // Cb * 425 * (1 - 1/27) = 2300  =>  Cb = 5.62 cycles/B.
+    return 2300.0 / (425.0 * (1.0 - 1.0 / 27.0));
+}
+
+std::vector<Recommendation>
+fig20Recommendations()
+{
+    std::vector<Recommendation> recs;
+    auto sizes = compressionSizes(ServiceId::Feed1);
+    double cb = feed1CompressionCyclesPerByte();
+    const double n_total = 15008; // Table 7 on-chip row: all offloads
+
+    // ---- Feed1 compression: on-chip Sync (A = 5, negligible o0+L) ----
+    {
+        model::Params base;
+        base.hostCycles = 2.3e9;
+        base.alpha = 0.15;
+        base.accelFactor = 5;
+        base.strategy = Strategy::OnChip;
+        model::OffloadProfit profit{cb, 1.0};
+        auto plan = model::planOffloads(*sizes, n_total, base.alpha,
+                                        profit, ThreadingDesign::Sync,
+                                        base);
+        recs.push_back({"Feed1: Compression", "On-chip",
+                        model::applyPlan(base, base.alpha, plan),
+                        ThreadingDesign::Sync, 13.6});
+    }
+
+    // ---- Feed1 compression: off-chip (A = 27, L = 2300) ----
+    for (auto [design, o1, label, paper] :
+         {std::tuple{ThreadingDesign::Sync, 0.0,
+                     std::string("Off-chip:Sync"), 9.0},
+          std::tuple{ThreadingDesign::SyncOS, 5750.0,
+                     std::string("Off-chip:Sync-OS"), 1.6},
+          std::tuple{ThreadingDesign::AsyncSameThread, 0.0,
+                     std::string("Off-chip:Async"), 9.6}}) {
+        model::Params base;
+        base.hostCycles = 2.3e9;
+        base.alpha = 0.15;
+        base.accelFactor = 27;
+        base.interfaceCycles = 2300;
+        base.threadSwitchCycles = o1;
+        base.strategy = Strategy::OffChip;
+        model::OffloadProfit profit{cb, 1.0};
+        auto plan = model::planOffloads(*sizes, n_total, base.alpha,
+                                        profit, design, base);
+        recs.push_back({"Feed1: Compression", label,
+                        model::applyPlan(base, base.alpha, plan), design,
+                        paper});
+    }
+
+    // ---- Ads1 memory copy: on-chip Sync (AVX, A = 4) ----
+    {
+        model::Params p;
+        p.hostCycles = 2.3e9;
+        p.alpha = 0.1512;
+        p.offloads = 1473681;
+        p.accelFactor = 4;
+        p.strategy = Strategy::OnChip;
+        p.validate();
+        recs.push_back({"Ads1: Memory copy", "On-chip", p,
+                        ThreadingDesign::Sync, 12.7});
+    }
+
+    // ---- Cache1 memory allocation: on-chip Sync (Mallacc, A = 1.5) ----
+    {
+        model::Params p;
+        p.hostCycles = 2.0e9;
+        p.alpha = 0.055;
+        p.offloads = 51695;
+        p.accelFactor = 1.5;
+        p.strategy = Strategy::OnChip;
+        p.validate();
+        recs.push_back({"Cache1: Memory allocation", "On-chip", p,
+                        ThreadingDesign::Sync, 1.86});
+    }
+    return recs;
+}
+
+} // namespace accel::workload

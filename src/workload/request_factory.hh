@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Builders that turn published parameters and workload profiles into
+ * runnable experiments: the three Table 6 validation case studies
+ * (simulator A/B + model comparison) and the Table 7 / Fig. 20
+ * acceleration recommendations (model application).
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "microsim/ab_test.hh"
+#include "model/accelerometer.hh"
+#include "stats/bucket_dist.hh"
+#include "workload/profiles.hh"
+
+namespace accel::workload {
+
+/**
+ * Build a one-kernel-per-request workload whose closed-loop execution
+ * matches the model's parameters: on a host with @p hostCyclesPerSec
+ * busy cycles, @p offloadsPerSec kernels of fraction @p alpha occur.
+ * Cb falls out as alpha * C / (n * mean granularity).
+ */
+microsim::WorkloadSpec
+makeWorkload(double hostCyclesPerSec, double alpha, double offloadsPerSec,
+             std::shared_ptr<const BucketDist> sizes,
+             double nonKernelCv = 0.25);
+
+/** One of the paper's §4 retrospective case studies. */
+struct CaseStudy
+{
+    std::string name;
+    std::string acceleration; //!< e.g. "on-chip (AES-NI)"
+    microsim::AbExperiment experiment;
+    model::Params publishedParams;       //!< Table 6 row
+    model::ThreadingDesign design;
+    double paperEstimatedSpeedup;        //!< fraction, e.g. 0.157
+    double paperRealSpeedup;             //!< fraction, e.g. 0.14
+};
+
+/**
+ * Case study 1: AES-NI encryption for Cache1 (on-chip, Sync).
+ * Table 6: C=2.0e9, α=0.165844, n=298,951, o0=10, L=3, A=6;
+ * estimated +15.7 %, real +14 %.
+ */
+CaseStudy aesNiCaseStudy();
+
+/**
+ * Case study 2: off-chip PCIe encryption for Cache3 (Async
+ * no-response; the host waits for the receipt acknowledgement).
+ * Table 6: C=2.3e9, α=0.19154, n=101,863, L=2530;
+ * estimated +8.6 %, real +7.5 %.
+ */
+CaseStudy offChipEncryptionCaseStudy();
+
+/**
+ * Case study 3: remote CPU inference for Ads1 (distinct response
+ * thread; a single o1 per offload). Table 6: C=2.5e9, α=0.52, n=10,
+ * o0=25e6, o1=12,500, A=1; estimated +72.39 %, real +68.69 %.
+ */
+CaseStudy remoteInferenceCaseStudy();
+
+/** All three, in Table 6 order. */
+std::vector<CaseStudy> allCaseStudies();
+
+/** One Fig. 20 bar: an acceleration recommendation the model projects. */
+struct Recommendation
+{
+    std::string overhead;     //!< "Feed1: Compression" etc.
+    std::string acceleration; //!< "On-chip", "Off-chip:Sync", ...
+    model::Params params;     //!< Table 7 row (after granularity plan)
+    model::ThreadingDesign design;
+    double paperSpeedupPercent; //!< the bar's published value
+};
+
+/**
+ * The six Fig. 20 projections, with n and the offloaded fraction
+ * derived from the granularity CDFs exactly as the paper derives them
+ * (count-weighted partial offload; see DESIGN.md).
+ */
+std::vector<Recommendation> fig20Recommendations();
+
+/** Cb for Feed1 compression implied by the published 425 B break-even. */
+double feed1CompressionCyclesPerByte();
+
+} // namespace accel::workload

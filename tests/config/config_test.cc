@@ -1,0 +1,137 @@
+/** @file Tests for the INI-style configuration parser. */
+
+#include "config/config.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel {
+namespace {
+
+TEST(Config, ParsesSectionsAndKeys)
+{
+    Config cfg = Config::fromString(
+        "[aes-ni]\n"
+        "C = 2.0e9\n"
+        "alpha = 0.165844\n"
+        "[encryption]\n"
+        "L = 2530\n");
+    EXPECT_TRUE(cfg.has("aes-ni", "C"));
+    EXPECT_DOUBLE_EQ(cfg.getDouble("aes-ni", "alpha"), 0.165844);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("encryption", "L"), 2530);
+}
+
+TEST(Config, GlobalSection)
+{
+    Config cfg = Config::fromString("top = 1\n[sec]\nk = 2\n");
+    EXPECT_EQ(cfg.getCount("", "top"), 1u);
+    EXPECT_EQ(cfg.getCount("sec", "k"), 2u);
+}
+
+TEST(Config, CommentsStripped)
+{
+    Config cfg = Config::fromString(
+        "# leading comment\n"
+        "a = 1 ; trailing\n"
+        "b = 2 # trailing hash\n");
+    EXPECT_EQ(cfg.getCount("", "a"), 1u);
+    EXPECT_EQ(cfg.getCount("", "b"), 2u);
+}
+
+TEST(Config, WhitespaceTolerant)
+{
+    Config cfg = Config::fromString("  [ sec ]  \n  key =   value  \n");
+    EXPECT_EQ(cfg.getString("sec", "key"), "value");
+}
+
+TEST(Config, MissingKeyThrows)
+{
+    Config cfg = Config::fromString("[s]\na = 1\n");
+    EXPECT_THROW(cfg.getString("s", "b"), FatalError);
+    EXPECT_THROW(cfg.getDouble("other", "a"), FatalError);
+}
+
+TEST(Config, DefaultsReturned)
+{
+    Config cfg = Config::fromString("[s]\na = 1\n");
+    EXPECT_DOUBLE_EQ(cfg.getDouble("s", "missing", 3.5), 3.5);
+    EXPECT_EQ(cfg.getString("s", "missing", "dflt"), "dflt");
+    EXPECT_EQ(cfg.getCount("s", "missing", 9u), 9u);
+    EXPECT_TRUE(cfg.getBool("s", "missing", true));
+}
+
+TEST(Config, BooleanValues)
+{
+    Config cfg = Config::fromString("on = yes\noff = 0\n");
+    EXPECT_TRUE(cfg.getBool("", "on"));
+    EXPECT_FALSE(cfg.getBool("", "off"));
+}
+
+TEST(Config, SyntaxErrors)
+{
+    EXPECT_THROW(Config::fromString("[unterminated\n"), FatalError);
+    EXPECT_THROW(Config::fromString("[]\n"), FatalError);
+    EXPECT_THROW(Config::fromString("novalue\n"), FatalError);
+    EXPECT_THROW(Config::fromString("= bare\n"), FatalError);
+}
+
+TEST(Config, DuplicateKeyLastWins)
+{
+    LogLevel prev = setLogLevel(LogLevel::Silent);
+    Config cfg = Config::fromString("a = 1\na = 2\n");
+    setLogLevel(prev);
+    EXPECT_EQ(cfg.getCount("", "a"), 2u);
+}
+
+TEST(Config, SectionsAndKeysPreserveOrder)
+{
+    Config cfg = Config::fromString("[b]\nz=1\na=2\n[a]\nk=3\n");
+    auto secs = cfg.sections();
+    ASSERT_EQ(secs.size(), 2u);
+    EXPECT_EQ(secs[0], "b");
+    EXPECT_EQ(secs[1], "a");
+    auto keys = cfg.keys("b");
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "z");
+    EXPECT_EQ(keys[1], "a");
+}
+
+TEST(Config, SetInsertsAndOverwrites)
+{
+    Config cfg;
+    cfg.set("s", "k", "v1");
+    cfg.set("s", "k", "v2");
+    EXPECT_EQ(cfg.getString("s", "k"), "v2");
+    EXPECT_EQ(cfg.keys("s").size(), 1u);
+}
+
+TEST(Config, FromFileRoundTrip)
+{
+    std::string path = testing::TempDir() + "/accel_config_test.ini";
+    {
+        std::ofstream out(path);
+        out << "[case]\nC = 2.5e9\nthreading = sync-os\n";
+    }
+    Config cfg = Config::fromFile(path);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("case", "C"), 2.5e9);
+    EXPECT_EQ(cfg.getString("case", "threading"), "sync-os");
+    std::remove(path.c_str());
+}
+
+TEST(Config, FromFileMissingThrows)
+{
+    EXPECT_THROW(Config::fromFile("/nonexistent/path.ini"), FatalError);
+}
+
+TEST(Config, KeysOfUnknownSectionEmpty)
+{
+    Config cfg = Config::fromString("[s]\na=1\n");
+    EXPECT_TRUE(cfg.keys("nope").empty());
+}
+
+} // namespace
+} // namespace accel

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Cross-module end-to-end flows: config file -> model -> report;
+ * real kernel -> calibration -> break-even -> plan -> projection.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "kernels/calibration.hh"
+#include "model/config_frontend.hh"
+#include "model/granularity.hh"
+#include "model/logca.hh"
+#include "workload/granularities.hh"
+#include "workload/request_factory.hh"
+
+namespace accel {
+namespace {
+
+using model::Strategy;
+using model::ThreadingDesign;
+
+TEST(EndToEnd, ConfigFileToProjection)
+{
+    std::string path = testing::TempDir() + "/accel_e2e.ini";
+    {
+        std::ofstream out(path);
+        out << "[remote-inference]\n"
+               "C = 2.5e9\nalpha = 0.52\nn = 10\no0 = 25e6\n"
+               "o1 = 12500\nA = 1\nstrategy = remote\n"
+               "threading = async-distinct-thread\n";
+    }
+    std::string report = model::runConfigFile(path);
+    EXPECT_NE(report.find("remote-inference"), std::string::npos);
+    EXPECT_NE(report.find("72.4"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(EndToEnd, CalibratedKernelDrivesBreakEven)
+{
+    // The paper's workflow: measure Cb with a micro-benchmark on the
+    // real kernel, then derive the break-even granularity and the
+    // profitable-offload plan from the measured cost.
+    kernels::Calibration cal = kernels::calibrateLzCompress(2.0);
+    ASSERT_GT(cal.cyclesPerByte, 0);
+
+    model::Params base;
+    base.hostCycles = 2.3e9;
+    base.alpha = 0.15;
+    base.interfaceCycles = 2300;
+    base.accelFactor = 27;
+    base.strategy = Strategy::OffChip;
+    model::OffloadProfit profit{cal.cyclesPerByte, 1.0};
+    double g_star = profit.breakEvenSpeedup(ThreadingDesign::Sync, base);
+    EXPECT_GT(g_star, 0);
+    EXPECT_TRUE(std::isfinite(g_star));
+
+    auto sizes = workload::compressionSizes(workload::ServiceId::Feed1);
+    auto plan = model::planOffloads(*sizes, 15008, 0.15, profit,
+                                    ThreadingDesign::Sync, base);
+    model::Params planned = model::applyPlan(base, 0.15, plan);
+    model::Accelerometer m(planned);
+    double speedup = m.speedup(ThreadingDesign::Sync);
+    EXPECT_GT(speedup, 1.0);
+    EXPECT_LT(speedup, m.idealSpeedup());
+}
+
+TEST(EndToEnd, LogCAAndAccelerometerAgreeOnSyncKernels)
+{
+    // For a single synchronous offload, the LogCA baseline and
+    // Accelerometer agree; Accelerometer's value-add is everything else.
+    model::LogCAParams lp{0.2, 500, 8.0, 16.0, 1.0};
+    model::LogCA logca(lp);
+    double g = 4096;
+
+    model::Params ap;
+    ap.hostCycles = lp.cyclesPerByte * g;
+    ap.alpha = 1.0;
+    ap.offloads = 1;
+    ap.setupCycles = lp.overheadCycles;
+    ap.interfaceCycles = lp.latencyPerByte * g;
+    ap.accelFactor = lp.accelFactor;
+    model::Accelerometer accel(ap);
+    EXPECT_NEAR(accel.speedup(ThreadingDesign::Sync), logca.speedup(g),
+                1e-9);
+    // Async offload of the same kernel projects higher throughput than
+    // LogCA can express.
+    EXPECT_GT(accel.speedup(ThreadingDesign::AsyncSameThread),
+              logca.speedup(g));
+}
+
+TEST(EndToEnd, Fig20PipelineFromScratch)
+{
+    // Rebuild the Fig. 20 compression bars without the request-factory
+    // helper, exercising the whole planning chain.
+    auto sizes = workload::compressionSizes(workload::ServiceId::Feed1);
+    double cb = workload::feed1CompressionCyclesPerByte();
+
+    model::Params base;
+    base.hostCycles = 2.3e9;
+    base.alpha = 0.15;
+    base.interfaceCycles = 2300;
+    base.accelFactor = 27;
+    base.threadSwitchCycles = 5750;
+    base.strategy = Strategy::OffChip;
+
+    model::OffloadProfit profit{cb, 1.0};
+    auto sync_plan = model::planOffloads(*sizes, 15008, 0.15, profit,
+                                         ThreadingDesign::Sync, base);
+    auto os_plan = model::planOffloads(*sizes, 15008, 0.15, profit,
+                                       ThreadingDesign::SyncOS, base);
+    // Sync-OS pays 2*o1 per offload, so fewer offloads break even.
+    EXPECT_LT(os_plan.profitableOffloads, sync_plan.profitableOffloads);
+
+    model::Accelerometer sync_m(
+        model::applyPlan(base, 0.15, sync_plan));
+    model::Accelerometer os_m(model::applyPlan(base, 0.15, os_plan));
+    EXPECT_NEAR(sync_m.speedup(ThreadingDesign::Sync) - 1.0, 0.090,
+                0.005);
+    EXPECT_NEAR(os_m.speedup(ThreadingDesign::SyncOS) - 1.0, 0.016,
+                0.005);
+}
+
+} // namespace
+} // namespace accel

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Model-vs-simulator agreement sweeps: with no unmodeled effects, the
+ * analytical projection and the measured A/B speedup must track each
+ * other across threading designs and parameter ranges. This is the
+ * library-level statement of the paper's validation claim.
+ */
+
+#include <cctype>
+
+#include <gtest/gtest.h>
+
+#include "microsim/ab_test.hh"
+
+namespace accel::microsim {
+namespace {
+
+using model::Strategy;
+using model::ThreadingDesign;
+
+AbExperiment
+cleanExperiment(ThreadingDesign design)
+{
+    AbExperiment e;
+    e.service.cores = 1;
+    e.service.threads = design == ThreadingDesign::SyncOS ? 6 : 1;
+    e.service.design = design;
+    e.service.clockGHz = 1.0;
+    e.service.offloadSetupCycles = 30;
+    e.service.contextSwitchCycles =
+        design == ThreadingDesign::SyncOS ||
+                design == ThreadingDesign::AsyncDistinctThread
+            ? 400
+            : 0;
+    e.accelerator.speedupFactor = 6;
+    e.accelerator.fixedLatencyCycles = 80;
+    e.accelerator.channels = 4;
+    e.workload.nonKernelCyclesMean = 6000;
+    e.workload.kernelsPerRequest = 1;
+    e.workload.granularity = std::make_shared<const BucketDist>(
+        std::vector<DistBucket>{{500, 1500, 1.0}});
+    e.workload.cyclesPerByte = 2.0;
+    e.measureSeconds = 0.1;
+    e.warmupSeconds = 0.02;
+    return e;
+}
+
+class AgreementTest : public testing::TestWithParam<ThreadingDesign>
+{
+};
+
+TEST_P(AgreementTest, EstimateTracksMeasurement)
+{
+    AbExperiment e = cleanExperiment(GetParam());
+    AbResult r = runAbTest(e);
+    model::Params p = deriveModelParams(e, r);
+    model::Accelerometer m(p);
+    double est = m.speedup(GetParam());
+    double real = r.measuredSpeedup();
+    // Within 3 percentage points, mirroring the paper's <= 3.7 % error.
+    EXPECT_NEAR(est, real, 0.03) << toString(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, AgreementTest,
+    testing::Values(ThreadingDesign::Sync, ThreadingDesign::SyncOS,
+                    ThreadingDesign::AsyncSameThread,
+                    ThreadingDesign::AsyncNoResponse),
+    [](const testing::TestParamInfo<ThreadingDesign> &info) {
+        std::string name = toString(info.param);
+        std::string out;
+        for (char c : name)
+            if (std::isalnum(static_cast<unsigned char>(c)))
+                out += c;
+        return out;
+    });
+
+TEST(Agreement, AccelFactorSweep)
+{
+    for (double a : {2.0, 8.0, 32.0}) {
+        AbExperiment e = cleanExperiment(ThreadingDesign::Sync);
+        e.accelerator.speedupFactor = a;
+        AbResult r = runAbTest(e);
+        model::Params p = deriveModelParams(e, r);
+        model::Accelerometer m(p);
+        EXPECT_NEAR(m.speedup(ThreadingDesign::Sync),
+                    r.measuredSpeedup(), 0.03)
+            << "A=" << a;
+    }
+}
+
+TEST(Agreement, InterfaceLatencySweep)
+{
+    for (double latency : {0.0, 500.0, 2500.0}) {
+        AbExperiment e = cleanExperiment(ThreadingDesign::Sync);
+        e.accelerator.fixedLatencyCycles = latency;
+        AbResult r = runAbTest(e);
+        model::Params p = deriveModelParams(e, r);
+        model::Accelerometer m(p);
+        EXPECT_NEAR(m.speedup(ThreadingDesign::Sync),
+                    r.measuredSpeedup(), 0.03)
+            << "L=" << latency;
+    }
+}
+
+TEST(Agreement, SimulatorOrdersDesignsLikeModel)
+{
+    // The model's qualitative claim: async > sync-os > sync when the
+    // device is slow and switches are cheap relative to waiting.
+    AbExperiment sync = cleanExperiment(ThreadingDesign::Sync);
+    sync.accelerator.speedupFactor = 2;
+    sync.accelerator.fixedLatencyCycles = 2000;
+    AbExperiment sync_os = cleanExperiment(ThreadingDesign::SyncOS);
+    sync_os.accelerator = sync.accelerator;
+    sync_os.service.driverWaitsForAck = false;
+    AbExperiment async = cleanExperiment(ThreadingDesign::AsyncSameThread);
+    async.accelerator = sync.accelerator;
+    async.service.driverWaitsForAck = false;
+
+    double s_sync = runAbTest(sync).measuredSpeedup();
+    double s_os = runAbTest(sync_os).measuredSpeedup();
+    double s_async = runAbTest(async).measuredSpeedup();
+    EXPECT_GT(s_async, s_os);
+    EXPECT_GT(s_os, s_sync);
+}
+
+TEST(Agreement, LatencyReductionTracksEq5Shape)
+{
+    // The simulator can measure per-request latency (the paper's
+    // production setup could not); check it tracks the model's latency
+    // equation for the Sync design.
+    AbExperiment e = cleanExperiment(ThreadingDesign::Sync);
+    AbResult r = runAbTest(e);
+    model::Params p = deriveModelParams(e, r);
+    model::Accelerometer m(p);
+    EXPECT_NEAR(m.latencyReduction(ThreadingDesign::Sync),
+                r.measuredLatencyReduction(), 0.04);
+}
+
+} // namespace
+} // namespace accel::microsim

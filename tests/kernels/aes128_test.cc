@@ -1,0 +1,167 @@
+/** @file AES-128 known-answer and property tests. */
+
+#include "kernels/aes128.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace accel::kernels {
+namespace {
+
+std::array<std::uint8_t, 16>
+arr16(const std::uint8_t (&v)[16])
+{
+    std::array<std::uint8_t, 16> out;
+    std::copy(std::begin(v), std::end(v), out.begin());
+    return out;
+}
+
+TEST(Aes128, Fips197AppendixBVector)
+{
+    // FIPS-197 Appendix B: key 2b7e...3c, plaintext 3243...34.
+    const std::uint8_t key[16] = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                                  0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                                  0x09, 0xcf, 0x4f, 0x3c};
+    std::uint8_t block[16] = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a,
+                              0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2,
+                              0xe0, 0x37, 0x07, 0x34};
+    const std::uint8_t expected[16] = {0x39, 0x25, 0x84, 0x1d, 0x02,
+                                       0xdc, 0x09, 0xfb, 0xdc, 0x11,
+                                       0x85, 0x97, 0x19, 0x6a, 0x0b,
+                                       0x32};
+    Aes128 cipher(arr16(key));
+    cipher.encryptBlock(block);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(block[i], expected[i]) << "byte " << i;
+}
+
+TEST(Aes128, Fips197AppendixCVector)
+{
+    // FIPS-197 Appendix C.1: key 000102...0f, plaintext 00112233...ff.
+    std::uint8_t key[16], block[16];
+    for (int i = 0; i < 16; ++i) {
+        key[i] = static_cast<std::uint8_t>(i);
+        block[i] = static_cast<std::uint8_t>(i * 0x11);
+    }
+    const std::uint8_t expected[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a,
+                                       0x7b, 0x04, 0x30, 0xd8, 0xcd,
+                                       0xb7, 0x80, 0x70, 0xb4, 0xc5,
+                                       0x5a};
+    Aes128 cipher(arr16(key));
+    cipher.encryptBlock(block);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(block[i], expected[i]) << "byte " << i;
+}
+
+TEST(Aes128, DecryptInvertsEncrypt)
+{
+    const std::uint8_t key[16] = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                                  0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                                  0x09, 0xcf, 0x4f, 0x3c};
+    Aes128 cipher(arr16(key));
+    Rng rng(1);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::uint8_t block[16], original[16];
+        for (auto &b : block)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        std::copy(std::begin(block), std::end(block), original);
+        cipher.encryptBlock(block);
+        cipher.decryptBlock(block);
+        for (int i = 0; i < 16; ++i)
+            EXPECT_EQ(block[i], original[i]);
+    }
+}
+
+TEST(Aes128, CtrKnownAnswerSp80038a)
+{
+    // NIST SP 800-38A F.5.1 CTR-AES128.Encrypt, first block.
+    const std::uint8_t key[16] = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                                  0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                                  0x09, 0xcf, 0x4f, 0x3c};
+    const std::uint8_t iv[16] = {0xf0, 0xf1, 0xf2, 0xf3, 0xf4, 0xf5,
+                                 0xf6, 0xf7, 0xf8, 0xf9, 0xfa, 0xfb,
+                                 0xfc, 0xfd, 0xfe, 0xff};
+    std::vector<std::uint8_t> plaintext = {
+        0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96,
+        0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93, 0x17, 0x2a};
+    const std::uint8_t expected[16] = {0x87, 0x4d, 0x61, 0x91, 0xb6,
+                                       0x20, 0xe3, 0x26, 0x1b, 0xef,
+                                       0x68, 0x64, 0x99, 0x0d, 0xb6,
+                                       0xce};
+    Aes128 cipher(arr16(key));
+    auto out = cipher.ctr(plaintext, arr16(iv));
+    ASSERT_EQ(out.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(out[i], expected[i]) << "byte " << i;
+}
+
+TEST(Aes128, CtrIsInvolution)
+{
+    std::array<std::uint8_t, 16> key{}, iv{};
+    key[0] = 1;
+    iv[15] = 9;
+    Aes128 cipher(key);
+    Rng rng(2);
+    for (size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 1000u}) {
+        std::vector<std::uint8_t> data(len);
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        auto enc = cipher.ctr(data, iv);
+        auto dec = cipher.ctr(enc, iv);
+        EXPECT_EQ(dec, data) << "length " << len;
+    }
+}
+
+TEST(Aes128, CtrHandlesCounterCarry)
+{
+    // IV of all 0xff forces a multi-byte counter carry on increment.
+    std::array<std::uint8_t, 16> key{};
+    std::array<std::uint8_t, 16> iv;
+    iv.fill(0xff);
+    Aes128 cipher(key);
+    std::vector<std::uint8_t> data(48, 0xab);
+    auto enc = cipher.ctr(data, iv);
+    auto dec = cipher.ctr(enc, iv);
+    EXPECT_EQ(dec, data);
+}
+
+TEST(Aes128, EcbRoundTripAndBlockIndependence)
+{
+    std::array<std::uint8_t, 16> key{};
+    key[5] = 0x42;
+    Aes128 cipher(key);
+    std::vector<std::uint8_t> data(64);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i % 16); // repeating blocks
+    auto enc = cipher.ecbEncrypt(data);
+    // ECB: identical plaintext blocks yield identical ciphertext blocks.
+    EXPECT_TRUE(std::equal(enc.begin(), enc.begin() + 16,
+                           enc.begin() + 16));
+    EXPECT_EQ(cipher.ecbDecrypt(enc), data);
+}
+
+TEST(Aes128, EcbRejectsPartialBlocks)
+{
+    Aes128 cipher(std::array<std::uint8_t, 16>{});
+    std::vector<std::uint8_t> data(15);
+    EXPECT_THROW(cipher.ecbEncrypt(data), FatalError);
+    EXPECT_THROW(cipher.ecbDecrypt(data), FatalError);
+}
+
+TEST(Aes128, DifferentKeysDifferentCiphertext)
+{
+    std::array<std::uint8_t, 16> k1{}, k2{};
+    k2[0] = 1;
+    std::uint8_t b1[16] = {}, b2[16] = {};
+    Aes128(k1).encryptBlock(b1);
+    Aes128(k2).encryptBlock(b2);
+    bool differ = false;
+    for (int i = 0; i < 16; ++i)
+        differ |= b1[i] != b2[i];
+    EXPECT_TRUE(differ);
+}
+
+} // namespace
+} // namespace accel::kernels

@@ -1,0 +1,86 @@
+/** @file Tests for the kernel calibration fitter. */
+
+#include "kernels/calibration.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel::kernels {
+namespace {
+
+TEST(FitLinear, ExactLine)
+{
+    // cycles = 3*g + 50.
+    std::vector<std::pair<double, double>> samples;
+    for (double g : {10.0, 100.0, 1000.0})
+        samples.emplace_back(g, 3 * g + 50);
+    Calibration c = fitLinear(samples);
+    EXPECT_NEAR(c.cyclesPerByte, 3.0, 1e-9);
+    EXPECT_NEAR(c.fixedCycles, 50.0, 1e-6);
+    EXPECT_NEAR(c.rSquared, 1.0, 1e-9);
+}
+
+TEST(FitLinear, NoisyLineStillRecoversSlope)
+{
+    std::vector<std::pair<double, double>> samples = {
+        {100, 310}, {200, 590}, {400, 1220}, {800, 2390}};
+    Calibration c = fitLinear(samples);
+    EXPECT_NEAR(c.cyclesPerByte, 3.0, 0.1);
+    EXPECT_GT(c.rSquared, 0.99);
+}
+
+TEST(FitLinear, RejectsDegenerateInput)
+{
+    EXPECT_THROW(fitLinear({{1, 1}}), FatalError);
+    EXPECT_THROW(fitLinear({{5, 1}, {5, 2}}), FatalError);
+}
+
+TEST(Calibrate, SyntheticOperatorRecovered)
+{
+    // A fake "kernel" that models 2 cycles/byte at a 1 GHz clock by
+    // just returning; we validate plumbing with a deterministic op via
+    // fitLinear instead of wall time, so here only check the callable
+    // path runs and produces a finite result.
+    auto op = [](size_t bytes) -> std::uint64_t {
+        volatile std::uint64_t acc = 0;
+        for (size_t i = 0; i < bytes; ++i)
+            acc = acc + i;
+        return acc;
+    };
+    Calibration c = calibrate(op, {1024, 4096, 16384}, 2.0, 3);
+    EXPECT_GT(c.cyclesPerByte, 0.0);
+    EXPECT_TRUE(std::isfinite(c.fixedCycles));
+}
+
+TEST(Calibrate, DomainChecks)
+{
+    auto op = [](size_t) -> std::uint64_t { return 0; };
+    EXPECT_THROW(calibrate(op, {1, 2}, 0.0), FatalError);
+    EXPECT_THROW(calibrate(op, {1, 2}, 2.0, 0), FatalError);
+    EXPECT_THROW(calibrate(op, {7, 7}, 2.0, 1), FatalError);
+}
+
+TEST(Calibrate, RealKernelsHavePositiveMarginalCost)
+{
+    // Smoke calibration of the real kernels with few repetitions: the
+    // fitted per-byte cost must be positive and the fit meaningful.
+    for (auto fn : {calibrateAesCtr, calibrateSha256,
+                    calibrateLzCompress}) {
+        Calibration c = fn(2.0);
+        EXPECT_GT(c.cyclesPerByte, 0.0);
+        EXPECT_GT(c.rSquared, 0.8);
+    }
+}
+
+TEST(Calibrate, AesCostsMoreThanMemcpyPerByte)
+{
+    Calibration aes = calibrateAesCtr(2.0);
+    Calibration copy = calibrateMemOp(0 /*Copy*/, 2.0);
+    EXPECT_GT(aes.cyclesPerByte, copy.cyclesPerByte);
+}
+
+} // namespace
+} // namespace accel::kernels

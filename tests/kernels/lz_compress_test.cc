@@ -1,0 +1,163 @@
+/** @file Round-trip and robustness tests for the LZ77 compressor. */
+
+#include "kernels/lz_compress.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace accel::kernels {
+namespace {
+
+std::vector<std::uint8_t>
+bytes(const std::string &s)
+{
+    return {s.begin(), s.end()};
+}
+
+void
+expectRoundTrip(const std::vector<std::uint8_t> &data)
+{
+    auto frame = lzCompress(data);
+    auto back = lzDecompress(frame);
+    ASSERT_EQ(back.size(), data.size());
+    EXPECT_EQ(back, data);
+}
+
+TEST(Lz, EmptyInput)
+{
+    expectRoundTrip({});
+}
+
+TEST(Lz, TinyInputs)
+{
+    expectRoundTrip(bytes("a"));
+    expectRoundTrip(bytes("ab"));
+    expectRoundTrip(bytes("abc"));
+    expectRoundTrip(bytes("abcd"));
+}
+
+TEST(Lz, RepetitiveInputCompresses)
+{
+    std::vector<std::uint8_t> data(10000, 'x');
+    auto frame = lzCompress(data);
+    EXPECT_LT(frame.size(), data.size() / 10);
+    expectRoundTrip(data);
+}
+
+TEST(Lz, OverlappingMatchReplication)
+{
+    // "abab..." forces matches with distance < length (RLE-style).
+    std::vector<std::uint8_t> data;
+    for (int i = 0; i < 5000; ++i)
+        data.push_back(i % 2 ? 'b' : 'a');
+    expectRoundTrip(data);
+}
+
+TEST(Lz, IncompressibleRandomData)
+{
+    Rng rng(5);
+    std::vector<std::uint8_t> data(4096);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    auto frame = lzCompress(data);
+    // Random data cannot shrink much, but framing overhead stays small.
+    EXPECT_LT(frame.size(), data.size() + data.size() / 16 + 64);
+    expectRoundTrip(data);
+}
+
+TEST(Lz, LogLikeTextCompressesWell)
+{
+    std::string line = "GET /api/v2/feed status=200 latency_us=1234 "
+                       "region=prn cache_hit bytes=512\n";
+    std::vector<std::uint8_t> data;
+    for (int i = 0; i < 200; ++i)
+        data.insert(data.end(), line.begin(), line.end());
+    auto frame = lzCompress(data);
+    EXPECT_LT(frame.size(), data.size() / 4);
+    expectRoundTrip(data);
+}
+
+TEST(Lz, RandomStructuredFuzzRoundTrips)
+{
+    Rng rng(6);
+    for (int trial = 0; trial < 30; ++trial) {
+        std::vector<std::uint8_t> data;
+        size_t target = 100 + rng.below(8000);
+        while (data.size() < target) {
+            if (rng.chance(0.5) && !data.empty()) {
+                // Copy a previous chunk (creates matches).
+                size_t start = rng.below(
+                    static_cast<std::uint32_t>(data.size()));
+                size_t len = 1 + rng.below(64);
+                for (size_t i = 0; i < len && start + i < data.size();
+                     ++i) {
+                    data.push_back(data[start + i]);
+                }
+            } else {
+                data.push_back(static_cast<std::uint8_t>(rng.below(256)));
+            }
+        }
+        expectRoundTrip(data);
+    }
+}
+
+TEST(Lz, WindowLimitsMatchDistance)
+{
+    LzOptions tiny;
+    tiny.windowSize = 64;
+    std::vector<std::uint8_t> data;
+    std::string phrase = "abcdefghij";
+    data.insert(data.end(), phrase.begin(), phrase.end());
+    data.insert(data.end(), 1000, 'z');
+    data.insert(data.end(), phrase.begin(), phrase.end());
+    auto frame = lzCompress(data, tiny);
+    EXPECT_EQ(lzDecompress(frame), data);
+}
+
+TEST(Lz, MalformedFramesRejected)
+{
+    // Truncated varint.
+    EXPECT_THROW(lzDecompress({0x80}), FatalError);
+    // Declared size but missing tokens.
+    EXPECT_THROW(lzDecompress({0x05}), FatalError);
+    // Unknown token type.
+    EXPECT_THROW(lzDecompress({0x02, 0xff}), FatalError);
+    // Literal run past end of frame.
+    EXPECT_THROW(lzDecompress({0x05, 0x00, 0x05, 'a'}), FatalError);
+    // Match with distance beyond output.
+    EXPECT_THROW(lzDecompress({0x08, 0x01, 0x04, 0x07}), FatalError);
+    // Zero-length literal run.
+    EXPECT_THROW(lzDecompress({0x02, 0x00, 0x00}), FatalError);
+}
+
+TEST(Lz, TrailingGarbageRejected)
+{
+    auto frame = lzCompress(bytes("hello world"));
+    frame.push_back(0x00);
+    EXPECT_THROW(lzDecompress(frame), FatalError);
+}
+
+TEST(Varint, RoundTripsBoundaries)
+{
+    for (std::uint64_t v :
+         {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+          0xffffffffull, 0xffffffffffffffffull}) {
+        std::vector<std::uint8_t> buf;
+        putVarint(buf, v);
+        size_t pos = 0;
+        EXPECT_EQ(getVarint(buf, pos), v);
+        EXPECT_EQ(pos, buf.size());
+    }
+}
+
+TEST(Varint, RejectsOverlong)
+{
+    std::vector<std::uint8_t> buf(11, 0x80);
+    size_t pos = 0;
+    EXPECT_THROW(getVarint(buf, pos), FatalError);
+}
+
+} // namespace
+} // namespace accel::kernels

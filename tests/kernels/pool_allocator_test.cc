@@ -1,0 +1,148 @@
+/** @file Tests for the size-class pool allocator. */
+
+#include "kernels/pool_allocator.hh"
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace accel::kernels {
+namespace {
+
+TEST(Pool, SizeClassesCoverRange)
+{
+    PoolAllocator pool;
+    EXPECT_EQ(pool.classBlockSize(pool.sizeClassFor(1)), 16u);
+    EXPECT_EQ(pool.classBlockSize(pool.sizeClassFor(16)), 16u);
+    EXPECT_EQ(pool.classBlockSize(pool.sizeClassFor(17)), 32u);
+    EXPECT_EQ(pool.classBlockSize(pool.sizeClassFor(64)), 64u);
+    EXPECT_EQ(pool.classBlockSize(pool.sizeClassFor(65)), 128u);
+    EXPECT_EQ(pool.classBlockSize(
+                  pool.sizeClassFor(PoolAllocator::kMaxBlockSize)),
+              PoolAllocator::kMaxBlockSize);
+}
+
+TEST(Pool, ClassSizesNeverShrinkRequest)
+{
+    PoolAllocator pool;
+    for (size_t bytes = 1; bytes <= 4096; bytes += 37)
+        EXPECT_GE(pool.classBlockSize(pool.sizeClassFor(bytes)), bytes);
+}
+
+TEST(Pool, RejectsZeroAndOversized)
+{
+    PoolAllocator pool;
+    EXPECT_THROW(pool.sizeClassFor(0), FatalError);
+    EXPECT_THROW(pool.allocate(0), FatalError);
+    EXPECT_THROW(pool.allocate(PoolAllocator::kMaxBlockSize + 1),
+                 FatalError);
+}
+
+TEST(Pool, AllocationsAreDistinctAndWritable)
+{
+    PoolAllocator pool;
+    std::set<void *> seen;
+    std::vector<void *> ptrs;
+    for (int i = 0; i < 1000; ++i) {
+        void *p = pool.allocate(48);
+        EXPECT_TRUE(seen.insert(p).second) << "duplicate block";
+        std::memset(p, 0xab, 48);
+        ptrs.push_back(p);
+    }
+    for (void *p : ptrs)
+        pool.free(p);
+    EXPECT_EQ(pool.stats().liveBlocks, 0u);
+}
+
+TEST(Pool, FreeRecyclesBlocks)
+{
+    PoolAllocator pool;
+    void *a = pool.allocate(100);
+    pool.free(a);
+    void *b = pool.allocate(100);
+    EXPECT_EQ(a, b); // LIFO free list returns the same block
+}
+
+TEST(Pool, SizedFreeRecyclesIntoRightClass)
+{
+    PoolAllocator pool;
+    void *a = pool.allocate(100); // class 128
+    pool.sizedFree(a, 100);
+    void *b = pool.allocate(128);
+    EXPECT_EQ(a, b);
+    pool.free(b);
+}
+
+TEST(Pool, UnsizedFreeRecoversClassViaPageMap)
+{
+    PoolAllocator pool;
+    // Allocate from several classes, free unsized, reallocate.
+    void *small = pool.allocate(16);
+    void *mid = pool.allocate(1000);
+    void *large = pool.allocate(30000);
+    pool.free(large);
+    pool.free(small);
+    pool.free(mid);
+    EXPECT_EQ(pool.allocate(16), small);
+    EXPECT_EQ(pool.allocate(1000), mid);
+    EXPECT_EQ(pool.allocate(30000), large);
+}
+
+TEST(Pool, ForeignPointerRejected)
+{
+    PoolAllocator pool;
+    int on_stack;
+    EXPECT_THROW(pool.free(&on_stack), FatalError);
+    EXPECT_THROW(pool.free(nullptr), FatalError);
+}
+
+TEST(Pool, StatsTrackOperations)
+{
+    PoolAllocator pool;
+    void *a = pool.allocate(10);
+    void *b = pool.allocate(20);
+    pool.free(a);
+    pool.sizedFree(b, 20);
+    const PoolStats &s = pool.stats();
+    EXPECT_EQ(s.allocations, 2u);
+    EXPECT_EQ(s.frees, 1u);
+    EXPECT_EQ(s.sizedFrees, 1u);
+    EXPECT_EQ(s.bytesRequested, 30u);
+    EXPECT_EQ(s.liveBlocks, 0u);
+    EXPECT_GE(s.chunkRefills, 1u);
+}
+
+TEST(Pool, RandomizedAllocFreeStress)
+{
+    PoolAllocator pool;
+    Rng rng(9);
+    std::vector<std::pair<void *, size_t>> live;
+    for (int step = 0; step < 20000; ++step) {
+        if (live.empty() || rng.chance(0.6)) {
+            size_t bytes = 1 + rng.below(PoolAllocator::kMaxBlockSize);
+            void *p = pool.allocate(bytes);
+            // Touch first and last byte of the request.
+            static_cast<std::uint8_t *>(p)[0] = 1;
+            static_cast<std::uint8_t *>(p)[bytes - 1] = 2;
+            live.emplace_back(p, bytes);
+        } else {
+            size_t i = rng.below(static_cast<std::uint32_t>(live.size()));
+            auto [p, bytes] = live[i];
+            if (rng.chance(0.5))
+                pool.free(p);
+            else
+                pool.sizedFree(p, bytes);
+            live[i] = live.back();
+            live.pop_back();
+        }
+    }
+    EXPECT_EQ(pool.stats().liveBlocks, live.size());
+}
+
+} // namespace
+} // namespace accel::kernels

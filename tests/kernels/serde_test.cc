@@ -1,0 +1,151 @@
+/** @file Round-trip and robustness tests for the serialization kernel. */
+
+#include "kernels/serde.hh"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace accel::kernels {
+namespace {
+
+TEST(Zigzag, KnownValues)
+{
+    EXPECT_EQ(zigzagEncode(0), 0u);
+    EXPECT_EQ(zigzagEncode(-1), 1u);
+    EXPECT_EQ(zigzagEncode(1), 2u);
+    EXPECT_EQ(zigzagEncode(-2), 3u);
+    EXPECT_EQ(zigzagEncode(2147483647), 4294967294u);
+}
+
+TEST(Zigzag, RoundTripExtremes)
+{
+    for (std::int64_t v :
+         {std::int64_t{0}, std::int64_t{-1}, std::int64_t{1},
+          std::numeric_limits<std::int64_t>::min(),
+          std::numeric_limits<std::int64_t>::max()}) {
+        EXPECT_EQ(zigzagDecode(zigzagEncode(v)), v);
+    }
+}
+
+TEST(Serde, EmptyMessage)
+{
+    SerdeMessage msg;
+    auto wire = serialize(msg);
+    EXPECT_EQ(wire, (std::vector<std::uint8_t>{0x00}));
+    EXPECT_EQ(deserialize(wire), msg);
+}
+
+TEST(Serde, AllTypesRoundTrip)
+{
+    SerdeMessage msg;
+    msg.set(1, std::int64_t{-123456789});
+    msg.set(2, 3.14159);
+    msg.set(3, std::string("hello, \0 world", 14));
+    msg.set(7, std::vector<std::int64_t>{1, -2, 3, -4, 1000000});
+    SerdeMessage back = deserialize(serialize(msg));
+    EXPECT_EQ(back, msg);
+    EXPECT_EQ(std::get<std::int64_t>(back.get(1)), -123456789);
+    EXPECT_DOUBLE_EQ(std::get<double>(back.get(2)), 3.14159);
+}
+
+TEST(Serde, FieldAccessors)
+{
+    SerdeMessage msg;
+    msg.set(5, std::int64_t{9});
+    EXPECT_TRUE(msg.has(5));
+    EXPECT_FALSE(msg.has(4));
+    EXPECT_THROW(msg.get(4), FatalError);
+    EXPECT_THROW(msg.set(0, std::int64_t{1}), FatalError);
+    msg.set(5, std::int64_t{10}); // overwrite
+    EXPECT_EQ(msg.size(), 1u);
+    EXPECT_EQ(std::get<std::int64_t>(msg.get(5)), 10);
+}
+
+TEST(Serde, LargeTagsAndValues)
+{
+    SerdeMessage msg;
+    msg.set(0xfffffffe, std::int64_t{42});
+    EXPECT_EQ(deserialize(serialize(msg)), msg);
+}
+
+TEST(Serde, RandomizedRoundTrips)
+{
+    Rng rng(21);
+    for (int trial = 0; trial < 50; ++trial) {
+        SerdeMessage msg;
+        std::uint32_t fields = 1 + rng.below(12);
+        for (std::uint32_t f = 0; f < fields; ++f) {
+            std::uint32_t tag = 1 + rng.below(100);
+            switch (rng.below(4)) {
+              case 0:
+                msg.set(tag, static_cast<std::int64_t>(rng.next()) -
+                                 (1LL << 31));
+                break;
+              case 1:
+                msg.set(tag, rng.uniform(-1e9, 1e9));
+                break;
+              case 2: {
+                std::string s;
+                for (std::uint32_t i = 0; i < rng.below(200); ++i)
+                    s += static_cast<char>(rng.below(256));
+                msg.set(tag, std::move(s));
+                break;
+              }
+              default: {
+                std::vector<std::int64_t> list;
+                for (std::uint32_t i = 0; i < rng.below(50); ++i)
+                    list.push_back(
+                        static_cast<std::int64_t>(rng.next()) - 100);
+                msg.set(tag, std::move(list));
+              }
+            }
+        }
+        EXPECT_EQ(deserialize(serialize(msg)), msg);
+    }
+}
+
+TEST(Serde, MalformedWireRejected)
+{
+    // Missing end marker.
+    EXPECT_THROW(deserialize({}), FatalError);
+    // Truncated after tag.
+    EXPECT_THROW(deserialize({0x01}), FatalError);
+    // Unknown type.
+    EXPECT_THROW(deserialize({0x01, 0x09, 0x00}), FatalError);
+    // Truncated double.
+    EXPECT_THROW(deserialize({0x01, 0x02, 0x01, 0x02, 0x00}),
+                 FatalError);
+    // String length past the end.
+    EXPECT_THROW(deserialize({0x01, 0x03, 0x7f, 0x61, 0x00}),
+                 FatalError);
+    // Trailing bytes after the end marker.
+    EXPECT_THROW(deserialize({0x00, 0x00}), FatalError);
+    // Duplicate tag.
+    EXPECT_THROW(
+        deserialize({0x01, 0x01, 0x02, 0x01, 0x01, 0x04, 0x00}),
+        FatalError);
+}
+
+TEST(Serde, StoryMessageApproximatesTargetSize)
+{
+    for (size_t target : {512u, 4096u, 32768u}) {
+        auto wire = serialize(makeStoryMessage(target, 7));
+        EXPECT_GT(wire.size(), target / 2) << target;
+        EXPECT_LT(wire.size(), target * 2) << target;
+    }
+}
+
+TEST(Serde, StoryMessageDeterministic)
+{
+    EXPECT_EQ(serialize(makeStoryMessage(2048, 9)),
+              serialize(makeStoryMessage(2048, 9)));
+    EXPECT_NE(serialize(makeStoryMessage(2048, 9)),
+              serialize(makeStoryMessage(2048, 10)));
+}
+
+} // namespace
+} // namespace accel::kernels

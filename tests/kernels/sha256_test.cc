@@ -1,0 +1,96 @@
+/** @file SHA-256 known-answer and property tests (FIPS 180-4 vectors). */
+
+#include "kernels/sha256.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel::kernels {
+namespace {
+
+TEST(Sha256, EmptyString)
+{
+    EXPECT_EQ(Sha256::hex(Sha256::digest(std::string(""))),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b"
+              "7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(Sha256::hex(Sha256::digest(std::string("abc"))),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61"
+              "f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    // FIPS 180-4 test vector: 448-bit message.
+    EXPECT_EQ(Sha256::hex(Sha256::digest(std::string(
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopn"
+                  "opq"))),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd4"
+              "19db06c1");
+}
+
+TEST(Sha256, MillionAs)
+{
+    Sha256 h;
+    std::vector<std::uint8_t> chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        h.update(chunk);
+    EXPECT_EQ(Sha256::hex(h.finish()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39cc"
+              "c7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot)
+{
+    std::string msg = "the quick brown fox jumps over the lazy dog";
+    auto oneshot = Sha256::digest(msg);
+    // Feed in awkward chunk sizes spanning block boundaries.
+    for (size_t chunk : {1u, 3u, 7u, 13u, 63u, 64u, 65u}) {
+        Sha256 h;
+        for (size_t i = 0; i < msg.size(); i += chunk) {
+            size_t len = std::min(chunk, msg.size() - i);
+            h.update(reinterpret_cast<const std::uint8_t *>(msg.data()) +
+                         i,
+                     len);
+        }
+        EXPECT_EQ(h.finish(), oneshot) << "chunk " << chunk;
+    }
+}
+
+TEST(Sha256, LengthBoundaryMessages)
+{
+    // 55/56/64 bytes straddle the padding boundary.
+    for (size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u}) {
+        std::vector<std::uint8_t> a(len, 0x61);
+        std::vector<std::uint8_t> b(len, 0x61);
+        EXPECT_EQ(Sha256::digest(a), Sha256::digest(b));
+        b[len - 1] ^= 1;
+        EXPECT_NE(Sha256::digest(a), Sha256::digest(b)) << len;
+    }
+}
+
+TEST(Sha256, UpdateAfterFinishPanics)
+{
+    Sha256 h;
+    h.update(std::vector<std::uint8_t>{1, 2, 3});
+    h.finish();
+    std::uint8_t b = 0;
+    EXPECT_THROW(h.update(&b, 1), PanicError);
+    EXPECT_THROW(h.finish(), PanicError);
+}
+
+TEST(Sha256, HexIsLowercase64Chars)
+{
+    auto d = Sha256::digest(std::string("x"));
+    std::string hex = Sha256::hex(d);
+    EXPECT_EQ(hex.size(), 64u);
+    for (char c : hex)
+        EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+}
+
+} // namespace
+} // namespace accel::kernels

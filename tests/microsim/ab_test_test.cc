@@ -1,0 +1,115 @@
+/** @file Tests for the A/B harness and model-parameter derivation. */
+
+#include "microsim/ab_test.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel::microsim {
+namespace {
+
+using model::ThreadingDesign;
+
+AbExperiment
+experiment()
+{
+    AbExperiment e;
+    e.service.cores = 1;
+    e.service.threads = 1;
+    e.service.design = ThreadingDesign::Sync;
+    e.service.clockGHz = 1.0;
+    e.service.offloadSetupCycles = 20;
+    e.accelerator.speedupFactor = 8;
+    e.accelerator.fixedLatencyCycles = 40;
+    e.workload.nonKernelCyclesMean = 4000;
+    e.workload.kernelsPerRequest = 1;
+    e.workload.granularity = std::make_shared<const BucketDist>(
+        std::vector<DistBucket>{{400, 600, 1.0}});
+    e.workload.cyclesPerByte = 2.0;
+    e.measureSeconds = 0.1;
+    e.warmupSeconds = 0.01;
+    return e;
+}
+
+TEST(AbTest, TreatmentBeatsBaselineWithGoodAccelerator)
+{
+    AbResult r = runAbTest(experiment());
+    EXPECT_GT(r.measuredSpeedup(), 1.05);
+    EXPECT_GT(r.measuredLatencyReduction(), 1.0);
+    EXPECT_GT(r.baseline.requestsCompleted, 1000u);
+    EXPECT_EQ(r.baseline.offloadsIssued, 0u);
+    EXPECT_GT(r.treatment.offloadsIssued, 0u);
+}
+
+TEST(AbTest, SpeedupIsRatioOfQps)
+{
+    AbResult r = runAbTest(experiment());
+    EXPECT_NEAR(r.measuredSpeedup(),
+                r.treatment.qps() / r.baseline.qps(), 1e-12);
+}
+
+TEST(AbTest, DerivedParamsReflectExperiment)
+{
+    AbExperiment e = experiment();
+    AbResult r = runAbTest(e);
+    model::Params p = deriveModelParams(e, r);
+    EXPECT_DOUBLE_EQ(p.hostCycles, 1e9);
+    // Workload: kernel ~1000 of ~5000 cycles.
+    EXPECT_NEAR(p.alpha, 0.2, 0.01);
+    EXPECT_NEAR(p.offloads, r.baseline.qps(), r.baseline.qps() * 0.01);
+    EXPECT_DOUBLE_EQ(p.setupCycles, 20);
+    EXPECT_DOUBLE_EQ(p.interfaceCycles, 40);
+    EXPECT_DOUBLE_EQ(p.accelFactor, 8);
+    EXPECT_DOUBLE_EQ(p.offloadedFraction, 1.0);
+}
+
+TEST(AbTest, ModelTracksSimulatorForSync)
+{
+    // With no unmodeled effects configured, the analytical model and
+    // the simulator must agree closely — the core validation property.
+    AbExperiment e = experiment();
+    AbResult r = runAbTest(e);
+    model::Params p = deriveModelParams(e, r);
+    model::Accelerometer m(p);
+    double est = m.speedup(e.service.design);
+    EXPECT_NEAR(est, r.measuredSpeedup(), 0.02);
+}
+
+TEST(AbTest, SelectiveOffloadShrinksDerivedN)
+{
+    AbExperiment e = experiment();
+    e.service.minOffloadBytes = 500; // half the [400, 600) kernels
+    AbResult r = runAbTest(e);
+    model::Params p = deriveModelParams(e, r);
+    EXPECT_NEAR(p.offloadedFraction, 0.5, 1e-9);
+    EXPECT_NEAR(p.offloads, r.baseline.qps() * 0.5,
+                r.baseline.qps() * 0.01);
+    // Mean granularity of offloaded kernels: [500, 600) -> 550.
+    EXPECT_NEAR(p.interfaceCycles, 40.0, 1e-9);
+}
+
+TEST(AbTest, CompareLineMentionsBothNumbers)
+{
+    AbExperiment e = experiment();
+    AbResult r = runAbTest(e);
+    std::string line = compareLine(e, r);
+    EXPECT_NE(line.find("est +"), std::string::npos);
+    EXPECT_NE(line.find("real +"), std::string::npos);
+    EXPECT_NE(line.find("pp"), std::string::npos);
+}
+
+TEST(AbTest, UnmodeledDragLowersRealBelowEstimate)
+{
+    // The paper's model over-estimates production speedup; driver slop
+    // in the simulator reproduces that direction.
+    AbExperiment e = experiment();
+    e.service.unmodeledPerOffloadCycles = 200;
+    AbResult r = runAbTest(e);
+    model::Params p = deriveModelParams(e, r);
+    model::Accelerometer m(p);
+    EXPECT_GT(m.speedup(e.service.design), r.measuredSpeedup());
+}
+
+} // namespace
+} // namespace accel::microsim

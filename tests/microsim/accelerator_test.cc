@@ -1,0 +1,134 @@
+/** @file Tests for the accelerator device model. */
+
+#include "microsim/accelerator.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel::microsim {
+namespace {
+
+TEST(Accelerator, ConfigValidation)
+{
+    AcceleratorConfig bad;
+    bad.speedupFactor = 0.5;
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = AcceleratorConfig{};
+    bad.channels = 0;
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = AcceleratorConfig{};
+    bad.fixedLatencyCycles = -1;
+    EXPECT_THROW(bad.validate(), FatalError);
+}
+
+TEST(Accelerator, TransferCyclesLinearInBytes)
+{
+    sim::EventQueue eq;
+    AcceleratorConfig cfg;
+    cfg.fixedLatencyCycles = 100;
+    cfg.latencyCyclesPerByte = 2;
+    Accelerator dev(eq, cfg);
+    EXPECT_DOUBLE_EQ(dev.transferCycles(0), 100);
+    EXPECT_DOUBLE_EQ(dev.transferCycles(50), 200);
+}
+
+TEST(Accelerator, ServiceTimeDividedBySpeedup)
+{
+    sim::EventQueue eq;
+    AcceleratorConfig cfg;
+    cfg.speedupFactor = 4;
+    Accelerator dev(eq, cfg);
+    sim::Tick done = 0;
+    dev.offload(1000, 0, [&] { done = eq.now(); });
+    eq.runAll();
+    EXPECT_EQ(done, 250u);
+}
+
+TEST(Accelerator, TransferDelaysArrival)
+{
+    sim::EventQueue eq;
+    AcceleratorConfig cfg;
+    cfg.speedupFactor = 2;
+    cfg.fixedLatencyCycles = 300;
+    Accelerator dev(eq, cfg);
+    sim::Tick done = 0;
+    dev.offload(1000, 0, [&] { done = eq.now(); });
+    eq.runAll();
+    EXPECT_EQ(done, 300u + 500u);
+}
+
+TEST(Accelerator, HostPaidTransferSkipsDeviceDelay)
+{
+    sim::EventQueue eq;
+    AcceleratorConfig cfg;
+    cfg.speedupFactor = 2;
+    cfg.fixedLatencyCycles = 300;
+    Accelerator dev(eq, cfg);
+    sim::Tick done = 0;
+    dev.offload(1000, 0, [&] { done = eq.now(); },
+                /*transferPaidByHost=*/true);
+    eq.runAll();
+    EXPECT_EQ(done, 500u);
+}
+
+TEST(Accelerator, SingleChannelSerializesOffloads)
+{
+    sim::EventQueue eq;
+    AcceleratorConfig cfg;
+    cfg.speedupFactor = 1;
+    Accelerator dev(eq, cfg);
+    std::vector<sim::Tick> done;
+    for (int i = 0; i < 3; ++i)
+        dev.offload(100, 0, [&] { done.push_back(eq.now()); });
+    eq.runAll();
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_EQ(done[0], 100u);
+    EXPECT_EQ(done[1], 200u);
+    EXPECT_EQ(done[2], 300u);
+    // Queue waits: 0, 100, 200 -> mean 100. The first offload is
+    // dequeued the instant it arrives, so at most two wait at once.
+    EXPECT_NEAR(dev.stats().queueWaitCycles.mean(), 100.0, 1e-9);
+    EXPECT_EQ(dev.stats().maxQueueDepth, 2u);
+}
+
+TEST(Accelerator, MultipleChannelsServeInParallel)
+{
+    sim::EventQueue eq;
+    AcceleratorConfig cfg;
+    cfg.channels = 3;
+    Accelerator dev(eq, cfg);
+    std::vector<sim::Tick> done;
+    for (int i = 0; i < 3; ++i)
+        dev.offload(100, 0, [&] { done.push_back(eq.now()); });
+    eq.runAll();
+    for (sim::Tick t : done)
+        EXPECT_EQ(t, 100u);
+    EXPECT_DOUBLE_EQ(dev.stats().queueWaitCycles.mean(), 0.0);
+}
+
+TEST(Accelerator, StatsAccumulateAndReset)
+{
+    sim::EventQueue eq;
+    AcceleratorConfig cfg;
+    cfg.speedupFactor = 2;
+    Accelerator dev(eq, cfg);
+    dev.offload(1000, 0, [] {});
+    eq.runAll();
+    EXPECT_EQ(dev.stats().served, 1u);
+    EXPECT_DOUBLE_EQ(dev.stats().busyCycles, 500);
+    dev.resetStats();
+    EXPECT_EQ(dev.stats().served, 0u);
+    EXPECT_DOUBLE_EQ(dev.stats().busyCycles, 0);
+}
+
+TEST(Accelerator, RejectsNegativeWork)
+{
+    sim::EventQueue eq;
+    Accelerator dev(eq, AcceleratorConfig{});
+    EXPECT_THROW(dev.offload(-1, 0, [] {}), FatalError);
+    EXPECT_THROW(dev.offload(1, -1, [] {}), FatalError);
+}
+
+} // namespace
+} // namespace accel::microsim

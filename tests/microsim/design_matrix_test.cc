@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Parameterized design-matrix tests: for every threading design, the
+ * closed-loop simulator's throughput must equal the hand-computed
+ * per-request core-cycle cost, including multi-kernel requests and
+ * super-linear kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "microsim/service_sim.hh"
+#include "util/logging.hh"
+
+namespace accel::microsim {
+namespace {
+
+using model::Strategy;
+using model::ThreadingDesign;
+
+constexpr double kNonKernel = 6000;
+constexpr double kKernel = 1500; // 750 B * 2 cycles/B
+constexpr double kSetup = 40;
+constexpr double kSwitch = 250;
+constexpr double kTransfer = 120;
+
+WorkloadSpec
+workload(std::uint32_t kernels)
+{
+    WorkloadSpec w;
+    w.nonKernelCyclesMean = kNonKernel;
+    w.nonKernelCv = 0.0;
+    w.kernelsPerRequest = kernels;
+    w.granularity = std::make_shared<const BucketDist>(
+        std::vector<DistBucket>{{750, 751, 1.0}});
+    w.cyclesPerByte = 2.0;
+    return w;
+}
+
+ServiceConfig
+config(ThreadingDesign design)
+{
+    ServiceConfig cfg;
+    cfg.cores = 1;
+    cfg.threads = design == ThreadingDesign::SyncOS ? 5 : 1;
+    cfg.design = design;
+    cfg.clockGHz = 1.0;
+    cfg.offloadSetupCycles = kSetup;
+    cfg.contextSwitchCycles = kSwitch;
+    cfg.driverWaitsForAck = true;
+    return cfg;
+}
+
+AcceleratorConfig
+device()
+{
+    AcceleratorConfig acc;
+    acc.speedupFactor = 6; // service = 250 cycles + eps per kernel
+    acc.fixedLatencyCycles = kTransfer;
+    acc.channels = 8;
+    return acc;
+}
+
+/** Hand-computed core cycles per request for a design. */
+double
+expectedPerRequestCycles(ThreadingDesign design, std::uint32_t kernels)
+{
+    double service = kKernel / 6.0;
+    double per_offload = 0;
+    switch (design) {
+      case ThreadingDesign::Sync:
+        // o0 + held (transfer + service).
+        per_offload = kSetup + kTransfer + service;
+        break;
+      case ThreadingDesign::SyncOS:
+        // o0 + ack-hold transfer + two switches.
+        per_offload = kSetup + kTransfer + 2 * kSwitch;
+        break;
+      case ThreadingDesign::AsyncSameThread:
+      case ThreadingDesign::AsyncNoResponse:
+        per_offload = kSetup + kTransfer;
+        break;
+      case ThreadingDesign::AsyncDistinctThread:
+        per_offload = kSetup + kTransfer + kSwitch;
+        break;
+    }
+    return kNonKernel + kernels * per_offload;
+}
+
+class DesignMatrixTest
+    : public testing::TestWithParam<std::tuple<ThreadingDesign, int>>
+{
+};
+
+TEST_P(DesignMatrixTest, ThroughputMatchesHandArithmetic)
+{
+    auto [design, kernels] = GetParam();
+    ServiceSim sim(config(design), device(),
+                   workload(static_cast<std::uint32_t>(kernels)), 3);
+    ServiceMetrics m = sim.run(0.1, 0.02);
+    double expected = 1e9 /
+        expectedPerRequestCycles(design,
+                                 static_cast<std::uint32_t>(kernels));
+    EXPECT_NEAR(m.qps(), expected, expected * 0.03)
+        << toString(design) << " kernels=" << kernels;
+    // Up to a few requests straddle the window boundary: offloads issued
+    // but completion unobserved.
+    EXPECT_NEAR(static_cast<double>(m.offloadsIssued),
+                static_cast<double>(m.requestsCompleted) * kernels,
+                4.0 * kernels);
+}
+
+std::string
+designMatrixName(
+    const testing::TestParamInfo<std::tuple<ThreadingDesign, int>> &info)
+{
+    std::string name = toString(std::get<0>(info.param));
+    std::string out;
+    for (char c : name)
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            out += c;
+    return out + "K" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, DesignMatrixTest,
+    testing::Combine(
+        testing::Values(ThreadingDesign::Sync, ThreadingDesign::SyncOS,
+                        ThreadingDesign::AsyncSameThread,
+                        ThreadingDesign::AsyncDistinctThread,
+                        ThreadingDesign::AsyncNoResponse),
+        testing::Values(1, 3)),
+    designMatrixName);
+
+TEST(DesignMatrix, SuperLinearKernelsCostQuadratically)
+{
+    WorkloadSpec w = workload(1);
+    w.beta = 2.0;
+    w.cyclesPerByte = 0.01; // 0.01 * 750^2 = 5625 cycles per kernel
+    ServiceConfig cfg = config(ThreadingDesign::Sync);
+    cfg.accelerated = false;
+    ServiceSim sim(cfg, device(), w, 4);
+    ServiceMetrics m = sim.run(0.05, 0.01);
+    double expected = 1e9 / (kNonKernel + 0.01 * 750.0 * 750.0);
+    EXPECT_NEAR(m.qps(), expected, expected * 0.03);
+}
+
+TEST(DesignMatrix, NoAckOverlapsTransfer)
+{
+    // driverWaitsForAck = false: the transfer leaves the host path, so
+    // async throughput rises by exactly the transfer hold.
+    ServiceConfig with_ack = config(ThreadingDesign::AsyncSameThread);
+    ServiceConfig without_ack = with_ack;
+    without_ack.driverWaitsForAck = false;
+    double q_ack =
+        ServiceSim(with_ack, device(), workload(1), 5).run(0.05).qps();
+    double q_free = ServiceSim(without_ack, device(), workload(1), 5)
+                        .run(0.05)
+                        .qps();
+    double expected_ratio = (kNonKernel + kSetup + kTransfer) /
+                            (kNonKernel + kSetup);
+    EXPECT_NEAR(q_free / q_ack, expected_ratio, 0.02);
+}
+
+TEST(DesignMatrix, StolenPickupCyclesAccounted)
+{
+    // Response pickup work must appear in throughput: adding
+    // responsePickupCycles = 500 per offload costs exactly that much
+    // core time per request.
+    ServiceConfig cfg = config(ThreadingDesign::AsyncSameThread);
+    ServiceConfig with_pickup = cfg;
+    with_pickup.responsePickupCycles = 500;
+    double base =
+        ServiceSim(cfg, device(), workload(1), 6).run(0.05).qps();
+    double picked = ServiceSim(with_pickup, device(), workload(1), 6)
+                        .run(0.05)
+                        .qps();
+    double expected_ratio =
+        (kNonKernel + kSetup + kTransfer + 500) /
+        (kNonKernel + kSetup + kTransfer);
+    EXPECT_NEAR(base / picked, expected_ratio, 0.02);
+}
+
+} // namespace
+} // namespace accel::microsim

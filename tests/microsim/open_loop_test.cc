@@ -1,0 +1,155 @@
+/** @file Tests for the open-loop (Poisson arrivals) simulator mode. */
+
+#include <gtest/gtest.h>
+
+#include "microsim/service_sim.hh"
+#include "util/logging.hh"
+
+namespace accel::microsim {
+namespace {
+
+using model::ThreadingDesign;
+
+WorkloadSpec
+workload()
+{
+    WorkloadSpec w;
+    w.nonKernelCyclesMean = 4000;
+    w.nonKernelCv = 0.0;
+    w.kernelsPerRequest = 1;
+    w.granularity = std::make_shared<const BucketDist>(
+        std::vector<DistBucket>{{500, 501, 1.0}});
+    w.cyclesPerByte = 2.0; // request ~5000 cycles total
+    return w;
+}
+
+ServiceConfig
+config(double arrivalsPerSec)
+{
+    ServiceConfig cfg;
+    cfg.cores = 1;
+    cfg.threads = 1;
+    cfg.design = ThreadingDesign::Sync;
+    cfg.clockGHz = 1.0;
+    cfg.accelerated = false;
+    cfg.openArrivalsPerSec = arrivalsPerSec;
+    return cfg;
+}
+
+TEST(OpenLoop, ThroughputEqualsOfferedLoadBelowSaturation)
+{
+    // Capacity ~200k req/s; offer 50k.
+    ServiceSim sim(config(50000), AcceleratorConfig{}, workload(), 9);
+    ServiceMetrics m = sim.run(0.2, 0.05);
+    EXPECT_NEAR(m.qps(), 50000, 2500);
+    EXPECT_NEAR(static_cast<double>(m.requestsArrived),
+                static_cast<double>(m.requestsCompleted),
+                0.05 * m.requestsArrived);
+}
+
+TEST(OpenLoop, SaturationCapsThroughputAtCapacity)
+{
+    // Offer 2x capacity: completions cap near 200k/s.
+    ServiceSim sim(config(400000), AcceleratorConfig{}, workload(), 9);
+    ServiceMetrics m = sim.run(0.1, 0.02);
+    EXPECT_NEAR(m.qps(), 200000, 8000);
+    EXPECT_GT(m.requestsArrived, m.requestsCompleted);
+}
+
+TEST(OpenLoop, LatencyIncludesQueueingAndGrowsWithLoad)
+{
+    auto latency = [](double load) {
+        ServiceSim sim(config(load), AcceleratorConfig{}, workload(),
+                       11);
+        return sim.run(0.2, 0.05).meanLatencyCycles();
+    };
+    double low = latency(20000);   // rho = 0.1
+    double mid = latency(140000);  // rho = 0.7
+    double high = latency(190000); // rho = 0.95
+    // M/D/1-ish: service ~5000 cycles; queueing inflates with rho.
+    EXPECT_NEAR(low, 5000, 600);
+    EXPECT_GT(mid, low * 1.5);
+    EXPECT_GT(high, mid * 2.0);
+}
+
+TEST(OpenLoop, TailQuantilesOrdered)
+{
+    ServiceSim sim(config(150000), AcceleratorConfig{}, workload(), 12);
+    ServiceMetrics m = sim.run(0.2, 0.05);
+    double p50 = m.latencySample.p50();
+    double p95 = m.latencySample.p95();
+    double p99 = m.latencySample.p99();
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_GE(p50, 5000); // at least the service time
+    EXPECT_GT(p99, p50);  // queueing creates a real tail
+}
+
+TEST(OpenLoop, AcceleratedServiceHoldsSloLonger)
+{
+    // The model's purpose: acceleration raises the load at which the
+    // latency SLO still holds. At 85% of baseline capacity, the
+    // accelerated instance (Sync offload, A = 5) runs at lower
+    // utilization and hence far lower p99.
+    const double load = 170000;
+    ServiceConfig base = config(load);
+    ServiceConfig accel_cfg = base;
+    accel_cfg.accelerated = true;
+    AcceleratorConfig dev;
+    dev.speedupFactor = 5;
+    dev.fixedLatencyCycles = 50;
+
+    ServiceMetrics slow =
+        ServiceSim(base, dev, workload(), 13).run(0.2, 0.05);
+    ServiceMetrics fast =
+        ServiceSim(accel_cfg, dev, workload(), 13).run(0.2, 0.05);
+    EXPECT_LT(fast.latencySample.p99(),
+              slow.latencySample.p99() * 0.6);
+}
+
+TEST(OpenLoop, MultiThreadDrainsQueueFaster)
+{
+    ServiceConfig one = config(150000);
+    ServiceConfig four = one;
+    four.cores = 4;
+    four.threads = 4;
+    ServiceMetrics m1 =
+        ServiceSim(one, AcceleratorConfig{}, workload(), 14)
+            .run(0.1, 0.02);
+    ServiceMetrics m4 =
+        ServiceSim(four, AcceleratorConfig{}, workload(), 14)
+            .run(0.1, 0.02);
+    // Same offered load, 4x capacity: near-zero queueing.
+    EXPECT_LT(m4.meanLatencyCycles(), m1.meanLatencyCycles());
+    EXPECT_NEAR(m4.meanLatencyCycles(), 5000, 600);
+}
+
+TEST(OpenLoop, ClosedLoopUnaffectedByDefault)
+{
+    ServiceConfig cfg = config(0);
+    ServiceSim sim(cfg, AcceleratorConfig{}, workload(), 15);
+    ServiceMetrics m = sim.run(0.05, 0.01);
+    EXPECT_EQ(m.requestsArrived, 0u);
+    EXPECT_NEAR(m.qps(), 200000, 4000);
+}
+
+TEST(OpenLoop, DeterministicArrivals)
+{
+    auto run = [] {
+        ServiceSim sim(config(120000), AcceleratorConfig{}, workload(),
+                       99);
+        ServiceMetrics m = sim.run(0.05, 0.01);
+        return std::make_pair(m.requestsArrived, m.requestsCompleted);
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(OpenLoop, RejectsNegativeRate)
+{
+    ServiceConfig cfg = config(0);
+    cfg.openArrivalsPerSec = -1;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+} // namespace
+} // namespace accel::microsim

@@ -1,0 +1,128 @@
+/** @file Tests for workload specs and request sampling. */
+
+#include "microsim/request_gen.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel::microsim {
+namespace {
+
+std::shared_ptr<const BucketDist>
+sizes()
+{
+    return std::make_shared<const BucketDist>(
+        std::vector<DistBucket>{{100, 200, 1.0}});
+}
+
+WorkloadSpec
+spec()
+{
+    WorkloadSpec s;
+    s.nonKernelCyclesMean = 5000;
+    s.nonKernelCv = 0.0;
+    s.kernelsPerRequest = 2;
+    s.granularity = sizes();
+    s.cyclesPerByte = 4.0;
+    return s;
+}
+
+TEST(WorkloadSpec, ValidationRules)
+{
+    EXPECT_NO_THROW(spec().validate());
+
+    WorkloadSpec s = spec();
+    s.kernelsPerRequest = 1;
+    s.granularity = nullptr;
+    EXPECT_THROW(s.validate(), FatalError);
+
+    s = spec();
+    s.cyclesPerByte = 0;
+    EXPECT_THROW(s.validate(), FatalError);
+
+    s = spec();
+    s.nonKernelCyclesMean = 0;
+    s.kernelsPerRequest = 0;
+    EXPECT_THROW(s.validate(), FatalError);
+
+    s = spec();
+    s.beta = 0;
+    EXPECT_THROW(s.validate(), FatalError);
+}
+
+TEST(WorkloadSpec, ImpliedAlpha)
+{
+    WorkloadSpec s = spec();
+    // Mean granularity 150, Cb 4, 2 kernels: 1200 kernel cycles.
+    EXPECT_NEAR(s.meanKernelCycles(), 1200, 1e-9);
+    EXPECT_NEAR(s.impliedAlpha(), 1200.0 / 6200.0, 1e-9);
+}
+
+TEST(RequestSource, DeterministicRequests)
+{
+    RequestSource a(spec(), 42), b(spec(), 42);
+    for (int i = 0; i < 20; ++i) {
+        Request ra = a.next(), rb = b.next();
+        EXPECT_DOUBLE_EQ(ra.nonKernelCycles(), rb.nonKernelCycles());
+        ASSERT_EQ(ra.kernels.size(), rb.kernels.size());
+        for (size_t k = 0; k < ra.kernels.size(); ++k)
+            EXPECT_DOUBLE_EQ(ra.kernels[k].bytes, rb.kernels[k].bytes);
+    }
+}
+
+TEST(RequestSource, KernelCyclesFollowGranularity)
+{
+    RequestSource src(spec(), 7);
+    for (int i = 0; i < 100; ++i) {
+        Request r = src.next();
+        ASSERT_EQ(r.kernels.size(), 2u);
+        for (const auto &k : r.kernels) {
+            EXPECT_GE(k.bytes, 100);
+            EXPECT_LT(k.bytes, 200);
+            EXPECT_DOUBLE_EQ(k.hostCycles, 4.0 * k.bytes);
+        }
+    }
+}
+
+TEST(RequestSource, ZeroCvMakesDeterministicNonKernel)
+{
+    RequestSource src(spec(), 7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(src.next().nonKernelCycles(), 5000);
+}
+
+TEST(RequestSource, LogNormalPreservesMean)
+{
+    WorkloadSpec s = spec();
+    s.nonKernelCv = 0.5;
+    RequestSource src(s, 8);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += src.next().nonKernelCycles();
+    EXPECT_NEAR(sum / n, 5000, 50);
+}
+
+TEST(RequestSource, TotalHostCycles)
+{
+    RequestSource src(spec(), 9);
+    Request r = src.next();
+    double expected = r.nonKernelCycles();
+    for (const auto &k : r.kernels)
+        expected += k.hostCycles;
+    EXPECT_DOUBLE_EQ(r.totalHostCycles(), expected);
+}
+
+TEST(RequestSource, SuperLinearKernelCycles)
+{
+    WorkloadSpec s = spec();
+    s.beta = 2.0;
+    RequestSource src(s, 10);
+    Request r = src.next();
+    for (const auto &k : r.kernels)
+        EXPECT_DOUBLE_EQ(k.hostCycles, 4.0 * k.bytes * k.bytes);
+}
+
+} // namespace
+} // namespace accel::microsim

@@ -1,0 +1,415 @@
+/** @file Equation-level and property tests of the Accelerometer model. */
+
+#include "model/accelerometer.hh"
+
+#include <cctype>
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel::model {
+namespace {
+
+Params
+baseParams()
+{
+    Params p;
+    p.hostCycles = 1e9;
+    p.alpha = 0.3;
+    p.offloads = 1e5;
+    p.setupCycles = 50;
+    p.queueCycles = 20;
+    p.interfaceCycles = 200;
+    p.threadSwitchCycles = 1000;
+    p.accelFactor = 8;
+    return p;
+}
+
+/** Hand-evaluate eq. (1). */
+double
+eq1(const Params &p)
+{
+    return 1.0 / ((1 - p.alpha) + p.alpha / p.accelFactor +
+                  p.offloads / p.hostCycles *
+                      (p.setupCycles + p.interfaceCycles + p.queueCycles));
+}
+
+TEST(Equations, SyncMatchesEq1)
+{
+    Params p = baseParams();
+    Accelerometer m(p);
+    EXPECT_NEAR(m.speedup(ThreadingDesign::Sync), eq1(p), 1e-12);
+    EXPECT_NEAR(m.latencyReduction(ThreadingDesign::Sync), eq1(p), 1e-12);
+}
+
+TEST(Equations, SyncOSMatchesEq3And5)
+{
+    Params p = baseParams();
+    Accelerometer m(p);
+    double ovh = p.setupCycles + p.interfaceCycles + p.queueCycles;
+    double eq3 = 1.0 / ((1 - p.alpha) + p.offloads / p.hostCycles *
+                                            (ovh + 2 * p.threadSwitchCycles));
+    double eq5 = 1.0 /
+        ((1 - p.alpha) + p.alpha / p.accelFactor +
+         p.offloads / p.hostCycles * (ovh + p.threadSwitchCycles));
+    EXPECT_NEAR(m.speedup(ThreadingDesign::SyncOS), eq3, 1e-12);
+    EXPECT_NEAR(m.latencyReduction(ThreadingDesign::SyncOS), eq5, 1e-12);
+}
+
+TEST(Equations, AsyncSameThreadMatchesEq6And8)
+{
+    Params p = baseParams();
+    Accelerometer m(p);
+    double ovh = p.setupCycles + p.interfaceCycles + p.queueCycles;
+    double eq6 = 1.0 / ((1 - p.alpha) + p.offloads / p.hostCycles * ovh);
+    double eq8 = 1.0 / ((1 - p.alpha) + p.alpha / p.accelFactor +
+                        p.offloads / p.hostCycles * ovh);
+    EXPECT_NEAR(m.speedup(ThreadingDesign::AsyncSameThread), eq6, 1e-12);
+    EXPECT_NEAR(m.latencyReduction(ThreadingDesign::AsyncSameThread), eq8,
+                1e-12);
+}
+
+TEST(Equations, AsyncDistinctThreadSingleSwitch)
+{
+    Params p = baseParams();
+    Accelerometer m(p);
+    double ovh = p.setupCycles + p.interfaceCycles + p.queueCycles;
+    double speedup = 1.0 /
+        ((1 - p.alpha) +
+         p.offloads / p.hostCycles * (ovh + p.threadSwitchCycles));
+    EXPECT_NEAR(m.speedup(ThreadingDesign::AsyncDistinctThread), speedup,
+                1e-12);
+    // Latency matches eq. (5).
+    EXPECT_NEAR(m.latencyReduction(ThreadingDesign::AsyncDistinctThread),
+                m.latencyReduction(ThreadingDesign::SyncOS), 1e-12);
+}
+
+TEST(Equations, AsyncNoResponseSpeedupMatchesEq6)
+{
+    Params p = baseParams();
+    Accelerometer m(p);
+    EXPECT_NEAR(m.speedup(ThreadingDesign::AsyncNoResponse),
+                m.speedup(ThreadingDesign::AsyncSameThread), 1e-12);
+}
+
+TEST(Equations, AsyncNoResponseRemoteLatencyExcludesAccelerator)
+{
+    Params p = baseParams();
+    p.strategy = Strategy::OffChip;
+    Accelerometer off_chip(p);
+    p.strategy = Strategy::Remote;
+    Accelerometer remote(p);
+    // Off-chip: accelerator time on the request path (eq. 8); remote:
+    // it moves to the end-to-end path (eq. 6).
+    EXPECT_LT(off_chip.latencyReduction(ThreadingDesign::AsyncNoResponse),
+              remote.latencyReduction(ThreadingDesign::AsyncNoResponse));
+    EXPECT_NEAR(remote.latencyReduction(ThreadingDesign::AsyncNoResponse),
+                remote.speedup(ThreadingDesign::AsyncNoResponse), 1e-12);
+}
+
+TEST(Equations, PartialOffloadKeepsResidualOnHost)
+{
+    Params p = baseParams();
+    p.offloadedFraction = 0.6;
+    Accelerometer m(p);
+    double expected = 1.0 /
+        ((1 - p.alpha) + p.alpha * 0.4 + p.alpha * 0.6 / p.accelFactor +
+         p.offloads / p.hostCycles * p.dispatchCycles());
+    EXPECT_NEAR(m.speedup(ThreadingDesign::Sync), expected, 1e-12);
+}
+
+TEST(Properties, NoOverheadInfiniteAcceleratorHitsAmdahl)
+{
+    Params p = baseParams();
+    p.setupCycles = p.queueCycles = p.interfaceCycles = 0;
+    p.threadSwitchCycles = 0;
+    p.accelFactor = 1e12;
+    Accelerometer m(p);
+    for (ThreadingDesign d :
+         {ThreadingDesign::Sync, ThreadingDesign::SyncOS,
+          ThreadingDesign::AsyncSameThread}) {
+        EXPECT_NEAR(m.speedup(d), m.idealSpeedup(), 1e-3);
+    }
+}
+
+TEST(Properties, ZeroOffloadsMeansNoChange)
+{
+    Params p = baseParams();
+    p.offloads = 0;
+    p.offloadedFraction = 0;
+    Accelerometer m(p);
+    EXPECT_NEAR(m.speedup(ThreadingDesign::Sync), 1.0, 1e-12);
+}
+
+TEST(Properties, IdealSpeedupIsAmdahl)
+{
+    Params p = baseParams();
+    Accelerometer m(p);
+    EXPECT_NEAR(m.idealSpeedup(), 1.0 / (1.0 - 0.3), 1e-12);
+    p.alpha = 1.0;
+    Accelerometer full(p);
+    EXPECT_TRUE(std::isinf(full.idealSpeedup()));
+}
+
+TEST(Properties, SpeedupOrderingAcrossDesigns)
+{
+    // With nonzero o1, async-same-thread beats distinct-thread beats
+    // Sync-OS on throughput; Sync loses to async because the accelerator
+    // sits on its critical path.
+    Params p = baseParams();
+    Accelerometer m(p);
+    double sync = m.speedup(ThreadingDesign::Sync);
+    double sync_os = m.speedup(ThreadingDesign::SyncOS);
+    double async_same = m.speedup(ThreadingDesign::AsyncSameThread);
+    double async_distinct =
+        m.speedup(ThreadingDesign::AsyncDistinctThread);
+    EXPECT_GT(async_same, async_distinct);
+    EXPECT_GT(async_distinct, sync_os);
+    EXPECT_GT(async_same, sync);
+}
+
+TEST(Properties, ProfitableMatchesSpeedupAboveOne)
+{
+    Params p = baseParams();
+    Accelerometer m(p);
+    for (ThreadingDesign d :
+         {ThreadingDesign::Sync, ThreadingDesign::SyncOS,
+          ThreadingDesign::AsyncSameThread}) {
+        EXPECT_EQ(m.profitable(d), m.speedup(d) > 1.0);
+    }
+}
+
+TEST(Properties, AcceleratedCyclesAccessorsConsistent)
+{
+    // speedup == C/CS and latencyReduction == C/CL by definition.
+    Params p = baseParams();
+    Accelerometer m(p);
+    for (ThreadingDesign d :
+         {ThreadingDesign::Sync, ThreadingDesign::SyncOS,
+          ThreadingDesign::AsyncSameThread,
+          ThreadingDesign::AsyncDistinctThread,
+          ThreadingDesign::AsyncNoResponse}) {
+        EXPECT_NEAR(p.hostCycles / m.acceleratedHostCycles(d),
+                    m.speedup(d), 1e-12);
+        EXPECT_NEAR(p.hostCycles / m.acceleratedRequestCycles(d),
+                    m.latencyReduction(d), 1e-12);
+    }
+}
+
+TEST(Properties, ConstructionValidates)
+{
+    Params p = baseParams();
+    p.alpha = 2.0;
+    EXPECT_THROW(Accelerometer{p}, FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Monotonicity sweeps (property tests over the parameter space).
+// ---------------------------------------------------------------------
+
+class MonotonicityTest
+    : public testing::TestWithParam<ThreadingDesign>
+{
+};
+
+TEST_P(MonotonicityTest, SpeedupNonIncreasingInInterfaceLatency)
+{
+    Params p = baseParams();
+    double prev = std::numeric_limits<double>::infinity();
+    for (double L : {0.0, 10.0, 100.0, 1000.0, 10000.0}) {
+        p.interfaceCycles = L;
+        Accelerometer m(p);
+        double s = m.speedup(GetParam());
+        EXPECT_LE(s, prev + 1e-12);
+        prev = s;
+    }
+}
+
+TEST_P(MonotonicityTest, SpeedupNonIncreasingInSetupCycles)
+{
+    Params p = baseParams();
+    double prev = std::numeric_limits<double>::infinity();
+    for (double o0 : {0.0, 10.0, 100.0, 1000.0}) {
+        p.setupCycles = o0;
+        Accelerometer m(p);
+        double s = m.speedup(GetParam());
+        EXPECT_LE(s, prev + 1e-12);
+        prev = s;
+    }
+}
+
+TEST_P(MonotonicityTest, SpeedupNonIncreasingInQueueCycles)
+{
+    Params p = baseParams();
+    double prev = std::numeric_limits<double>::infinity();
+    for (double q : {0.0, 5.0, 50.0, 500.0}) {
+        p.queueCycles = q;
+        Accelerometer m(p);
+        double s = m.speedup(GetParam());
+        EXPECT_LE(s, prev + 1e-12);
+        prev = s;
+    }
+}
+
+TEST_P(MonotonicityTest, SpeedupNonDecreasingInAccelFactor)
+{
+    Params p = baseParams();
+    double prev = 0;
+    for (double a : {1.0, 2.0, 4.0, 16.0, 256.0}) {
+        p.accelFactor = a;
+        Accelerometer m(p);
+        double s = m.speedup(GetParam());
+        EXPECT_GE(s, prev - 1e-12);
+        prev = s;
+    }
+}
+
+TEST_P(MonotonicityTest, LatencyReductionNonIncreasingInSwitchCost)
+{
+    Params p = baseParams();
+    double prev = std::numeric_limits<double>::infinity();
+    for (double o1 : {0.0, 100.0, 1000.0, 10000.0}) {
+        p.threadSwitchCycles = o1;
+        Accelerometer m(p);
+        double s = m.latencyReduction(GetParam());
+        EXPECT_LE(s, prev + 1e-12);
+        prev = s;
+    }
+}
+
+TEST_P(MonotonicityTest, LatencyNeverBetterThanThroughputForAsync)
+{
+    // For async designs the accelerator is off the throughput path but
+    // on the latency path, so C/CL <= C/CS. (Sync is equal by
+    // construction; Sync-OS can go either way because its throughput
+    // path carries 2*o1 but its latency path only one — the paper's
+    // "throughput gain at the cost of a latency slowdown" trade-off.)
+    if (GetParam() == ThreadingDesign::Sync ||
+        GetParam() == ThreadingDesign::SyncOS) {
+        return;
+    }
+    Params p = baseParams();
+    Accelerometer m(p);
+    EXPECT_LE(m.latencyReduction(GetParam()),
+              m.speedup(GetParam()) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, MonotonicityTest,
+    testing::Values(ThreadingDesign::Sync, ThreadingDesign::SyncOS,
+                    ThreadingDesign::AsyncSameThread,
+                    ThreadingDesign::AsyncDistinctThread,
+                    ThreadingDesign::AsyncNoResponse),
+    [](const testing::TestParamInfo<ThreadingDesign> &info) {
+        std::string name = toString(info.param);
+        std::string out;
+        for (char c : name)
+            if (std::isalnum(static_cast<unsigned char>(c)))
+                out += c;
+        return out;
+    });
+
+// ---------------------------------------------------------------------
+// Per-offload profitability (eqs. 2, 4, 7).
+// ---------------------------------------------------------------------
+
+TEST(OffloadProfit, SyncBreakEvenMatchesEq2)
+{
+    // Cb*g*(1 - 1/A) > o0 + L + Q  =>  g* = ovh / (Cb (1 - 1/A)).
+    Params p = baseParams();
+    OffloadProfit profit{10.0, 1.0};
+    double ovh = p.setupCycles + p.interfaceCycles + p.queueCycles;
+    double expected = ovh / (10.0 * (1.0 - 1.0 / p.accelFactor));
+    double g = profit.breakEvenSpeedup(ThreadingDesign::Sync, p);
+    EXPECT_NEAR(g, expected, 1e-9);
+    EXPECT_FALSE(profit.improvesSpeedup(g * 0.99, ThreadingDesign::Sync,
+                                        p));
+    EXPECT_TRUE(profit.improvesSpeedup(g * 1.01, ThreadingDesign::Sync,
+                                       p));
+}
+
+TEST(OffloadProfit, SyncOSBreakEvenMatchesEq4)
+{
+    Params p = baseParams();
+    OffloadProfit profit{10.0, 1.0};
+    double ovh = p.setupCycles + p.interfaceCycles + p.queueCycles +
+                 2 * p.threadSwitchCycles;
+    EXPECT_NEAR(profit.breakEvenSpeedup(ThreadingDesign::SyncOS, p),
+                ovh / 10.0, 1e-9);
+}
+
+TEST(OffloadProfit, AsyncBreakEvenMatchesEq7)
+{
+    Params p = baseParams();
+    OffloadProfit profit{10.0, 1.0};
+    double ovh = p.setupCycles + p.interfaceCycles + p.queueCycles;
+    EXPECT_NEAR(
+        profit.breakEvenSpeedup(ThreadingDesign::AsyncSameThread, p),
+        ovh / 10.0, 1e-9);
+}
+
+TEST(OffloadProfit, LatencyBreakEvenIncludesAcceleratorAndSwitch)
+{
+    Params p = baseParams();
+    OffloadProfit profit{10.0, 1.0};
+    double ovh = p.setupCycles + p.interfaceCycles + p.queueCycles +
+                 p.threadSwitchCycles;
+    double expected = ovh / (10.0 * (1.0 - 1.0 / p.accelFactor));
+    EXPECT_NEAR(profit.breakEvenLatency(ThreadingDesign::SyncOS, p),
+                expected, 1e-9);
+}
+
+TEST(OffloadProfit, UnityAcceleratorNeverProfitsSync)
+{
+    Params p = baseParams();
+    p.accelFactor = 1.0;
+    OffloadProfit profit{10.0, 1.0};
+    EXPECT_TRUE(std::isinf(
+        profit.breakEvenSpeedup(ThreadingDesign::Sync, p)));
+    EXPECT_FALSE(profit.improvesSpeedup(1e12, ThreadingDesign::Sync, p));
+}
+
+TEST(OffloadProfit, UnityAcceleratorCanProfitAsync)
+{
+    // A remote CPU (A = 1) still frees host cycles under async offload.
+    Params p = baseParams();
+    p.accelFactor = 1.0;
+    OffloadProfit profit{10.0, 1.0};
+    double g =
+        profit.breakEvenSpeedup(ThreadingDesign::AsyncSameThread, p);
+    EXPECT_TRUE(std::isfinite(g));
+    EXPECT_TRUE(
+        profit.improvesSpeedup(g * 1.01, ThreadingDesign::AsyncSameThread,
+                               p));
+}
+
+TEST(OffloadProfit, ZeroOverheadBreaksEvenImmediately)
+{
+    Params p = baseParams();
+    p.setupCycles = p.queueCycles = p.interfaceCycles = 0;
+    OffloadProfit profit{10.0, 1.0};
+    EXPECT_DOUBLE_EQ(profit.breakEvenSpeedup(ThreadingDesign::Sync, p),
+                     0.0);
+}
+
+TEST(OffloadProfit, SuperLinearKernelShrinksBreakEven)
+{
+    Params p = baseParams();
+    OffloadProfit linear{10.0, 1.0};
+    OffloadProfit quadratic{10.0, 2.0};
+    EXPECT_LT(quadratic.breakEvenSpeedup(ThreadingDesign::Sync, p),
+              linear.breakEvenSpeedup(ThreadingDesign::Sync, p));
+}
+
+TEST(OffloadProfit, HostKernelCyclesFollowsComplexity)
+{
+    OffloadProfit profit{2.0, 2.0};
+    EXPECT_DOUBLE_EQ(profit.hostKernelCycles(10), 200.0);
+    EXPECT_THROW(profit.hostKernelCycles(-1), FatalError);
+}
+
+} // namespace
+} // namespace accel::model

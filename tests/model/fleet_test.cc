@@ -1,0 +1,87 @@
+/** @file Tests for fleet-level projection. */
+
+#include "model/fleet.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel::model {
+namespace {
+
+FleetService
+service(const std::string &name, double servers, double alpha,
+        double accel_factor)
+{
+    FleetService svc;
+    svc.name = name;
+    svc.servers = servers;
+    svc.params.hostCycles = 2e9;
+    svc.params.alpha = alpha;
+    svc.params.offloads = 1000;
+    svc.params.accelFactor = accel_factor;
+    svc.design = ThreadingDesign::Sync;
+    return svc;
+}
+
+TEST(Fleet, SingleServiceMatchesItsOwnSpeedup)
+{
+    FleetService svc = service("cache", 1000, 0.2, 10);
+    FleetProjection fleet = projectFleet({svc});
+    EXPECT_NEAR(fleet.fleetSpeedup, svc.speedup(), 1e-12);
+    EXPECT_NEAR(fleet.serversFreed,
+                1000 * (1.0 - 1.0 / svc.speedup()), 1e-9);
+}
+
+TEST(Fleet, WeightsByServerCount)
+{
+    // A tiny service with huge speedup moves the fleet less than a huge
+    // service with modest speedup.
+    FleetService big = service("web", 10000, 0.10, 100);
+    FleetService small = service("ml", 100, 0.60, 100);
+    FleetProjection fleet = projectFleet({big, small});
+    double big_only = projectFleet({big}).fleetSpeedup;
+    EXPECT_NEAR(fleet.fleetSpeedup, big_only, 0.02);
+    EXPECT_GT(fleet.fleetSpeedup, big_only);
+}
+
+TEST(Fleet, HarmonicCompositionExact)
+{
+    FleetService a = service("a", 300, 0.25, 5);
+    FleetService b = service("b", 700, 0.40, 5);
+    FleetProjection fleet = projectFleet({a, b});
+    double expected =
+        1000.0 / (300.0 / a.speedup() + 700.0 / b.speedup());
+    EXPECT_NEAR(fleet.fleetSpeedup, expected, 1e-12);
+    EXPECT_NEAR(fleet.capacityFraction(),
+                fleet.serversFreed / 1000.0, 1e-12);
+}
+
+TEST(Fleet, NoAccelerationFreesNothing)
+{
+    FleetService svc = service("flat", 500, 0.2, 1);
+    svc.params.offloads = 0;
+    svc.params.offloadedFraction = 0;
+    FleetProjection fleet = projectFleet({svc});
+    EXPECT_NEAR(fleet.fleetSpeedup, 1.0, 1e-12);
+    EXPECT_NEAR(fleet.serversFreed, 0.0, 1e-9);
+}
+
+TEST(Fleet, PerServiceBreakdownReported)
+{
+    FleetProjection fleet = projectFleet(
+        {service("a", 1, 0.2, 4), service("b", 1, 0.3, 4)});
+    ASSERT_EQ(fleet.perService.size(), 2u);
+    EXPECT_EQ(fleet.perService[0].first, "a");
+    EXPECT_GT(fleet.perService[1].second, fleet.perService[0].second);
+}
+
+TEST(Fleet, RejectsBadInput)
+{
+    EXPECT_THROW(projectFleet({}), FatalError);
+    FleetService svc = service("zero", 0, 0.2, 4);
+    EXPECT_THROW(projectFleet({svc}), FatalError);
+}
+
+} // namespace
+} // namespace accel::model

@@ -1,0 +1,142 @@
+/** @file Tests for granularity-aware offload planning. */
+
+#include "model/granularity.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel::model {
+namespace {
+
+Params
+offChipParams()
+{
+    Params p;
+    p.hostCycles = 1e9;
+    p.alpha = 0.2;
+    p.interfaceCycles = 1000;
+    p.accelFactor = 10;
+    return p;
+}
+
+BucketDist
+sizes()
+{
+    // Half the offloads at [0, 100), half at [1000, 2000).
+    return BucketDist({{0, 100, 1.0}, {1000, 2000, 1.0}});
+}
+
+TEST(Planning, BreakEvenSplitsDistribution)
+{
+    // Cb = 2: break-even g* = 1000 / (2 * 0.9) = 555.6 — between the
+    // two buckets, so exactly half the offloads are profitable.
+    OffloadProfit profit{2.0, 1.0};
+    auto plan = planOffloads(sizes(), 10000, 0.2, profit,
+                             ThreadingDesign::Sync, offChipParams());
+    EXPECT_NEAR(plan.breakEven, 555.6, 0.1);
+    EXPECT_NEAR(plan.profitableFraction, 0.5, 1e-9);
+    EXPECT_NEAR(plan.profitableOffloads, 5000, 1e-6);
+}
+
+TEST(Planning, CountWeightedAlphaScalesByCountFraction)
+{
+    OffloadProfit profit{2.0, 1.0};
+    auto plan = planOffloads(sizes(), 10000, 0.2, profit,
+                             ThreadingDesign::Sync, offChipParams(),
+                             AlphaWeighting::CountWeighted);
+    EXPECT_NEAR(plan.effectiveAlpha, 0.1, 1e-9);
+    EXPECT_NEAR(plan.offloadedFraction, 0.5, 1e-9);
+}
+
+TEST(Planning, BytesWeightedAlphaScalesByByteFraction)
+{
+    OffloadProfit profit{2.0, 1.0};
+    auto plan = planOffloads(sizes(), 10000, 0.2, profit,
+                             ThreadingDesign::Sync, offChipParams(),
+                             AlphaWeighting::BytesWeighted);
+    // Large bucket carries 0.5*1500 of 0.5*50 + 0.5*1500 bytes.
+    double expected = 1500.0 / (50.0 + 1500.0);
+    EXPECT_NEAR(plan.offloadedFraction, expected, 1e-9);
+    EXPECT_NEAR(plan.effectiveAlpha, 0.2 * expected, 1e-9);
+}
+
+TEST(Planning, BytesWeightingMovesMoreAlphaThanCounts)
+{
+    // Big offloads carry disproportionate bytes: bytes-weighted
+    // offloaded fraction must exceed count-weighted whenever the
+    // break-even cuts off the small end.
+    OffloadProfit profit{2.0, 1.0};
+    auto count = planOffloads(sizes(), 1000, 0.2, profit,
+                              ThreadingDesign::Sync, offChipParams(),
+                              AlphaWeighting::CountWeighted);
+    auto bytes = planOffloads(sizes(), 1000, 0.2, profit,
+                              ThreadingDesign::Sync, offChipParams(),
+                              AlphaWeighting::BytesWeighted);
+    EXPECT_GT(bytes.effectiveAlpha, count.effectiveAlpha);
+}
+
+TEST(Planning, AllProfitableWhenNoOverhead)
+{
+    Params p = offChipParams();
+    p.interfaceCycles = 0;
+    OffloadProfit profit{2.0, 1.0};
+    auto plan = planOffloads(sizes(), 100, 0.2, profit,
+                             ThreadingDesign::Sync, p);
+    EXPECT_DOUBLE_EQ(plan.profitableFraction, 1.0);
+    EXPECT_DOUBLE_EQ(plan.offloadedFraction, 1.0);
+}
+
+TEST(Planning, NoneProfitableWithUnityAccelerator)
+{
+    Params p = offChipParams();
+    p.accelFactor = 1.0;
+    OffloadProfit profit{2.0, 1.0};
+    auto plan = planOffloads(sizes(), 100, 0.2, profit,
+                             ThreadingDesign::Sync, p);
+    EXPECT_DOUBLE_EQ(plan.profitableFraction, 0.0);
+    EXPECT_DOUBLE_EQ(plan.profitableOffloads, 0.0);
+}
+
+TEST(Planning, ApplyPlanProducesValidParams)
+{
+    OffloadProfit profit{2.0, 1.0};
+    auto plan = planOffloads(sizes(), 10000, 0.2, profit,
+                             ThreadingDesign::Sync, offChipParams());
+    Params p = applyPlan(offChipParams(), 0.2, plan);
+    EXPECT_DOUBLE_EQ(p.alpha, 0.2);
+    EXPECT_DOUBLE_EQ(p.offloads, plan.profitableOffloads);
+    EXPECT_DOUBLE_EQ(p.offloadedFraction, plan.offloadedFraction);
+    EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Planning, AppliedPlanReducesSpeedupVsFullOffload)
+{
+    // Selectively offloading strictly fewer kernels cannot beat the
+    // hypothetical zero-overhead full offload.
+    OffloadProfit profit{2.0, 1.0};
+    auto plan = planOffloads(sizes(), 10000, 0.2, profit,
+                             ThreadingDesign::Sync, offChipParams());
+    Params partial = applyPlan(offChipParams(), 0.2, plan);
+    Params full = offChipParams();
+    full.alpha = 0.2;
+    full.offloads = plan.profitableOffloads;
+    full.interfaceCycles = 0;
+    Accelerometer pm(partial), fm(full);
+    EXPECT_LT(pm.speedup(ThreadingDesign::Sync),
+              fm.speedup(ThreadingDesign::Sync));
+}
+
+TEST(Planning, RejectsBadInputs)
+{
+    OffloadProfit profit{2.0, 1.0};
+    EXPECT_THROW(planOffloads(sizes(), -1, 0.2, profit,
+                              ThreadingDesign::Sync, offChipParams()),
+                 FatalError);
+    EXPECT_THROW(planOffloads(sizes(), 10, 1.5, profit,
+                              ThreadingDesign::Sync, offChipParams()),
+                 FatalError);
+}
+
+} // namespace
+} // namespace accel::model

@@ -1,0 +1,183 @@
+/** @file Tests for the LogCA baseline model. */
+
+#include "model/logca.hh"
+
+#include "model/accelerometer.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel::model {
+namespace {
+
+LogCAParams
+baseParams()
+{
+    return {/*latencyPerByte=*/0.5, /*overheadCycles=*/1000,
+            /*cyclesPerByte=*/10.0, /*accelFactor=*/20.0, /*beta=*/1.0};
+}
+
+TEST(LogCA, TimesFollowDefinition)
+{
+    LogCA m(baseParams());
+    EXPECT_DOUBLE_EQ(m.hostTime(100), 1000.0);
+    EXPECT_DOUBLE_EQ(m.accelTime(100), 1000 + 50 + 50);
+}
+
+TEST(LogCA, SpeedupIsHostOverAccel)
+{
+    LogCA m(baseParams());
+    EXPECT_NEAR(m.speedup(100), 1000.0 / 1100.0, 1e-12);
+}
+
+TEST(LogCA, SpeedupMonotoneInGranularity)
+{
+    LogCA m(baseParams());
+    double prev = 0;
+    for (double g = 1; g <= 1 << 20; g *= 4) {
+        double s = m.speedup(g);
+        EXPECT_GE(s, prev - 1e-12);
+        prev = s;
+    }
+}
+
+TEST(LogCA, G1IsBreakEven)
+{
+    LogCA m(baseParams());
+    double g1 = m.g1();
+    ASSERT_TRUE(std::isfinite(g1));
+    EXPECT_LT(m.speedup(g1 * 0.9), 1.0);
+    EXPECT_GE(m.speedup(g1 * 1.1), 1.0);
+    // Closed form for beta=1: o / (C (1 - 1/A) - L) = 1000 / 9.0.
+    EXPECT_NEAR(g1, 1000.0 / 9.0, 1.0);
+}
+
+TEST(LogCA, PeakSpeedupLinearKernel)
+{
+    LogCA m(baseParams());
+    // C / (L + C/A) = 10 / (0.5 + 0.5) = 10.
+    EXPECT_NEAR(m.peakSpeedup(), 10.0, 1e-9);
+    EXPECT_LT(m.peakSpeedup(), baseParams().accelFactor);
+}
+
+TEST(LogCA, GHalfReachesHalfPeak)
+{
+    LogCA m(baseParams());
+    double gh = m.gHalf();
+    ASSERT_TRUE(std::isfinite(gh));
+    EXPECT_NEAR(m.speedup(gh), m.peakSpeedup() / 2.0, 0.01);
+}
+
+TEST(LogCA, SuperLinearKernelReachesFullAcceleration)
+{
+    LogCAParams p = baseParams();
+    p.beta = 2.0;
+    LogCA m(p);
+    EXPECT_DOUBLE_EQ(m.peakSpeedup(), p.accelFactor);
+    // At large g the transfer cost amortizes away.
+    EXPECT_NEAR(m.speedup(1e6), p.accelFactor, 0.5);
+}
+
+TEST(LogCA, SubLinearKernelCollapses)
+{
+    LogCAParams p = baseParams();
+    p.beta = 0.5;
+    LogCA m(p);
+    EXPECT_DOUBLE_EQ(m.peakSpeedup(), 0.0);
+}
+
+TEST(LogCA, ZeroLatencyInterfaceBoundedByA)
+{
+    LogCAParams p = baseParams();
+    p.latencyPerByte = 0;
+    LogCA m(p);
+    EXPECT_DOUBLE_EQ(m.peakSpeedup(), p.accelFactor);
+}
+
+TEST(LogCA, UnreachableTargetIsInfinite)
+{
+    LogCAParams p = baseParams();
+    p.accelFactor = 1.0;
+    p.latencyPerByte = 1.0;
+    LogCA m(p);
+    // Offload always adds overhead: never breaks even.
+    EXPECT_TRUE(std::isinf(m.g1()));
+}
+
+TEST(LogCA, ValidatesParameters)
+{
+    LogCAParams p = baseParams();
+    p.cyclesPerByte = 0;
+    EXPECT_THROW(LogCA{p}, FatalError);
+    p = baseParams();
+    p.accelFactor = 0.5;
+    EXPECT_THROW(LogCA{p}, FatalError);
+    p = baseParams();
+    p.beta = 0;
+    EXPECT_THROW(LogCA{p}, FatalError);
+    p = baseParams();
+    p.latencyPerByte = -1;
+    EXPECT_THROW(LogCA{p}, FatalError);
+}
+
+TEST(LogCA, MatchesAccelerometerSyncAssumption)
+{
+    // LogCA assumes the CPU waits during the offload — the Sync design.
+    // For one offload of granularity g, Accelerometer's Sync CS over C
+    // must equal LogCA's accelTime over hostTime.
+    LogCAParams lp = baseParams();
+    double g = 10000;
+    LogCA logca(lp);
+
+    Params ap;
+    ap.hostCycles = lp.cyclesPerByte * g; // all cycles are the kernel
+    ap.alpha = 1.0;
+    ap.offloads = 1;
+    ap.setupCycles = lp.overheadCycles;
+    ap.interfaceCycles = lp.latencyPerByte * g;
+    ap.accelFactor = lp.accelFactor;
+    Accelerometer accel(ap);
+    EXPECT_NEAR(accel.speedup(ThreadingDesign::Sync), logca.speedup(g),
+                1e-9);
+}
+
+
+TEST(LogCA, PipelinedOverlapsTransferAndExecution)
+{
+    LogCAParams p = baseParams();
+    p.pipelined = true;
+    LogCA pipelined(p);
+    LogCA unpipelined(baseParams());
+    // transfer(100) = 50, execute(100) = 50: pipelined pays max = 50.
+    EXPECT_DOUBLE_EQ(pipelined.accelTime(100), 1000 + 50);
+    EXPECT_DOUBLE_EQ(unpipelined.accelTime(100), 1000 + 100);
+    EXPECT_GT(pipelined.speedup(100), unpipelined.speedup(100));
+}
+
+TEST(LogCA, PipelinedPeakBoundedBySlowerStage)
+{
+    LogCAParams p = baseParams();
+    p.pipelined = true;
+    LogCA m(p);
+    // C / max(L, C/A) = 10 / max(0.5, 0.5) = 20 = A here.
+    EXPECT_NEAR(m.peakSpeedup(), 20.0, 1e-9);
+    // Transfer-bound case: L dominates C/A.
+    p.latencyPerByte = 2.0;
+    LogCA bound(p);
+    EXPECT_NEAR(bound.peakSpeedup(), 5.0, 1e-9);
+}
+
+TEST(LogCA, PipelinedBreaksEvenEarlier)
+{
+    LogCAParams p = baseParams();
+    p.pipelined = true;
+    LogCA pipelined(p);
+    LogCA unpipelined(baseParams());
+    EXPECT_LT(pipelined.g1(), unpipelined.g1());
+}
+
+} // namespace
+} // namespace accel::model

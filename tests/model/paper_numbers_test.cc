@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Golden-number tests: every speedup the paper publishes in Table 6 and
+ * Fig. 20 must fall out of the model with the published parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/accelerometer.hh"
+#include "workload/request_factory.hh"
+
+namespace accel::model {
+namespace {
+
+// ------------------------- Table 6 -------------------------
+
+TEST(Table6, AesNiEstimatedSpeedup)
+{
+    // Row 1: C=2.0e9, α=0.165844, n=298,951, o0=10, Q=0, L=3, A=6 ->
+    // estimated 15.7 % under Sync (eq. 1).
+    Params p;
+    p.hostCycles = 2.0e9;
+    p.alpha = 0.165844;
+    p.offloads = 298951;
+    p.setupCycles = 10;
+    p.interfaceCycles = 3;
+    p.accelFactor = 6;
+    p.strategy = Strategy::OnChip;
+    Accelerometer m(p);
+    EXPECT_NEAR(m.speedup(ThreadingDesign::Sync) - 1.0, 0.157, 0.002);
+}
+
+TEST(Table6, OffChipEncryptionEstimatedSpeedup)
+{
+    // Row 2: C=2.3e9, α=0.19154, n=101,863, o0=0, Q=0, L=2530 ->
+    // estimated 8.6 % under Async no-response (eq. 6).
+    Params p;
+    p.hostCycles = 2.3e9;
+    p.alpha = 0.19154;
+    p.offloads = 101863;
+    p.interfaceCycles = 2530;
+    p.accelFactor = 27;
+    p.strategy = Strategy::OffChip;
+    Accelerometer m(p);
+    EXPECT_NEAR(m.speedup(ThreadingDesign::AsyncNoResponse) - 1.0, 0.086,
+                0.002);
+}
+
+TEST(Table6, RemoteInferenceEstimatedSpeedup)
+{
+    // Row 3: C=2.5e9, α=0.52, n=10, o0=25e6, o1=12,500, A=1 ->
+    // estimated 72.39 % with a single o1 (distinct response thread).
+    Params p;
+    p.hostCycles = 2.5e9;
+    p.alpha = 0.52;
+    p.offloads = 10;
+    p.setupCycles = 25e6;
+    p.threadSwitchCycles = 12500;
+    p.accelFactor = 1;
+    p.strategy = Strategy::Remote;
+    Accelerometer m(p);
+    EXPECT_NEAR(m.speedup(ThreadingDesign::AsyncDistinctThread) - 1.0,
+                0.7239, 0.002);
+}
+
+TEST(Table6, CaseStudyBuildersCarryPublishedParams)
+{
+    for (const auto &cs : workload::allCaseStudies()) {
+        Accelerometer m(cs.publishedParams);
+        EXPECT_NEAR(m.speedup(cs.design) - 1.0, cs.paperEstimatedSpeedup,
+                    0.003)
+            << cs.name;
+    }
+}
+
+// ------------------------- Fig. 20 / Table 7 -------------------------
+
+TEST(Fig20, Feed1IdealCompressionSpeedup)
+{
+    // α = 0.15 -> ideal 17.6 %.
+    Params p;
+    p.hostCycles = 2.3e9;
+    p.alpha = 0.15;
+    Accelerometer m(p);
+    EXPECT_NEAR(m.idealSpeedup() - 1.0, 0.176, 0.001);
+}
+
+TEST(Fig20, AllRecommendationsMatchPublishedBars)
+{
+    for (const auto &rec : workload::fig20Recommendations()) {
+        Accelerometer m(rec.params);
+        double pct = (m.speedup(rec.design) - 1.0) * 100.0;
+        EXPECT_NEAR(pct, rec.paperSpeedupPercent, 0.45)
+            << rec.overhead << " / " << rec.acceleration;
+    }
+}
+
+TEST(Fig20, OffChipProfitableCountsMatchTable7)
+{
+    // Table 7's n column: 9,629 Sync / 3,986 Sync-OS / 9,769 Async out
+    // of 15,008 total compressions.
+    std::vector<double> expected = {15008, 9629, 3986, 9769};
+    auto recs = workload::fig20Recommendations();
+    ASSERT_GE(recs.size(), 4u);
+    for (size_t i = 0; i < 4; ++i) {
+        EXPECT_NEAR(recs[i].params.offloads, expected[i],
+                    expected[i] * 0.01)
+            << recs[i].acceleration;
+    }
+}
+
+TEST(Fig20, CompressionBreakEvenIs425Bytes)
+{
+    Params p;
+    p.hostCycles = 2.3e9;
+    p.alpha = 0.15;
+    p.interfaceCycles = 2300;
+    p.accelFactor = 27;
+    OffloadProfit profit{workload::feed1CompressionCyclesPerByte(), 1.0};
+    EXPECT_NEAR(profit.breakEvenSpeedup(ThreadingDesign::Sync, p), 425.0,
+                0.5);
+}
+
+TEST(Fig20, OnChipBeatsOffChipForCompression)
+{
+    // The paper's observation: on-chip 13.6 % > off-chip sync 9 % even
+    // though the off-chip device is 27x vs 5x.
+    auto recs = workload::fig20Recommendations();
+    Accelerometer on_chip(recs[0].params);
+    Accelerometer off_chip(recs[1].params);
+    EXPECT_GT(on_chip.speedup(recs[0].design),
+              off_chip.speedup(recs[1].design));
+}
+
+TEST(Fig20, MemoryAllocationGainIsSmall)
+{
+    // A = 1.5 on 5.5 % of cycles: 1.86 % — the paper's point that
+    // allocation acceleration alone yields modest wins.
+    auto recs = workload::fig20Recommendations();
+    Accelerometer m(recs.back().params);
+    double pct = (m.speedup(ThreadingDesign::Sync) - 1.0) * 100.0;
+    EXPECT_NEAR(pct, 1.86, 0.05);
+}
+
+// ------------------------- §2.4 ideal bounds -------------------------
+
+TEST(Section24, InferenceAccelerationBounds)
+{
+    // "Even if modern inference accelerators were to offer an infinite
+    // inference speedup, the net microservice performance would only
+    // improve by 1.49x - 2.38x."
+    const workload::ServiceProfile &ads2 =
+        workload::profile(workload::ServiceId::Ads2);
+    const workload::ServiceProfile &feed1 =
+        workload::profile(workload::ServiceId::Feed1);
+    double ads2_pred = ads2.functionalityShare.at(
+        workload::Functionality::PredictionRanking);
+    double feed1_pred = feed1.functionalityShare.at(
+        workload::Functionality::PredictionRanking);
+    EXPECT_NEAR(1.0 / (1.0 - ads2_pred / 100.0), 1.49, 0.02);
+    EXPECT_NEAR(1.0 / (1.0 - feed1_pred / 100.0), 2.38, 0.02);
+}
+
+} // namespace
+} // namespace accel::model

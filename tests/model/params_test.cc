@@ -1,0 +1,121 @@
+/** @file Tests for model parameter validation and enum parsing. */
+
+#include "model/params.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel::model {
+namespace {
+
+Params
+goodParams()
+{
+    Params p;
+    p.hostCycles = 2e9;
+    p.alpha = 0.2;
+    p.offloads = 1000;
+    p.accelFactor = 4;
+    return p;
+}
+
+TEST(Params, ValidAccepted)
+{
+    EXPECT_NO_THROW(goodParams().validate());
+}
+
+TEST(Params, RejectsNonPositiveC)
+{
+    Params p = goodParams();
+    p.hostCycles = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Params, RejectsAlphaOutsideUnit)
+{
+    Params p = goodParams();
+    p.alpha = 1.1;
+    EXPECT_THROW(p.validate(), FatalError);
+    p.alpha = -0.1;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Params, RejectsNegativeOverheads)
+{
+    for (auto field : {&Params::setupCycles, &Params::queueCycles,
+                       &Params::interfaceCycles,
+                       &Params::threadSwitchCycles}) {
+        Params p = goodParams();
+        p.*field = -1;
+        EXPECT_THROW(p.validate(), FatalError);
+    }
+}
+
+TEST(Params, RejectsAccelFactorBelowOne)
+{
+    Params p = goodParams();
+    p.accelFactor = 0.5;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Params, RejectsOffloadedFractionOutsideUnit)
+{
+    Params p = goodParams();
+    p.offloadedFraction = 1.5;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Params, DerivedQuantities)
+{
+    Params p = goodParams();
+    p.offloadedFraction = 0.5;
+    EXPECT_DOUBLE_EQ(p.kernelCycles(), 0.2 * 2e9);
+    EXPECT_DOUBLE_EQ(p.offloadedCycles(), 0.1 * 2e9);
+    EXPECT_DOUBLE_EQ(p.residualKernelCycles(), 0.1 * 2e9);
+    p.setupCycles = 10;
+    p.interfaceCycles = 3;
+    p.queueCycles = 2;
+    EXPECT_DOUBLE_EQ(p.dispatchCycles(), 15);
+}
+
+TEST(Enums, StrategyRoundTrip)
+{
+    for (Strategy s :
+         {Strategy::OnChip, Strategy::OffChip, Strategy::Remote}) {
+        EXPECT_EQ(strategyFromString(toString(s)), s);
+    }
+}
+
+TEST(Enums, StrategySpellings)
+{
+    EXPECT_EQ(strategyFromString("OnChip"), Strategy::OnChip);
+    EXPECT_EQ(strategyFromString("off_chip"), Strategy::OffChip);
+    EXPECT_EQ(strategyFromString(" REMOTE "), Strategy::Remote);
+    EXPECT_THROW(strategyFromString("quantum"), FatalError);
+}
+
+TEST(Enums, ThreadingRoundTrip)
+{
+    for (ThreadingDesign d :
+         {ThreadingDesign::Sync, ThreadingDesign::SyncOS,
+          ThreadingDesign::AsyncSameThread,
+          ThreadingDesign::AsyncDistinctThread,
+          ThreadingDesign::AsyncNoResponse}) {
+        EXPECT_EQ(threadingFromString(toString(d)), d);
+    }
+}
+
+TEST(Enums, ThreadingSpellings)
+{
+    EXPECT_EQ(threadingFromString("sync"), ThreadingDesign::Sync);
+    EXPECT_EQ(threadingFromString("Sync-OS"), ThreadingDesign::SyncOS);
+    EXPECT_EQ(threadingFromString("async"),
+              ThreadingDesign::AsyncSameThread);
+    EXPECT_EQ(threadingFromString("async-fire-and-forget"),
+              ThreadingDesign::AsyncNoResponse);
+    EXPECT_THROW(threadingFromString("psychic"), FatalError);
+}
+
+} // namespace
+} // namespace accel::model

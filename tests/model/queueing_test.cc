@@ -1,0 +1,65 @@
+/** @file Tests for the accelerator queuing helpers. */
+
+#include "model/queueing.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel::model {
+namespace {
+
+TEST(Queueing, UtilizationDefinition)
+{
+    // 1000 cycles per offload, 1e6 offloads/s, 2e9 cycles/s -> 0.5.
+    EXPECT_DOUBLE_EQ(utilization(1000, 1e6, 2e9), 0.5);
+    EXPECT_DOUBLE_EQ(utilization(0, 1e6, 2e9), 0.0);
+}
+
+TEST(Queueing, Mm1WaitFormula)
+{
+    // rho/(1-rho) * s with rho = 0.5 -> wait == service.
+    EXPECT_DOUBLE_EQ(mm1WaitCycles(1000, 1e6, 2e9), 1000.0);
+}
+
+TEST(Queueing, Md1IsHalfMm1)
+{
+    double mm1 = mm1WaitCycles(1000, 1e6, 2e9);
+    double md1 = md1WaitCycles(1000, 1e6, 2e9);
+    EXPECT_DOUBLE_EQ(md1, mm1 / 2.0);
+}
+
+TEST(Queueing, WaitExplodesNearSaturation)
+{
+    double low = mm1WaitCycles(1000, 0.2e6, 2e9);  // rho = 0.1
+    double high = mm1WaitCycles(1000, 1.9e6, 2e9); // rho = 0.95
+    EXPECT_GT(high, 100 * low);
+}
+
+TEST(Queueing, ZeroLoadHasNoWait)
+{
+    EXPECT_DOUBLE_EQ(mm1WaitCycles(1000, 0, 2e9), 0.0);
+}
+
+TEST(Queueing, UnstableQueueRejected)
+{
+    EXPECT_THROW(mm1WaitCycles(1000, 2e6, 2e9), FatalError); // rho = 1
+    EXPECT_THROW(md1WaitCycles(1000, 3e6, 2e9), FatalError);
+}
+
+TEST(Queueing, DomainChecks)
+{
+    EXPECT_THROW(utilization(-1, 1, 1), FatalError);
+    EXPECT_THROW(utilization(1, -1, 1), FatalError);
+    EXPECT_THROW(utilization(1, 1, 0), FatalError);
+}
+
+TEST(Queueing, MeanFromSamples)
+{
+    EXPECT_DOUBLE_EQ(meanQueueCycles({10, 20, 30}), 20.0);
+    EXPECT_DOUBLE_EQ(meanQueueCycles({}), 0.0);
+    EXPECT_THROW(meanQueueCycles({5, -1}), FatalError);
+}
+
+} // namespace
+} // namespace accel::model

@@ -1,0 +1,53 @@
+/** @file Tests for model report rendering. */
+
+#include "model/report.hh"
+
+#include <gtest/gtest.h>
+
+namespace accel::model {
+namespace {
+
+Params
+params()
+{
+    Params p;
+    p.hostCycles = 2e9;
+    p.alpha = 0.165844;
+    p.offloads = 298951;
+    p.setupCycles = 10;
+    p.interfaceCycles = 3;
+    p.accelFactor = 6;
+    return p;
+}
+
+TEST(Report, ContainsAllDesignsAndIdeal)
+{
+    std::string r = projectionReport(params(), "AES-NI");
+    EXPECT_NE(r.find("AES-NI"), std::string::npos);
+    for (ThreadingDesign d : reportedDesigns())
+        EXPECT_NE(r.find(toString(d)), std::string::npos);
+    EXPECT_NE(r.find("ideal"), std::string::npos);
+}
+
+TEST(Report, ShowsParameterValues)
+{
+    std::string r = projectionReport(params());
+    EXPECT_NE(r.find("alpha=0.1658"), std::string::npos);
+    EXPECT_NE(r.find("A=6.00"), std::string::npos);
+}
+
+TEST(Report, SyncLineShowsPaperNumber)
+{
+    std::string line = projectionLine(params(), ThreadingDesign::Sync);
+    EXPECT_NE(line.find("Sync"), std::string::npos);
+    EXPECT_NE(line.find("15.7"), std::string::npos);
+}
+
+TEST(Report, ReportedDesignsStable)
+{
+    EXPECT_EQ(reportedDesigns().size(), 5u);
+    EXPECT_EQ(reportedDesigns().front(), ThreadingDesign::Sync);
+}
+
+} // namespace
+} // namespace accel::model

@@ -1,0 +1,126 @@
+/** @file Tests for parameter sensitivity analysis. */
+
+#include "model/sensitivity.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel::model {
+namespace {
+
+Params
+offChipParams()
+{
+    Params p;
+    p.hostCycles = 2.3e9;
+    p.alpha = 0.15;
+    p.offloads = 9629;
+    p.interfaceCycles = 2300;
+    p.threadSwitchCycles = 5750;
+    p.accelFactor = 27;
+    return p;
+}
+
+const Sensitivity &
+find(const std::vector<Sensitivity> &sens, const std::string &name)
+{
+    for (const auto &s : sens)
+        if (s.parameter == name)
+            return s;
+    throw PanicError("sensitivity not found: " + name);
+}
+
+TEST(Sensitivity, SignsMatchTheEquations)
+{
+    auto sens =
+        speedupSensitivities(offChipParams(), ThreadingDesign::Sync);
+    EXPECT_GT(find(sens, "alpha").derivative, 0);
+    EXPECT_GT(find(sens, "A").derivative, 0);
+    EXPECT_LT(find(sens, "L").derivative, 0);
+    EXPECT_LT(find(sens, "o0").derivative, 0);
+    EXPECT_LT(find(sens, "n").derivative, 0);
+    EXPECT_LT(find(sens, "Q").derivative, 0); // more queueing hurts
+}
+
+TEST(Sensitivity, SwitchCostOnlyMattersForSwitchingDesigns)
+{
+    auto sync =
+        speedupSensitivities(offChipParams(), ThreadingDesign::Sync);
+    auto sync_os =
+        speedupSensitivities(offChipParams(), ThreadingDesign::SyncOS);
+    EXPECT_NEAR(find(sync, "o1").derivative, 0.0, 1e-12);
+    EXPECT_LT(find(sync_os, "o1").derivative, 0);
+}
+
+TEST(Sensitivity, AlphaDominatesElasticityRanking)
+{
+    // For the off-chip compression case, what fraction of cycles the
+    // kernel is (alpha) moves the projection more than any overhead.
+    auto sens =
+        speedupSensitivities(offChipParams(), ThreadingDesign::Sync);
+    EXPECT_EQ(sens.front().parameter, "alpha");
+}
+
+TEST(Sensitivity, AcceleratorFactorSaturates)
+{
+    // At A = 27 the device is already past the knee: its elasticity is
+    // tiny compared to alpha's (Fig. 20's lesson).
+    auto sens =
+        speedupSensitivities(offChipParams(), ThreadingDesign::Sync);
+    EXPECT_LT(std::abs(find(sens, "A").elasticity),
+              std::abs(find(sens, "alpha").elasticity) / 5);
+}
+
+TEST(Sensitivity, DerivativeMatchesAnalyticForA)
+{
+    // d(speedup)/dA for Sync: speedup = 1/(k + alpha/A) with
+    // k = (1-alpha) + n/C * ovh; derivative = alpha / (A*(k*A+alpha))^2
+    // * ... — check against a coarse analytic value.
+    Params p = offChipParams();
+    double ovh = p.dispatchCycles();
+    double k = (1 - p.alpha) + p.offloads / p.hostCycles * ovh;
+    double denom = k + p.alpha / p.accelFactor;
+    double analytic = p.alpha /
+        (p.accelFactor * p.accelFactor * denom * denom);
+    auto sens = speedupSensitivities(p, ThreadingDesign::Sync);
+    EXPECT_NEAR(find(sens, "A").derivative, analytic,
+                std::abs(analytic) * 0.01);
+}
+
+TEST(Sensitivity, ZeroValuedParamsReportZeroElasticity)
+{
+    Params p = offChipParams();
+    p.setupCycles = 0;
+    auto sens = speedupSensitivities(p, ThreadingDesign::Sync);
+    EXPECT_DOUBLE_EQ(find(sens, "o0").elasticity, 0.0);
+    EXPECT_LT(find(sens, "o0").derivative, 0); // still harmful per unit
+}
+
+TEST(Sensitivity, RankedByAbsoluteElasticity)
+{
+    auto sens =
+        speedupSensitivities(offChipParams(), ThreadingDesign::SyncOS);
+    for (size_t i = 1; i < sens.size(); ++i) {
+        EXPECT_GE(std::abs(sens[i - 1].elasticity),
+                  std::abs(sens[i].elasticity));
+    }
+}
+
+TEST(Sensitivity, ReportRendersAllParameters)
+{
+    std::string report =
+        sensitivityReport(offChipParams(), ThreadingDesign::Sync);
+    for (const char *name : {"alpha", "n", "o0", "Q", "L", "o1", "A"})
+        EXPECT_NE(report.find(name), std::string::npos) << name;
+}
+
+TEST(Sensitivity, RejectsBadStep)
+{
+    EXPECT_THROW(speedupSensitivities(offChipParams(),
+                                      ThreadingDesign::Sync, 0.0),
+                 FatalError);
+}
+
+} // namespace
+} // namespace accel::model

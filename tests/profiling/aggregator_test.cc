@@ -1,0 +1,116 @@
+/** @file Tests for trace aggregation. */
+
+#include "profiling/aggregator.hh"
+
+#include <gtest/gtest.h>
+
+namespace accel::profiling {
+namespace {
+
+using workload::CopyOrigin;
+using workload::Functionality;
+using workload::LeafCategory;
+using workload::MemoryLeaf;
+
+CallTrace
+trace(std::vector<std::string> frames, double cycles, double ipc = 1.0)
+{
+    CallTrace t;
+    t.frames = std::move(frames);
+    t.cycles = cycles;
+    t.instructions = cycles * ipc;
+    return t;
+}
+
+TEST(Aggregator, LeafBreakdownPercentages)
+{
+    Aggregator agg;
+    agg.add(trace({"svc::app::handleRequest", "__memcpy_avx_unaligned"},
+                  300));
+    agg.add(trace({"svc::app::handleRequest", "std::map::find"}, 100));
+    auto leaf = agg.leafBreakdown();
+    EXPECT_NEAR(leaf[LeafCategory::Memory], 75.0, 1e-9);
+    EXPECT_NEAR(leaf[LeafCategory::CLibraries], 25.0, 1e-9);
+    EXPECT_DOUBLE_EQ(agg.totalCycles(), 400);
+    EXPECT_EQ(agg.traceCount(), 2u);
+}
+
+TEST(Aggregator, FunctionalityBreakdown)
+{
+    Aggregator agg;
+    agg.add(trace({"svc::log::appendLogEntry", "memcpy"}, 600));
+    agg.add(trace({"svc::app::handleRequest", "memcpy"}, 400));
+    auto func = agg.functionalityBreakdown();
+    EXPECT_NEAR(func[Functionality::Logging], 60.0, 1e-9);
+    EXPECT_NEAR(func[Functionality::ApplicationLogic], 40.0, 1e-9);
+}
+
+TEST(Aggregator, MemorySubBreakdownAndCopyOrigins)
+{
+    Aggregator agg;
+    agg.add(trace({"folly::AsyncSSLSocket::performWrite",
+                   "__memcpy_avx_unaligned"},
+                  100));
+    agg.add(trace({"svc::io::prepareBuffers", "__memcpy_avx_unaligned"},
+                  300));
+    agg.add(trace({"svc::app::handleRequest", "tc_malloc"}, 600));
+    auto mem = agg.memoryBreakdown();
+    EXPECT_NEAR(mem[MemoryLeaf::Copy], 40.0, 1e-9);
+    EXPECT_NEAR(mem[MemoryLeaf::Allocation], 60.0, 1e-9);
+    auto origins = agg.copyOriginBreakdown();
+    EXPECT_NEAR(origins[CopyOrigin::SecureInsecureIO], 25.0, 1e-9);
+    EXPECT_NEAR(origins[CopyOrigin::IOPrePostProcessing], 75.0, 1e-9);
+}
+
+TEST(Aggregator, IpcPerCategory)
+{
+    Aggregator agg;
+    agg.add(trace({"svc::app::handleRequest", "memcpy"}, 100, 0.9));
+    agg.add(trace({"svc::app::handleRequest", "memcpy"}, 300, 0.5));
+    const auto &totals = agg.leafTotals();
+    // Aggregate IPC = (90 + 150) / 400 = 0.6.
+    EXPECT_NEAR(totals.at(LeafCategory::Memory).ipc(), 0.6, 1e-9);
+}
+
+TEST(Aggregator, KernelSyncClibSubBreakdowns)
+{
+    Aggregator agg;
+    agg.add(trace({"svc::app::handleRequest", "finish_task_switch"},
+                  100));
+    agg.add(trace({"svc::app::handleRequest", "tcp_sendmsg"}, 300));
+    agg.add(trace({"svc::app::handleRequest", "pthread_mutex_lock"},
+                  50));
+    agg.add(trace({"svc::app::handleRequest", "std::vector<int>::x"},
+                  70));
+    EXPECT_NEAR(agg.kernelBreakdown()[workload::KernelLeaf::Network],
+                75.0, 1e-9);
+    EXPECT_NEAR(agg.syncBreakdown()[workload::SyncLeaf::Mutex], 100.0,
+                1e-9);
+    EXPECT_NEAR(agg.clibBreakdown()[workload::ClibLeaf::Vectors], 100.0,
+                1e-9);
+}
+
+TEST(Aggregator, EmptyBreakdownsAreEmpty)
+{
+    Aggregator agg;
+    EXPECT_TRUE(agg.leafBreakdown().empty());
+    EXPECT_TRUE(agg.memoryBreakdown().empty());
+    EXPECT_TRUE(agg.copyOriginBreakdown().empty());
+}
+
+TEST(Aggregator, AddAllMatchesIndividualAdds)
+{
+    std::vector<CallTrace> traces = {
+        trace({"svc::app::handleRequest", "memcpy"}, 10),
+        trace({"svc::app::handleRequest", "std::sort"}, 20),
+    };
+    Aggregator a, b;
+    a.addAll(traces);
+    for (const auto &t : traces)
+        b.add(t);
+    EXPECT_DOUBLE_EQ(a.totalCycles(), b.totalCycles());
+    EXPECT_EQ(a.leafBreakdown(), b.leafBreakdown());
+}
+
+} // namespace
+} // namespace accel::profiling

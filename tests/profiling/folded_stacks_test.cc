@@ -1,0 +1,87 @@
+/** @file Tests for folded-stack (flame graph) output. */
+
+#include "profiling/folded_stacks.hh"
+
+#include <gtest/gtest.h>
+
+#include "profiling/sampler.hh"
+
+namespace accel::profiling {
+namespace {
+
+CallTrace
+trace(std::vector<std::string> frames, double cycles)
+{
+    CallTrace t;
+    t.frames = std::move(frames);
+    t.cycles = cycles;
+    t.instructions = cycles;
+    return t;
+}
+
+TEST(FoldedStacks, MergesIdenticalStacks)
+{
+    std::vector<CallTrace> traces = {
+        trace({"main", "a", "leaf"}, 100),
+        trace({"main", "a", "leaf"}, 50),
+        trace({"main", "b", "leaf"}, 70),
+    };
+    auto folded = foldStacks(traces);
+    ASSERT_EQ(folded.size(), 2u);
+    EXPECT_EQ(folded[0].stack, "main;a;leaf");
+    EXPECT_DOUBLE_EQ(folded[0].cycles, 150);
+    EXPECT_EQ(folded[1].stack, "main;b;leaf");
+}
+
+TEST(FoldedStacks, SortedByCyclesThenName)
+{
+    std::vector<CallTrace> traces = {
+        trace({"z"}, 10), trace({"a"}, 10), trace({"m"}, 20)};
+    auto folded = foldStacks(traces);
+    EXPECT_EQ(folded[0].stack, "m");
+    EXPECT_EQ(folded[1].stack, "a"); // ties break alphabetically
+    EXPECT_EQ(folded[2].stack, "z");
+}
+
+TEST(FoldedStacks, TextFormatIsFlamegraphInput)
+{
+    std::vector<CallTrace> traces = {trace({"main", "leaf"}, 42.4)};
+    EXPECT_EQ(foldedStacksText(traces), "main;leaf 42\n");
+}
+
+TEST(FoldedStacks, MaxStacksTruncates)
+{
+    std::vector<CallTrace> traces = {
+        trace({"a"}, 30), trace({"b"}, 20), trace({"c"}, 10)};
+    std::string text = foldedStacksText(traces, 2);
+    EXPECT_NE(text.find("a 30"), std::string::npos);
+    EXPECT_NE(text.find("b 20"), std::string::npos);
+    EXPECT_EQ(text.find("c 10"), std::string::npos);
+}
+
+TEST(FoldedStacks, EmptyInput)
+{
+    EXPECT_TRUE(foldStacks({}).empty());
+    EXPECT_EQ(foldedStacksText({}), "");
+}
+
+TEST(FoldedStacks, SampledServiceProducesPlausibleGraph)
+{
+    TraceSampler sampler(
+        workload::profile(workload::ServiceId::Cache1),
+        workload::CpuGen::GenC, 31);
+    auto folded = foldStacks(sampler.sampleMany(20000));
+    ASSERT_GT(folded.size(), 10u);
+    // Every stack roots at the thread entry.
+    for (const auto &f : folded)
+        EXPECT_EQ(f.stack.rfind("start_thread;", 0), 0u);
+    // The heaviest stacks carry a sane share of total cycles.
+    double total = 0, top = folded[0].cycles;
+    for (const auto &f : folded)
+        total += f.cycles;
+    EXPECT_GT(top / total, 0.02);
+    EXPECT_LT(top / total, 0.6);
+}
+
+} // namespace
+} // namespace accel::profiling

@@ -1,0 +1,134 @@
+/** @file Tests for the discrete-event engine. */
+
+#include "sim/event_queue.hh"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimestampOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByPriorityThenInsertion)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(1); }, /*priority=*/1);
+    eq.schedule(5, [&] { order.push_back(2); }, /*priority=*/-1);
+    eq.schedule(5, [&] { order.push_back(3); }, /*priority=*/1);
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{2, 1, 3}));
+}
+
+TEST(EventQueue, SchedulingIntoPastRejected)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.runAll();
+    EXPECT_THROW(eq.schedule(5, [] {}), FatalError);
+    EXPECT_NO_THROW(eq.schedule(10, [] {})); // same tick allowed
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&] {});
+    eq.runAll();
+    eq.scheduleIn(50, [&] { seen = eq.now(); });
+    eq.runAll();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.scheduleIn(1, [&] { ++fired; });
+    });
+    eq.runAll();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 2u);
+    EXPECT_EQ(eq.processed(), 2u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.schedule(30, [&] { ++fired; });
+    eq.runUntil(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle)
+{
+    EventQueue eq;
+    eq.runUntil(500);
+    EXPECT_EQ(eq.now(), 500u);
+}
+
+TEST(EventQueue, RunNextOnEmptyReturnsFalse)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.runNext());
+}
+
+TEST(EventQueue, EmptyCallbackPanics)
+{
+    EventQueue eq;
+    EXPECT_THROW(eq.schedule(1, Callback{}), PanicError);
+}
+
+TEST(EventQueue, DeterministicReplay)
+{
+    auto run = [] {
+        EventQueue eq;
+        std::vector<Tick> ticks;
+        for (int i = 0; i < 100; ++i) {
+            eq.schedule((i * 37) % 64, [&, i] {
+                ticks.push_back(eq.now() * 1000 + i);
+            });
+        }
+        eq.runAll();
+        return ticks;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue eq;
+    Tick last = 0;
+    for (int i = 0; i < 10000; ++i) {
+        eq.schedule((i * 7919) % 5000, [&] {
+            EXPECT_GE(eq.now(), last);
+            last = eq.now();
+        });
+    }
+    eq.runAll();
+    EXPECT_EQ(eq.processed(), 10000u);
+}
+
+} // namespace
+} // namespace accel::sim

@@ -1,0 +1,158 @@
+/** @file Tests for the empirical bucketed distribution. */
+
+#include "stats/bucket_dist.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel {
+namespace {
+
+BucketDist
+uniformDist()
+{
+    // One bucket [0, 100) with all mass: uniform on [0, 100).
+    return BucketDist({{0, 100, 1.0}});
+}
+
+BucketDist
+twoBucketDist()
+{
+    // 25% in [0, 10), 75% in [10, 110).
+    return BucketDist({{0, 10, 1.0}, {10, 110, 3.0}});
+}
+
+TEST(BucketDist, NormalizesMass)
+{
+    BucketDist d = twoBucketDist();
+    EXPECT_DOUBLE_EQ(d.bucket(0).mass, 0.25);
+    EXPECT_DOUBLE_EQ(d.bucket(1).mass, 0.75);
+}
+
+TEST(BucketDist, FractionAtLeastEdges)
+{
+    BucketDist d = twoBucketDist();
+    EXPECT_DOUBLE_EQ(d.fractionAtLeast(0), 1.0);
+    EXPECT_DOUBLE_EQ(d.fractionAtLeast(10), 0.75);
+    EXPECT_DOUBLE_EQ(d.fractionAtLeast(110), 0.0);
+}
+
+TEST(BucketDist, FractionAtLeastInterpolates)
+{
+    BucketDist d = uniformDist();
+    EXPECT_DOUBLE_EQ(d.fractionAtLeast(25), 0.75);
+    EXPECT_DOUBLE_EQ(d.fractionAtLeast(50), 0.5);
+}
+
+TEST(BucketDist, CdfComplement)
+{
+    BucketDist d = twoBucketDist();
+    EXPECT_DOUBLE_EQ(d.cdf(10), 0.25);
+    EXPECT_DOUBLE_EQ(d.cdf(60) + d.fractionAtLeast(60), 1.0);
+}
+
+TEST(BucketDist, MeanUsesBucketMidpoints)
+{
+    BucketDist d = twoBucketDist();
+    EXPECT_DOUBLE_EQ(d.mean(), 0.25 * 5 + 0.75 * 60);
+}
+
+TEST(BucketDist, ValueFractionAtLeast)
+{
+    BucketDist d = twoBucketDist();
+    // Value above 10: bucket1 carries 0.75 * 60; total = 46.25.
+    double expected = (0.75 * 60) / (0.25 * 5 + 0.75 * 60);
+    EXPECT_NEAR(d.valueFractionAtLeast(10), expected, 1e-12);
+    EXPECT_DOUBLE_EQ(d.valueFractionAtLeast(0), 1.0);
+}
+
+TEST(BucketDist, ValueFractionInterpolates)
+{
+    BucketDist d = uniformDist();
+    // Mass above 50 is half, carrying mean 75: 0.5*75 / 50 = 0.75.
+    EXPECT_NEAR(d.valueFractionAtLeast(50), 0.75, 1e-12);
+}
+
+TEST(BucketDist, QuantileEdgesAndInterior)
+{
+    BucketDist d = twoBucketDist();
+    EXPECT_DOUBLE_EQ(d.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.25), 10.0);
+    EXPECT_NEAR(d.quantile(0.625), 60.0, 1e-9);
+    EXPECT_DOUBLE_EQ(d.quantile(1.0), 110.0);
+}
+
+TEST(BucketDist, QuantileInverseOfCdf)
+{
+    BucketDist d = twoBucketDist();
+    for (double p : {0.1, 0.3, 0.5, 0.9})
+        EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-9);
+}
+
+TEST(BucketDist, SamplesStayInSupport)
+{
+    BucketDist d = twoBucketDist();
+    Rng rng(77);
+    for (int i = 0; i < 5000; ++i) {
+        double v = d.sample(rng);
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 110.0);
+    }
+}
+
+TEST(BucketDist, SampleFractionsMatchMasses)
+{
+    BucketDist d = twoBucketDist();
+    Rng rng(78);
+    int low = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        low += d.sample(rng) < 10.0;
+    EXPECT_NEAR(static_cast<double>(low) / n, 0.25, 0.01);
+}
+
+TEST(BucketDist, SampleMeanMatchesAnalyticMean)
+{
+    BucketDist d = twoBucketDist();
+    Rng rng(79);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += d.sample(rng);
+    EXPECT_NEAR(sum / n, d.mean(), 0.5);
+}
+
+TEST(BucketDist, GapsBetweenBucketsAllowed)
+{
+    BucketDist d({{0, 10, 1.0}, {100, 200, 1.0}});
+    EXPECT_DOUBLE_EQ(d.fractionAtLeast(50), 0.5);
+}
+
+TEST(BucketDist, RejectsMalformedBuckets)
+{
+    EXPECT_THROW(BucketDist({}), FatalError);
+    EXPECT_THROW(BucketDist({{10, 10, 1.0}}), FatalError);       // hi == lo
+    EXPECT_THROW(BucketDist({{10, 5, 1.0}}), FatalError);        // hi < lo
+    EXPECT_THROW(BucketDist({{0, 10, -1.0}}), FatalError);       // neg mass
+    EXPECT_THROW(BucketDist({{0, 10, 0.0}}), FatalError);        // no mass
+    EXPECT_THROW(BucketDist({{0, 20, 1.0}, {10, 30, 1.0}}),      // overlap
+                 FatalError);
+}
+
+TEST(BucketDist, QuantileRejectsOutOfRange)
+{
+    BucketDist d = uniformDist();
+    EXPECT_THROW(d.quantile(-0.1), FatalError);
+    EXPECT_THROW(d.quantile(1.1), FatalError);
+}
+
+TEST(BucketDist, LabelsReadable)
+{
+    BucketDist d({{0, 64, 1.0}, {2048, 4096, 1.0}});
+    EXPECT_EQ(d.bucketLabel(0), "0-64");
+    EXPECT_EQ(d.bucketLabel(1), "2K-4K");
+}
+
+} // namespace
+} // namespace accel

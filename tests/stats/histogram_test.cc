@@ -1,0 +1,107 @@
+/** @file Tests for the bucketed histogram. */
+
+#include "stats/histogram.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel {
+namespace {
+
+TEST(Histogram, Pow2BucketScheme)
+{
+    Histogram h = Histogram::makePow2(4, 4096);
+    // Edges: 0,4,8,...,4096 -> 11 interior buckets + overflow.
+    EXPECT_EQ(h.bucketCount(), 12u);
+    EXPECT_DOUBLE_EQ(h.bucketLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bucketHi(0), 4.0);
+    EXPECT_TRUE(std::isinf(h.bucketHi(h.bucketCount() - 1)));
+}
+
+TEST(Histogram, ValuesLandInCorrectBuckets)
+{
+    Histogram h = Histogram::makePow2(4, 16);
+    // Buckets: [0,4) [4,8) [8,16) [16,inf)
+    h.add(0);
+    h.add(3.9);
+    h.add(4);
+    h.add(15.9);
+    h.add(16);
+    h.add(1e9);
+    EXPECT_DOUBLE_EQ(h.bucketWeight(0), 2);
+    EXPECT_DOUBLE_EQ(h.bucketWeight(1), 1);
+    EXPECT_DOUBLE_EQ(h.bucketWeight(2), 1);
+    EXPECT_DOUBLE_EQ(h.bucketWeight(3), 2);
+}
+
+TEST(Histogram, NegativeClampsToFirstBucket)
+{
+    Histogram h = Histogram::makePow2(4, 16);
+    h.add(-5);
+    EXPECT_DOUBLE_EQ(h.bucketWeight(0), 1);
+}
+
+TEST(Histogram, CumulativeFractionMonotone)
+{
+    Histogram h = Histogram::makePow2(4, 64);
+    for (double v : {1.0, 5.0, 9.0, 33.0, 100.0})
+        h.add(v);
+    double prev = 0;
+    for (size_t i = 0; i < h.bucketCount(); ++i) {
+        double c = h.cumulativeFraction(i);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(h.bucketCount() - 1), 1.0);
+}
+
+TEST(Histogram, WeightedAdds)
+{
+    Histogram h = Histogram::makePow2(4, 8);
+    h.addWeighted(2, 10);
+    h.addWeighted(5, 30);
+    EXPECT_DOUBLE_EQ(h.total(), 40);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(0), 0.25);
+}
+
+TEST(Histogram, LabelsHumanReadable)
+{
+    Histogram h = Histogram::makePow2(4, 4096);
+    EXPECT_EQ(h.bucketLabel(0), "0-4");
+    EXPECT_EQ(h.bucketLabel(h.bucketCount() - 1), ">4K");
+}
+
+TEST(Histogram, StatsTrackRawValues)
+{
+    Histogram h = Histogram::makePow2(4, 64);
+    h.add(10);
+    h.add(20);
+    EXPECT_DOUBLE_EQ(h.stats().mean(), 15.0);
+}
+
+TEST(Histogram, RejectsBadEdges)
+{
+    EXPECT_THROW(Histogram({1.0}), FatalError);
+    EXPECT_THROW(Histogram({2.0, 1.0}), FatalError);
+    EXPECT_THROW(Histogram({1.0, 1.0}), FatalError);
+    EXPECT_THROW(Histogram::makePow2(0, 16), FatalError);
+    EXPECT_THROW(Histogram::makePow2(32, 16), FatalError);
+}
+
+TEST(Histogram, RejectsNegativeWeight)
+{
+    Histogram h = Histogram::makePow2(4, 16);
+    EXPECT_THROW(h.addWeighted(1, -1), FatalError);
+}
+
+TEST(Histogram, EmptyCumulativeIsZero)
+{
+    Histogram h = Histogram::makePow2(4, 16);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(0), 0.0);
+}
+
+} // namespace
+} // namespace accel

@@ -1,0 +1,95 @@
+/** @file Tests for the streaming statistics accumulator. */
+
+#include "stats/online_stats.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace accel {
+namespace {
+
+TEST(OnlineStats, EmptyDefaults)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_TRUE(std::isinf(s.min()));
+    EXPECT_TRUE(std::isinf(s.max()));
+}
+
+TEST(OnlineStats, SingleValue)
+{
+    OnlineStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMoments)
+{
+    OnlineStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0); // classic population-variance set
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential)
+{
+    OnlineStats whole, a, b;
+    for (int i = 0; i < 100; ++i) {
+        double v = i * 0.37 - 3.0;
+        whole.add(v);
+        (i % 2 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty)
+{
+    OnlineStats a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    OnlineStats copy = a;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), copy.count());
+    EXPECT_DOUBLE_EQ(a.mean(), copy.mean());
+
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(OnlineStats, NumericalStabilityLargeOffset)
+{
+    // Welford must not lose the small variance under a huge offset.
+    OnlineStats s;
+    for (double v : {1e9 + 1, 1e9 + 2, 1e9 + 3})
+        s.add(v);
+    EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(OnlineStats, TracksMinMax)
+{
+    OnlineStats s;
+    s.add(3.0);
+    s.add(-7.0);
+    s.add(11.0);
+    EXPECT_DOUBLE_EQ(s.min(), -7.0);
+    EXPECT_DOUBLE_EQ(s.max(), 11.0);
+}
+
+} // namespace
+} // namespace accel

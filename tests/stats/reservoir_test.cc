@@ -1,0 +1,89 @@
+/** @file Tests for reservoir sampling and quantile estimation. */
+
+#include "stats/reservoir.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel {
+namespace {
+
+TEST(Reservoir, SmallStreamKeptExactly)
+{
+    ReservoirSample r(100);
+    for (int i = 1; i <= 10; ++i)
+        r.add(i);
+    EXPECT_EQ(r.count(), 10u);
+    EXPECT_EQ(r.size(), 10u);
+    EXPECT_DOUBLE_EQ(r.quantile(0.0), 1);
+    EXPECT_DOUBLE_EQ(r.p50(), 5);
+    EXPECT_DOUBLE_EQ(r.quantile(1.0), 10);
+}
+
+TEST(Reservoir, NearestRankSemantics)
+{
+    ReservoirSample r(16);
+    for (double v : {10.0, 20.0, 30.0, 40.0})
+        r.add(v);
+    EXPECT_DOUBLE_EQ(r.quantile(0.25), 10);
+    EXPECT_DOUBLE_EQ(r.quantile(0.26), 20);
+    EXPECT_DOUBLE_EQ(r.quantile(0.75), 30);
+    EXPECT_DOUBLE_EQ(r.quantile(0.76), 40);
+}
+
+TEST(Reservoir, CapacityBoundsMemory)
+{
+    ReservoirSample r(64);
+    for (int i = 0; i < 100000; ++i)
+        r.add(i);
+    EXPECT_EQ(r.size(), 64u);
+    EXPECT_EQ(r.count(), 100000u);
+}
+
+TEST(Reservoir, LargeStreamQuantilesApproximate)
+{
+    // Uniform [0, 1000): p50 ~ 500, p99 ~ 990.
+    ReservoirSample r(4096);
+    Rng rng(5);
+    for (int i = 0; i < 500000; ++i)
+        r.add(rng.uniform(0, 1000));
+    EXPECT_NEAR(r.p50(), 500, 30);
+    EXPECT_NEAR(r.p95(), 950, 20);
+    EXPECT_NEAR(r.p99(), 990, 15);
+}
+
+TEST(Reservoir, SkewedTailCaptured)
+{
+    // 99% at 10, 1% at 1000: p95 stays low, p995 catches the spike.
+    ReservoirSample r(8192);
+    Rng rng(6);
+    for (int i = 0; i < 300000; ++i)
+        r.add(rng.chance(0.01) ? 1000.0 : 10.0);
+    EXPECT_DOUBLE_EQ(r.p95(), 10);
+    EXPECT_DOUBLE_EQ(r.quantile(0.995), 1000);
+}
+
+TEST(Reservoir, InterleavedAddAndQuantile)
+{
+    ReservoirSample r(32);
+    r.add(1);
+    EXPECT_DOUBLE_EQ(r.p50(), 1);
+    r.add(3);
+    EXPECT_DOUBLE_EQ(r.quantile(1.0), 3);
+    r.add(2);
+    EXPECT_DOUBLE_EQ(r.p50(), 2);
+}
+
+TEST(Reservoir, DomainChecks)
+{
+    ReservoirSample r(8);
+    EXPECT_THROW(r.quantile(0.5), FatalError); // empty
+    r.add(1);
+    EXPECT_THROW(r.quantile(-0.1), FatalError);
+    EXPECT_THROW(r.quantile(1.1), FatalError);
+    EXPECT_THROW(ReservoirSample(0), FatalError);
+}
+
+} // namespace
+} // namespace accel

@@ -1,0 +1,65 @@
+/** @file Tests for the CSV emitter. */
+
+#include "util/csv.hh"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel {
+namespace {
+
+TEST(Csv, HeaderWrittenOnConstruction)
+{
+    std::ostringstream os;
+    CsvWriter w(os, {"a", "b"});
+    EXPECT_EQ(os.str(), "a,b\n");
+}
+
+TEST(Csv, RowsAppend)
+{
+    std::ostringstream os;
+    CsvWriter w(os, {"x", "y"});
+    w.row({"1", "2"});
+    w.row({"3", "4"});
+    EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+    EXPECT_EQ(w.rows(), 2u);
+}
+
+TEST(Csv, QuotesFieldsWithCommas)
+{
+    EXPECT_EQ(CsvWriter::quote("a,b"), "\"a,b\"");
+}
+
+TEST(Csv, QuotesEmbeddedQuotes)
+{
+    EXPECT_EQ(CsvWriter::quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, QuotesNewlines)
+{
+    EXPECT_EQ(CsvWriter::quote("a\nb"), "\"a\nb\"");
+}
+
+TEST(Csv, PlainFieldsUnquoted)
+{
+    EXPECT_EQ(CsvWriter::quote("plain"), "plain");
+}
+
+TEST(Csv, MismatchedRowPanics)
+{
+    std::ostringstream os;
+    CsvWriter w(os, {"a", "b"});
+    EXPECT_THROW(w.row({"just-one"}), PanicError);
+}
+
+TEST(Csv, NoColumnsPanics)
+{
+    std::ostringstream os;
+    EXPECT_THROW(CsvWriter(os, {}), PanicError);
+}
+
+} // namespace
+} // namespace accel

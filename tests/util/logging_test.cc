@@ -1,0 +1,87 @@
+/** @file Tests for status-message and error-reporting helpers. */
+
+#include "util/logging.hh"
+
+#include <gtest/gtest.h>
+
+namespace accel {
+namespace {
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config"), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("broken invariant"), PanicError);
+}
+
+TEST(Logging, FatalMessageIsPrefixed)
+{
+    try {
+        fatal("something the user did");
+        FAIL() << "fatal returned";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "fatal: something the user did");
+    }
+}
+
+TEST(Logging, PanicMessageIsPrefixed)
+{
+    try {
+        panic("a bug");
+        FAIL() << "panic returned";
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "panic: a bug");
+    }
+}
+
+TEST(Logging, RequirePassesOnTrue)
+{
+    EXPECT_NO_THROW(require(true, "unused"));
+}
+
+TEST(Logging, RequireThrowsOnFalse)
+{
+    EXPECT_THROW(require(false, "violated"), FatalError);
+}
+
+TEST(Logging, EnsurePassesOnTrue)
+{
+    EXPECT_NO_THROW(ensure(true, "unused"));
+}
+
+TEST(Logging, EnsureThrowsOnFalse)
+{
+    EXPECT_THROW(ensure(false, "violated"), PanicError);
+}
+
+TEST(Logging, FatalErrorIsRuntimeError)
+{
+    EXPECT_THROW(fatal("x"), std::runtime_error);
+}
+
+TEST(Logging, PanicErrorIsLogicError)
+{
+    EXPECT_THROW(panic("x"), std::logic_error);
+}
+
+TEST(Logging, SetLogLevelReturnsPrevious)
+{
+    LogLevel prev = setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setLogLevel(prev);
+    EXPECT_EQ(logLevel(), prev);
+}
+
+TEST(Logging, InformAndWarnDoNotThrowWhenSilenced)
+{
+    LogLevel prev = setLogLevel(LogLevel::Silent);
+    EXPECT_NO_THROW(inform("status"));
+    EXPECT_NO_THROW(warn("odd"));
+    setLogLevel(prev);
+}
+
+} // namespace
+} // namespace accel

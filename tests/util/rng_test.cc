@@ -1,0 +1,151 @@
+/** @file Tests for the deterministic PCG32 generator. */
+
+#include "util/rng.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, DifferentStreamsDiverge)
+{
+    Rng a(7, 1), b(7, 2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(4);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform(10.0, 20.0);
+        EXPECT_GE(v, 10.0);
+        EXPECT_LT(v, 20.0);
+    }
+}
+
+TEST(Rng, BelowBoundRespected)
+{
+    Rng rng(6);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(7), 7u);
+}
+
+TEST(Rng, BelowZeroIsZero)
+{
+    Rng rng(7);
+    EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(8);
+    bool seen[5] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.below(5)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(10);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(100.0);
+    EXPECT_NEAR(sum / n, 100.0, 1.5);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean)
+{
+    Rng rng(11);
+    EXPECT_THROW(rng.exponential(0.0), FatalError);
+    EXPECT_THROW(rng.exponential(-1.0), FatalError);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(12);
+    double sum = 0, sum2 = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, LogNormalMeanMatches)
+{
+    // E[LN(mu, s)] = exp(mu + s^2 / 2).
+    Rng rng(13);
+    double mu = 2.0, sigma = 0.5;
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.logNormal(mu, sigma);
+    EXPECT_NEAR(sum / n, std::exp(mu + sigma * sigma / 2), 0.15);
+}
+
+TEST(Rng, LogNormalRejectsNegativeSigma)
+{
+    Rng rng(14);
+    EXPECT_THROW(rng.logNormal(0.0, -1.0), FatalError);
+}
+
+} // namespace
+} // namespace accel

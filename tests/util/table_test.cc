@@ -1,0 +1,96 @@
+/** @file Tests for the ASCII table and bar renderers. */
+
+#include "util/table.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "0.15"});
+    t.addRow({"A", "27"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("27"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, ColumnsWidenToWidestCell)
+{
+    TextTable t({"x"});
+    t.addRow({"a-very-long-cell"});
+    std::string s = t.str();
+    // Separator must span the widest cell.
+    EXPECT_NE(s.find(std::string(16, '-')), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(TextTable, RightAlignment)
+{
+    TextTable t({"n", "value"});
+    t.setAlign(1, Align::Right);
+    t.addRow({"x", "1"});
+    std::string s = t.str();
+    // "value" is 5 wide; a right-aligned "1" is preceded by spaces.
+    EXPECT_NE(s.find("    1"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorRow)
+{
+    TextTable t({"a"});
+    t.addRow({"one"});
+    t.addSeparator();
+    t.addRow({"two"});
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_NE(t.str().find("---"), std::string::npos);
+}
+
+TEST(TextTable, EmptyHeadersPanic)
+{
+    EXPECT_THROW(TextTable({}), PanicError);
+}
+
+TEST(PercentBar, FullAndEmpty)
+{
+    EXPECT_EQ(percentBar(100, 10), "##########");
+    EXPECT_EQ(percentBar(0, 10), "");
+}
+
+TEST(PercentBar, Rounds)
+{
+    EXPECT_EQ(percentBar(50, 10), "#####");
+    EXPECT_EQ(percentBar(54.9, 10).size(), 5u);
+    EXPECT_EQ(percentBar(55.1, 10).size(), 6u);
+}
+
+TEST(PercentBar, ClampsOutOfRange)
+{
+    EXPECT_EQ(percentBar(150, 10).size(), 10u);
+    EXPECT_EQ(percentBar(-5, 10).size(), 0u);
+}
+
+TEST(Format, FixedDecimals)
+{
+    EXPECT_EQ(fmtF(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtF(2.0, 0), "2");
+}
+
+TEST(Format, Percent)
+{
+    EXPECT_EQ(fmtPct(0.157, 1), "15.7%");
+    EXPECT_EQ(fmtPct(1.0, 0), "100%");
+}
+
+} // namespace
+} // namespace accel

@@ -1,0 +1,73 @@
+/** @file Tests for unit formatting and parsing. */
+
+#include "util/units.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel {
+namespace {
+
+TEST(FormatBytes, Suffixes)
+{
+    EXPECT_EQ(formatBytes(512), "512.0B");
+    EXPECT_EQ(formatBytes(4096), "4.00KiB");
+    EXPECT_EQ(formatBytes(1048576), "1.00MiB");
+}
+
+TEST(FormatCount, EngineeringSuffixes)
+{
+    EXPECT_EQ(formatCount(950), "950");
+    EXPECT_EQ(formatCount(2.3e9), "2.30G");
+    EXPECT_EQ(formatCount(15008), "15.01K");
+}
+
+TEST(FormatCount, NegativeAndHuge)
+{
+    EXPECT_EQ(formatCount(-2500), "-2.50K");
+    EXPECT_EQ(formatCount(3.2e12), "3.20T");
+    EXPECT_EQ(formatCount(0), "0");
+}
+
+TEST(ParseBytes, PlainNumbers)
+{
+    EXPECT_EQ(parseBytes("512"), 512u);
+    EXPECT_EQ(parseBytes("0"), 0u);
+}
+
+TEST(ParseBytes, BinarySuffixes)
+{
+    EXPECT_EQ(parseBytes("4K"), 4096u);
+    EXPECT_EQ(parseBytes("2KiB"), 2048u);
+    EXPECT_EQ(parseBytes("1M"), 1048576u);
+    EXPECT_EQ(parseBytes("1MiB"), 1048576u);
+    EXPECT_EQ(parseBytes("1G"), 1073741824u);
+}
+
+TEST(ParseBytes, FractionalSizes)
+{
+    EXPECT_EQ(parseBytes("1.5K"), 1536u);
+}
+
+TEST(ParseBytes, ExplicitByteSuffix)
+{
+    EXPECT_EQ(parseBytes("64B"), 64u);
+    EXPECT_EQ(parseBytes("64b"), 64u);
+}
+
+TEST(ParseBytes, RejectsMalformed)
+{
+    EXPECT_THROW(parseBytes(""), FatalError);
+    EXPECT_THROW(parseBytes("abc"), FatalError);
+    EXPECT_THROW(parseBytes("-4K"), FatalError);
+}
+
+TEST(ParseBytes, CaseInsensitiveSuffix)
+{
+    EXPECT_EQ(parseBytes("4k"), 4096u);
+    EXPECT_EQ(parseBytes("4kib"), 4096u);
+}
+
+} // namespace
+} // namespace accel

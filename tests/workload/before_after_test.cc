@@ -1,0 +1,90 @@
+/** @file Tests for before/after breakdowns (Figs. 16-18 numbers). */
+
+#include "workload/before_after.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "workload/request_factory.hh"
+
+namespace accel::workload {
+namespace {
+
+using model::ThreadingDesign;
+
+TEST(BeforeAfter, Fig16AesNiNumbers)
+{
+    // Paper: "AES-NI accelerates the secure IO functionality by 73%,
+    // saving 12.8% of Cache1's cycles."
+    CaseStudy cs = aesNiCaseStudy();
+    BeforeAfter ba = beforeAfterBreakdown(
+        profile(ServiceId::Cache1), Functionality::SecureInsecureIO,
+        cs.publishedParams, cs.design, /*accelOnHost=*/true);
+    EXPECT_NEAR(ba.freedPercent, 12.8, 1.0);
+    // Improvement of the secure-IO *bar* given encryption is 16.6 of
+    // the 38-point secure-IO share. The paper's 73% refers to the
+    // encrypted portion; the whole bar shrinks proportionally less.
+    EXPECT_GT(ba.targetImprovementPercent, 25);
+    EXPECT_LT(ba.targetImprovementPercent, 45);
+}
+
+TEST(BeforeAfter, Fig17OffChipEncryptionFreesMost)
+{
+    CaseStudy cs = offChipEncryptionCaseStudy();
+    BeforeAfter ba = beforeAfterBreakdown(
+        profile(ServiceId::Cache3), Functionality::SecureInsecureIO,
+        cs.publishedParams, cs.design, /*accelOnHost=*/false);
+    // alpha = 19.15%, overheads n*(L)/C ~ 11.2%: frees ~8%.
+    EXPECT_NEAR(ba.freedPercent, 8.0, 1.0);
+}
+
+TEST(BeforeAfter, Fig18InferenceFullyOffloaded)
+{
+    CaseStudy cs = remoteInferenceCaseStudy();
+    BeforeAfter ba = beforeAfterBreakdown(
+        profile(ServiceId::Ads1), Functionality::PredictionRanking,
+        cs.publishedParams, cs.design, /*accelOnHost=*/false,
+        Functionality::SecureInsecureIO);
+    // alpha = 52% leaves the host; o0-driven I/O overhead comes back
+    // in the I/O bar, so the inference bar is fully freed.
+    EXPECT_GT(ba.freedPercent, 35);
+    EXPECT_NEAR(ba.targetImprovementPercent, 100, 1e-6);
+    for (const auto &s : ba.shifts) {
+        if (s.functionality == Functionality::SecureInsecureIO) {
+            EXPECT_GT(s.afterPercent, 17); // grew by the extra I/O
+        }
+    }
+    // Shares re-normalize to ~100.
+    double total = 0;
+    for (const auto &s : ba.shifts)
+        total += s.afterPercent;
+    EXPECT_NEAR(total, 100.0, 1e-6);
+}
+
+TEST(BeforeAfter, NonTargetSharesGrowProportionally)
+{
+    CaseStudy cs = aesNiCaseStudy();
+    BeforeAfter ba = beforeAfterBreakdown(
+        profile(ServiceId::Cache1), Functionality::SecureInsecureIO,
+        cs.publishedParams, cs.design, true);
+    for (const auto &s : ba.shifts) {
+        if (s.functionality == Functionality::SecureInsecureIO)
+            continue;
+        if (s.beforePercent > 0) {
+            EXPECT_GT(s.afterPercent, s.beforePercent);
+        }
+    }
+}
+
+TEST(BeforeAfter, KernelLargerThanFunctionalityRejected)
+{
+    model::Params p = aesNiCaseStudy().publishedParams;
+    p.alpha = 0.9; // bigger than any single functionality share
+    EXPECT_THROW(beforeAfterBreakdown(profile(ServiceId::Cache1),
+                                      Functionality::SecureInsecureIO,
+                                      p, ThreadingDesign::Sync, true),
+                 FatalError);
+}
+
+} // namespace
+} // namespace accel::workload

@@ -1,0 +1,53 @@
+/** @file Tests for category taxonomies. */
+
+#include "workload/categories.hh"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace accel::workload {
+namespace {
+
+TEST(Categories, CountsMatchPaperTaxonomies)
+{
+    EXPECT_EQ(allLeafCategories().size(), 9u);     // Table 2
+    EXPECT_EQ(allFunctionalities().size(), 10u);   // Table 3
+    EXPECT_EQ(allMemoryLeaves().size(), 6u);       // Fig. 3
+    EXPECT_EQ(allCopyOrigins().size(), 4u);        // Fig. 4
+    EXPECT_EQ(allKernelLeaves().size(), 6u);       // Fig. 5
+    EXPECT_EQ(allSyncLeaves().size(), 4u);         // Fig. 6
+    EXPECT_EQ(allClibLeaves().size(), 8u);         // Fig. 7
+}
+
+TEST(Categories, NamesUniqueAndNonEmpty)
+{
+    std::set<std::string> names;
+    for (LeafCategory c : allLeafCategories()) {
+        std::string n = toString(c);
+        EXPECT_FALSE(n.empty());
+        EXPECT_TRUE(names.insert(n).second);
+    }
+    names.clear();
+    for (Functionality c : allFunctionalities()) {
+        std::string n = toString(c);
+        EXPECT_FALSE(n.empty());
+        EXPECT_TRUE(names.insert(n).second);
+    }
+}
+
+TEST(Categories, PaperLabelSpellings)
+{
+    EXPECT_EQ(toString(LeafCategory::Zstd), "ZSTD");
+    EXPECT_EQ(toString(LeafCategory::Ssl), "SSL");
+    EXPECT_EQ(toString(Functionality::SecureInsecureIO),
+              "Secure + Insecure IO");
+    EXPECT_EQ(toString(Functionality::Serialization),
+              "Serialization/Deserialization");
+    EXPECT_EQ(toString(MemoryLeaf::Copy), "Memory-Copy");
+    EXPECT_EQ(toString(SyncLeaf::CompareExchangeSwap),
+              "Compare-Exchange-Swap");
+}
+
+} // namespace
+} // namespace accel::workload

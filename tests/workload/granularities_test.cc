@@ -1,0 +1,101 @@
+/** @file Tests for the granularity CDFs (Figs. 15, 19, 21, 22). */
+
+#include "workload/granularities.hh"
+
+#include <gtest/gtest.h>
+
+namespace accel::workload {
+namespace {
+
+TEST(Granularities, AllServicesHaveAllDistributions)
+{
+    for (ServiceId id : allServices()) {
+        EXPECT_NE(encryptionSizes(id), nullptr);
+        EXPECT_NE(compressionSizes(id), nullptr);
+        EXPECT_NE(copySizes(id), nullptr);
+        EXPECT_NE(allocationSizes(id), nullptr);
+    }
+}
+
+TEST(Fig15, Cache1EncryptionMostlySmall)
+{
+    auto d = encryptionSizes(ServiceId::Cache1);
+    // "<512B are frequently encrypted": most mass below 512 B.
+    EXPECT_GT(d->cdf(512), 0.85);
+    // "Cache1's encryption size is ~>= 4B".
+    EXPECT_LT(d->cdf(4), 0.01);
+}
+
+TEST(Fig19, Feed1CompressesLargerThanCache1)
+{
+    auto feed1 = compressionSizes(ServiceId::Feed1);
+    auto cache1 = compressionSizes(ServiceId::Cache1);
+    EXPECT_GT(feed1->mean(), 2 * cache1->mean());
+    EXPECT_GT(feed1->fractionAtLeast(425),
+              cache1->fractionAtLeast(425));
+}
+
+TEST(Fig19, Feed1EngineeredQuantiles)
+{
+    // The published profitable fractions (see DESIGN.md): 64.2 % of
+    // compressions >= 425 B (Sync), 65.1 % >= 409 B (Async), ~26.5 %
+    // >= 2455 B (Sync-OS).
+    auto d = compressionSizes(ServiceId::Feed1);
+    EXPECT_NEAR(d->fractionAtLeast(425), 0.6416, 0.002);
+    EXPECT_NEAR(d->fractionAtLeast(409), 0.6509, 0.002);
+    EXPECT_NEAR(d->fractionAtLeast(2455), 0.2651, 0.004);
+}
+
+TEST(Fig21, CopiesMostlyUnderPageSize)
+{
+    // "most microservices frequently copy small granularities" —
+    // smaller than a 4K page, mostly < 512 B.
+    for (ServiceId id : characterizedServices()) {
+        auto d = copySizes(id);
+        EXPECT_GT(d->cdf(512), 0.55) << toString(id);
+        EXPECT_GT(d->cdf(4096), 0.96) << toString(id);
+    }
+}
+
+TEST(Fig22, AllocationsMostlySmall)
+{
+    for (ServiceId id : characterizedServices()) {
+        auto d = allocationSizes(id);
+        EXPECT_GT(d->cdf(512), 0.7) << toString(id);
+    }
+}
+
+TEST(Rates, PublishedAnchors)
+{
+    EXPECT_DOUBLE_EQ(kernelRates(ServiceId::Cache1).encryptionsPerSec,
+                     298951); // Table 6
+    EXPECT_DOUBLE_EQ(kernelRates(ServiceId::Feed1).compressionsPerSec,
+                     15008); // Table 7
+    EXPECT_DOUBLE_EQ(kernelRates(ServiceId::Ads1).copiesPerSec,
+                     1473681); // Table 7
+    EXPECT_DOUBLE_EQ(kernelRates(ServiceId::Cache1).allocationsPerSec,
+                     51695); // Table 7
+    EXPECT_DOUBLE_EQ(kernelRates(ServiceId::Cache3).encryptionsPerSec,
+                     101863); // Table 6
+}
+
+TEST(Rates, AllNonNegative)
+{
+    for (ServiceId id : allServices()) {
+        KernelRates r = kernelRates(id);
+        EXPECT_GE(r.encryptionsPerSec, 0);
+        EXPECT_GE(r.compressionsPerSec, 0);
+        EXPECT_GE(r.copiesPerSec, 0);
+        EXPECT_GE(r.allocationsPerSec, 0);
+    }
+}
+
+TEST(Granularities, SharedShapesAreSameObject)
+{
+    // Cache tiers share the caching encryption shape.
+    EXPECT_EQ(encryptionSizes(ServiceId::Cache1),
+              encryptionSizes(ServiceId::Cache2));
+}
+
+} // namespace
+} // namespace accel::workload

@@ -1,0 +1,105 @@
+/** @file Tests for the CPU platform models (Table 1, Figs. 8 and 10). */
+
+#include "workload/platforms.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel::workload {
+namespace {
+
+TEST(Platforms, Table1Attributes)
+{
+    const Platform &a = platform(CpuGen::GenA);
+    EXPECT_EQ(a.microarchitecture, "Intel Haswell");
+    EXPECT_EQ(a.coresPerSocket, 12u);
+    EXPECT_EQ(a.l2KiB, 256u);
+    EXPECT_DOUBLE_EQ(a.llcMiB, 30.0);
+
+    const Platform &b = platform(CpuGen::GenB);
+    EXPECT_EQ(b.microarchitecture, "Intel Broadwell");
+    EXPECT_EQ(b.coresPerSocket, 16u);
+
+    const Platform &c = platform(CpuGen::GenC);
+    EXPECT_EQ(c.microarchitecture, "Intel Skylake");
+    EXPECT_EQ(c.l2KiB, 1024u);
+    EXPECT_EQ(c.smtWays, 2u);
+    EXPECT_EQ(c.cacheBlockBytes, 64u);
+}
+
+TEST(Platforms, LeafIpcBelowHalfOfPeak)
+{
+    // Paper: every leaf category uses less than half the 4.0-wide GenC
+    // execution bandwidth.
+    for (LeafCategory cat : ipcReportedLeafCategories())
+        EXPECT_LT(leafIpc(CpuGen::GenC, cat),
+                  platform(CpuGen::GenC).theoreticalPeakIpc / 2.0);
+}
+
+TEST(Platforms, LeafIpcNonDecreasingAcrossGens)
+{
+    for (LeafCategory cat : allLeafCategories()) {
+        EXPECT_LE(leafIpc(CpuGen::GenA, cat), leafIpc(CpuGen::GenB, cat));
+        EXPECT_LE(leafIpc(CpuGen::GenB, cat), leafIpc(CpuGen::GenC, cat));
+    }
+}
+
+TEST(Platforms, KernelIpcLowestAndNearlyFlat)
+{
+    double kern_a = leafIpc(CpuGen::GenA, LeafCategory::Kernel);
+    double kern_c = leafIpc(CpuGen::GenC, LeafCategory::Kernel);
+    for (LeafCategory cat : ipcReportedLeafCategories()) {
+        if (cat != LeafCategory::Kernel) {
+            EXPECT_GT(leafIpc(CpuGen::GenC, cat), kern_c);
+        }
+    }
+    EXPECT_LT(kern_c / kern_a, 1.15); // scales poorly
+}
+
+TEST(Platforms, CLibrariesScaleBest)
+{
+    double best_ratio = 0;
+    LeafCategory best = LeafCategory::Memory;
+    for (LeafCategory cat : ipcReportedLeafCategories()) {
+        double ratio = leafIpc(CpuGen::GenC, cat) /
+                       leafIpc(CpuGen::GenA, cat);
+        if (ratio > best_ratio) {
+            best_ratio = ratio;
+            best = cat;
+        }
+    }
+    EXPECT_EQ(best, LeafCategory::CLibraries);
+}
+
+TEST(Platforms, IoIpcLowDrivenByKernel)
+{
+    // Fig. 10: I/O IPC below every other functionality, on all gens.
+    for (CpuGen gen : allCpuGens()) {
+        double io = functionalityIpc(gen, Functionality::SecureInsecureIO);
+        for (Functionality f : ipcReportedFunctionalities()) {
+            if (f != Functionality::SecureInsecureIO) {
+                EXPECT_GT(functionalityIpc(gen, f), io);
+            }
+        }
+        EXPECT_LT(io, 0.5);
+    }
+}
+
+TEST(Platforms, ApplicationLogicBarelyImproves)
+{
+    double a = functionalityIpc(CpuGen::GenA,
+                                Functionality::ApplicationLogic);
+    double c = functionalityIpc(CpuGen::GenC,
+                                Functionality::ApplicationLogic);
+    EXPECT_LT(c / a, 1.15);
+}
+
+TEST(Platforms, UnreportedCategoryThrows)
+{
+    EXPECT_THROW(functionalityIpc(CpuGen::GenA, Functionality::Logging),
+                 FatalError);
+}
+
+} // namespace
+} // namespace accel::workload

@@ -1,0 +1,222 @@
+/** @file Tests that service profiles encode the paper's anchors. */
+
+#include "workload/profiles.hh"
+
+#include <gtest/gtest.h>
+
+namespace accel::workload {
+namespace {
+
+using F = Functionality;
+using L = LeafCategory;
+
+TEST(Profiles, AllServicesPresent)
+{
+    EXPECT_EQ(characterizedServices().size(), 7u);
+    EXPECT_EQ(allServices().size(), 8u);
+    for (ServiceId id : allServices()) {
+        const ServiceProfile &p = profile(id);
+        EXPECT_EQ(p.id, id);
+        EXPECT_EQ(p.name, toString(id));
+        EXPECT_FALSE(p.description.empty());
+    }
+}
+
+TEST(Profiles, SharesSumToHundred)
+{
+    for (ServiceId id : allServices()) {
+        const ServiceProfile &p = profile(id);
+        auto sum = [](const auto &shares) {
+            double total = 0;
+            for (const auto &[cat, pct] : shares)
+                total += pct;
+            return total;
+        };
+        EXPECT_NEAR(sum(p.functionalityShare), 100, 0.5) << p.name;
+        EXPECT_NEAR(sum(p.leafShare), 100, 0.5) << p.name;
+        EXPECT_NEAR(sum(p.memoryShare), 100, 0.5) << p.name;
+        EXPECT_NEAR(sum(p.copyOriginShare), 100, 0.5) << p.name;
+        EXPECT_NEAR(sum(p.kernelShare), 100, 0.5) << p.name;
+        EXPECT_NEAR(sum(p.syncShare), 100, 0.5) << p.name;
+        EXPECT_NEAR(sum(p.clibShare), 100, 0.5) << p.name;
+    }
+}
+
+TEST(Profiles, EveryCategoryKeyed)
+{
+    // Each share map must carry every category (possibly zero) so the
+    // figure benches can iterate uniformly.
+    for (ServiceId id : allServices()) {
+        const ServiceProfile &p = profile(id);
+        for (F f : allFunctionalities())
+            EXPECT_EQ(p.functionalityShare.count(f), 1u) << p.name;
+        for (L l : allLeafCategories())
+            EXPECT_EQ(p.leafShare.count(l), 1u) << p.name;
+    }
+}
+
+// ------------------- prose anchors (paper §1, §2) -------------------
+
+TEST(Anchors, WebLoggingAndAppLogic)
+{
+    const ServiceProfile &web = profile(ServiceId::Web);
+    EXPECT_DOUBLE_EQ(web.functionalityShare.at(F::ApplicationLogic), 18);
+    EXPECT_DOUBLE_EQ(web.functionalityShare.at(F::Logging), 23);
+}
+
+TEST(Anchors, CachingIoShare)
+{
+    // "Caching microservices can spend 52% of cycles sending/receiving
+    // I/O."
+    EXPECT_DOUBLE_EQ(profile(ServiceId::Cache2)
+                         .functionalityShare.at(F::SecureInsecureIO),
+                     52);
+}
+
+TEST(Anchors, Feed1CompressionShare)
+{
+    // Table 7: Feed1 compression α = 0.15.
+    EXPECT_DOUBLE_EQ(
+        profile(ServiceId::Feed1).functionalityShare.at(F::Compression),
+        15);
+}
+
+TEST(Anchors, InferenceShares)
+{
+    EXPECT_DOUBLE_EQ(profile(ServiceId::Ads1)
+                         .functionalityShare.at(F::PredictionRanking),
+                     52); // Table 6 α = 0.52
+    EXPECT_DOUBLE_EQ(profile(ServiceId::Ads2)
+                         .functionalityShare.at(F::PredictionRanking),
+                     33); // 1.49x ideal bound
+    EXPECT_DOUBLE_EQ(profile(ServiceId::Feed1)
+                         .functionalityShare.at(F::PredictionRanking),
+                     58); // 2.38x ideal bound
+}
+
+TEST(Anchors, Cache1SslLeafShare)
+{
+    // "Cache1 spends 6% of cycles in leaf encryption functions."
+    EXPECT_DOUBLE_EQ(profile(ServiceId::Cache1).leafShare.at(L::Ssl), 6);
+}
+
+TEST(Anchors, WebMemoryLeafShare)
+{
+    // "Copying, allocating, and freeing memory can consume 37% of
+    // cycles" (Web's memory net).
+    EXPECT_DOUBLE_EQ(profile(ServiceId::Web).leafShare.at(L::Memory), 37);
+}
+
+TEST(Anchors, MlMathLeafBounded)
+{
+    // "ML microservices such as Ads2 and Feed2 spend only up to 13% of
+    // cycles on mathematical operations."
+    EXPECT_LE(profile(ServiceId::Ads2).leafShare.at(L::Math), 13);
+    EXPECT_LE(profile(ServiceId::Feed2).leafShare.at(L::Math), 13);
+}
+
+TEST(Anchors, CachesAreKernelHeavy)
+{
+    for (ServiceId other : {ServiceId::Web, ServiceId::Feed1,
+                            ServiceId::Feed2, ServiceId::Ads1,
+                            ServiceId::Ads2}) {
+        EXPECT_GT(profile(ServiceId::Cache1).leafShare.at(L::Kernel),
+                  profile(other).leafShare.at(L::Kernel));
+        EXPECT_GT(profile(ServiceId::Cache2).leafShare.at(L::Kernel),
+                  profile(other).leafShare.at(L::Kernel));
+    }
+}
+
+TEST(Anchors, CachesSpinLockHeavy)
+{
+    // §2.3.3: Cache implements spin locks; dominant sync leaf.
+    EXPECT_GT(profile(ServiceId::Cache1).syncShare.at(SyncLeaf::SpinLock),
+              40);
+    EXPECT_GT(profile(ServiceId::Cache2).syncShare.at(SyncLeaf::SpinLock),
+              40);
+}
+
+TEST(Anchors, CopiesDominateMemoryCycles)
+{
+    // Fig. 3: memory copies are the greatest consumer of memory cycles.
+    for (ServiceId id : characterizedServices()) {
+        const auto &mem = profile(id).memoryShare;
+        double copy = mem.at(MemoryLeaf::Copy);
+        for (const auto &[leaf, pct] : mem) {
+            if (leaf != MemoryLeaf::Copy) {
+                EXPECT_GE(copy, pct) << toString(id);
+            }
+        }
+    }
+}
+
+TEST(Anchors, Fig1OrchestrationDominatesForMost)
+{
+    // Fig. 1: orchestration can significantly dominate; for Web and the
+    // caches the core logic is well under half of cycles.
+    for (ServiceId id : {ServiceId::Web, ServiceId::Cache1,
+                         ServiceId::Cache2}) {
+        EXPECT_LT(profile(id).applicationLogicPercent(), 50) <<
+            toString(id);
+        EXPECT_NEAR(profile(id).applicationLogicPercent() +
+                        profile(id).orchestrationPercent(),
+                    100, 1e-9);
+    }
+}
+
+TEST(Anchors, MlOrchestrationRange)
+{
+    // §2.4: the ML services spend 42%-67% of cycles orchestrating
+    // inference (inference itself 33%-58%).
+    for (ServiceId id : {ServiceId::Feed1, ServiceId::Feed2,
+                         ServiceId::Ads1, ServiceId::Ads2}) {
+        double pred = profile(id).functionalityShare.at(
+            F::PredictionRanking);
+        EXPECT_GE(pred, 33);
+        EXPECT_LE(pred, 58);
+        double orch = 100 - pred -
+            profile(id).functionalityShare.at(F::ApplicationLogic);
+        EXPECT_GE(orch, 38);
+        EXPECT_LE(orch, 67);
+    }
+}
+
+TEST(Anchors, Cache3HasNoCompressionCategory)
+{
+    // Fig. 17's breakdown shows no compression bar for Cache3.
+    EXPECT_DOUBLE_EQ(
+        profile(ServiceId::Cache3).functionalityShare.at(F::Compression),
+        0);
+}
+
+TEST(ReferenceRows, GoogleAndSpecPresent)
+{
+    const auto &rows = referenceLeafRows();
+    ASSERT_EQ(rows.size(), 5u);
+    EXPECT_EQ(rows[0].name, "Google [Kanev'15]");
+    EXPECT_DOUBLE_EQ(rows[0].memoryNetPercent, 13); // Kanev'15 anchor
+    // 403.gcc: high memory share, few copies (paper §2.3.1).
+    const ReferenceLeafRow *gcc = nullptr;
+    for (const auto &r : rows)
+        if (r.name == "403.gcc")
+            gcc = &r;
+    ASSERT_NE(gcc, nullptr);
+    EXPECT_DOUBLE_EQ(gcc->memoryNetPercent, 31);
+    EXPECT_LE(gcc->memoryShare.at(MemoryLeaf::Copy), 2);
+}
+
+TEST(ReferenceRows, SharesSumToHundred)
+{
+    for (const auto &row : referenceLeafRows()) {
+        double leaf_total = 0, mem_total = 0;
+        for (const auto &[cat, pct] : row.leafShare)
+            leaf_total += pct;
+        for (const auto &[cat, pct] : row.memoryShare)
+            mem_total += pct;
+        EXPECT_NEAR(leaf_total, 100, 0.5) << row.name;
+        EXPECT_NEAR(mem_total, 100, 0.5) << row.name;
+    }
+}
+
+} // namespace
+} // namespace accel::workload

@@ -1,0 +1,112 @@
+/** @file Tests for case-study and recommendation builders. */
+
+#include "workload/request_factory.hh"
+
+#include <gtest/gtest.h>
+
+#include "workload/granularities.hh"
+
+#include "util/logging.hh"
+
+namespace accel::workload {
+namespace {
+
+using model::Strategy;
+using model::ThreadingDesign;
+
+TEST(MakeWorkload, MatchesModelParameters)
+{
+    auto sizes = encryptionSizes(ServiceId::Cache1);
+    auto w = makeWorkload(2.0e9, 0.165844, 298951, sizes);
+    EXPECT_NO_THROW(w.validate());
+    // Implied α must round-trip.
+    EXPECT_NEAR(w.impliedAlpha(), 0.165844, 1e-9);
+    // Total request cost = C / n.
+    EXPECT_NEAR(w.nonKernelCyclesMean + w.meanKernelCycles(),
+                2.0e9 / 298951, 1e-6);
+}
+
+TEST(MakeWorkload, RejectsBadInputs)
+{
+    auto sizes = encryptionSizes(ServiceId::Cache1);
+    EXPECT_THROW(makeWorkload(0, 0.1, 10, sizes), FatalError);
+    EXPECT_THROW(makeWorkload(1e9, 0.0, 10, sizes), FatalError);
+    EXPECT_THROW(makeWorkload(1e9, 0.1, 0, sizes), FatalError);
+    EXPECT_THROW(makeWorkload(1e9, 0.1, 10, nullptr), FatalError);
+}
+
+TEST(CaseStudies, ThreeInTable6Order)
+{
+    auto studies = allCaseStudies();
+    ASSERT_EQ(studies.size(), 3u);
+    EXPECT_NE(studies[0].name.find("AES-NI"), std::string::npos);
+    EXPECT_NE(studies[1].name.find("Cache3"), std::string::npos);
+    EXPECT_NE(studies[2].name.find("Ads1"), std::string::npos);
+}
+
+TEST(CaseStudies, PublishedNumbersCarried)
+{
+    auto studies = allCaseStudies();
+    EXPECT_NEAR(studies[0].paperEstimatedSpeedup, 0.157, 1e-9);
+    EXPECT_NEAR(studies[0].paperRealSpeedup, 0.14, 1e-9);
+    EXPECT_NEAR(studies[1].paperEstimatedSpeedup, 0.086, 1e-9);
+    EXPECT_NEAR(studies[1].paperRealSpeedup, 0.075, 1e-9);
+    EXPECT_NEAR(studies[2].paperEstimatedSpeedup, 0.7239, 1e-9);
+    EXPECT_NEAR(studies[2].paperRealSpeedup, 0.6869, 1e-9);
+}
+
+TEST(CaseStudies, DesignsMatchPaper)
+{
+    auto studies = allCaseStudies();
+    EXPECT_EQ(studies[0].design, ThreadingDesign::Sync);
+    EXPECT_EQ(studies[0].publishedParams.strategy, Strategy::OnChip);
+    EXPECT_EQ(studies[1].design, ThreadingDesign::AsyncNoResponse);
+    EXPECT_EQ(studies[1].publishedParams.strategy, Strategy::OffChip);
+    EXPECT_EQ(studies[2].design, ThreadingDesign::AsyncDistinctThread);
+    EXPECT_EQ(studies[2].publishedParams.strategy, Strategy::Remote);
+}
+
+TEST(CaseStudies, ExperimentsAreRunnable)
+{
+    for (const auto &cs : allCaseStudies()) {
+        EXPECT_NO_THROW(cs.experiment.service.validate()) << cs.name;
+        EXPECT_NO_THROW(cs.experiment.accelerator.validate()) << cs.name;
+        EXPECT_NO_THROW(cs.experiment.workload.validate()) << cs.name;
+        EXPECT_NO_THROW(cs.publishedParams.validate()) << cs.name;
+    }
+}
+
+TEST(CaseStudies, WorkloadAlphaMatchesPublished)
+{
+    for (const auto &cs : allCaseStudies()) {
+        EXPECT_NEAR(cs.experiment.workload.impliedAlpha(),
+                    cs.publishedParams.alpha, 1e-6)
+            << cs.name;
+    }
+}
+
+TEST(Fig20, SixRecommendations)
+{
+    auto recs = fig20Recommendations();
+    ASSERT_EQ(recs.size(), 6u);
+    EXPECT_EQ(recs[0].acceleration, "On-chip");
+    EXPECT_EQ(recs[1].acceleration, "Off-chip:Sync");
+    EXPECT_EQ(recs[2].acceleration, "Off-chip:Sync-OS");
+    EXPECT_EQ(recs[3].acceleration, "Off-chip:Async");
+    EXPECT_EQ(recs[4].overhead, "Ads1: Memory copy");
+    EXPECT_EQ(recs[5].overhead, "Cache1: Memory allocation");
+}
+
+TEST(Fig20, CompressionCbFromBreakEven)
+{
+    EXPECT_NEAR(feed1CompressionCyclesPerByte(), 5.62, 0.01);
+}
+
+TEST(Fig20, RecommendationParamsValid)
+{
+    for (const auto &rec : fig20Recommendations())
+        EXPECT_NO_THROW(rec.params.validate()) << rec.overhead;
+}
+
+} // namespace
+} // namespace accel::workload
