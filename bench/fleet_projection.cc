@@ -101,10 +101,19 @@ main()
                      "servers freed", "capacity"});
     for (size_t c = 1; c <= 3; ++c)
         table.setAlign(c, Align::Right);
-    for (const Row &row : rows) {
-        model::FleetProjection fleet =
-            project(row.name, row.factor, row.alpha);
-        table.addRow({row.name, fmtPct(fleet.fleetSpeedup - 1.0, 2),
+    // The three overhead scenarios are independent projections; shard
+    // them across the pool, keeping row order.
+    std::vector<const Row *> configs;
+    for (const Row &row : rows)
+        configs.push_back(&row);
+    std::vector<model::FleetProjection> fleets = bench::shardConfigs(
+        configs, [](const Row *row) {
+            return project(row->name, row->factor, row->alpha);
+        });
+    for (size_t i = 0; i < configs.size(); ++i) {
+        const model::FleetProjection &fleet = fleets[i];
+        table.addRow({configs[i]->name,
+                      fmtPct(fleet.fleetSpeedup - 1.0, 2),
                       fmtF(fleet.serversFreed, 0),
                       fmtPct(fleet.capacityFraction(), 2)});
     }

@@ -64,9 +64,23 @@ main()
     std::ostringstream csv_text;
     CsvWriter csv(csv_text, {"offered_qps", "base_p50", "base_p99",
                              "accel_p50", "accel_p99"});
-    for (double load : {50e3, 120e3, 160e3, 180e3, 200e3, 220e3}) {
-        microsim::ServiceMetrics base = run(load, false);
-        microsim::ServiceMetrics accel = run(load, true);
+    // Both arms of every load point are independent seeded runs; shard
+    // them across the pool and print in input order.
+    const std::vector<double> loads = {50e3,  120e3, 160e3,
+                                       180e3, 200e3, 220e3};
+    struct Arms
+    {
+        microsim::ServiceMetrics base;
+        microsim::ServiceMetrics accel;
+    };
+    std::vector<Arms> results = bench::shardConfigs(
+        loads, [](double load) {
+            return Arms{run(load, false), run(load, true)};
+        });
+    for (size_t i = 0; i < loads.size(); ++i) {
+        double load = loads[i];
+        microsim::ServiceMetrics &base = results[i].base;
+        microsim::ServiceMetrics &accel = results[i].accel;
         std::string verdict;
         bool base_ok = base.latencySample.p99() < kSloCycles &&
                        base.qps() > 0.95 * load;

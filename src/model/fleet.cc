@@ -1,6 +1,7 @@
 #include "model/fleet.hh"
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace accel::model {
 
@@ -22,16 +23,24 @@ projectFleet(const std::vector<FleetService> &services)
 {
     require(!services.empty(), "projectFleet: no services");
 
+    // Model evaluations shard across the pool; the accumulation below
+    // stays serial and in input order so the floating-point sums are
+    // bit-identical to the serial path.
+    std::vector<double> speedups(services.size());
+    parallelFor(services.size(), [&](size_t i) {
+        require(services[i].servers > 0,
+                "projectFleet: server count must be positive");
+        speedups[i] = services[i].speedup();
+    });
+
     FleetProjection out;
     out.totalServers = 0;
     double servers_after = 0;
-    for (const FleetService &svc : services) {
-        require(svc.servers > 0,
-                "projectFleet: server count must be positive");
-        double s = svc.speedup();
-        out.perService.emplace_back(svc.name, s);
+    for (size_t i = 0; i < services.size(); ++i) {
+        const FleetService &svc = services[i];
+        out.perService.emplace_back(svc.name, speedups[i]);
         out.totalServers += svc.servers;
-        servers_after += svc.servers / s;
+        servers_after += svc.servers / speedups[i];
     }
     out.fleetSpeedup = out.totalServers / servers_after;
     out.serversFreed = out.totalServers - servers_after;

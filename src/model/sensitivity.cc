@@ -6,6 +6,7 @@
 
 #include "util/logging.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 #include "util/units.hh"
 
 namespace accel::model {
@@ -51,8 +52,12 @@ speedupSensitivities(const Params &params, ThreadingDesign design,
     params.validate();
     double base = speedupAt(params, design);
 
-    std::vector<Sensitivity> out;
-    for (const Knob &knob : kKnobs) {
+    // Knobs are independent central differences; fan them out across
+    // the pool with each knob writing its own slot.
+    constexpr size_t kKnobCount = std::size(kKnobs);
+    std::vector<Sensitivity> out(kKnobCount);
+    parallelFor(kKnobCount, [&](size_t k) {
+        const Knob &knob = kKnobs[k];
         double value = params.*(knob.field);
         double step = value != 0 ? std::abs(value) * relStep : relStep;
 
@@ -68,8 +73,8 @@ speedupSensitivities(const Params &params, ThreadingDesign design,
             actual_span;
         double elasticity =
             value != 0 ? derivative * value / base : 0.0;
-        out.push_back({knob.name, value, derivative, elasticity});
-    }
+        out[k] = {knob.name, value, derivative, elasticity};
+    });
     std::sort(out.begin(), out.end(),
               [](const Sensitivity &a, const Sensitivity &b) {
                   return std::abs(a.elasticity) > std::abs(b.elasticity);

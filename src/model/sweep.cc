@@ -1,9 +1,11 @@
 #include "model/sweep.hh"
 
 #include <cmath>
+#include <string>
 
 #include "model/queueing.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace accel::model {
 
@@ -39,14 +41,16 @@ sweep(const Params &base, ThreadingDesign design,
       const std::vector<double> &xs,
       const std::function<void(Params &, double)> &apply)
 {
-    std::vector<SweepPoint> points;
-    points.reserve(xs.size());
-    for (double x : xs) {
+    // Each point is a pure function of (base, design, xs[i]); evaluate
+    // them across the worker pool, each writing its own pre-sized slot
+    // so the result is bit-identical to the serial loop.
+    std::vector<SweepPoint> points(xs.size());
+    parallelFor(xs.size(), [&](size_t i) {
         Params p = base;
-        apply(p, x);
+        apply(p, xs[i]);
         Accelerometer model(p);
-        points.push_back({x, model.project(design)});
-    }
+        points[i] = {xs[i], model.project(design)};
+    });
     return points;
 }
 
@@ -84,19 +88,35 @@ sweepAlpha(const Params &base, ThreadingDesign design,
 
 std::vector<SweepPoint>
 sweepLoad(const Params &base, ThreadingDesign design, double serviceCycles,
-          double clockHz, const std::vector<double> &loads)
+          double clockHz, const std::vector<double> &loads,
+          size_t *omittedOut)
 {
-    std::vector<SweepPoint> points;
-    points.reserve(loads.size());
+    // Stability is a cheap test; run it first so the parallel phase
+    // evaluates exactly the surviving loads, in input order.
+    std::vector<double> stable;
+    stable.reserve(loads.size());
     for (double load : loads) {
-        if (utilization(serviceCycles, load, clockHz) >= 1.0)
-            continue;
+        if (utilization(serviceCycles, load, clockHz) < 1.0)
+            stable.push_back(load);
+    }
+    size_t omitted = loads.size() - stable.size();
+    if (omittedOut != nullptr)
+        *omittedOut = omitted;
+    if (omitted > 0) {
+        warn("sweepLoad: omitted " + std::to_string(omitted) + " of " +
+             std::to_string(loads.size()) +
+             " load points with utilization >= 1 (accelerator saturated)");
+    }
+
+    std::vector<SweepPoint> points(stable.size());
+    parallelFor(stable.size(), [&](size_t i) {
+        double load = stable[i];
         Params p = base;
         p.offloads = load;
         p.queueCycles = mm1WaitCycles(serviceCycles, load, clockHz);
         Accelerometer model(p);
-        points.push_back({load, model.project(design)});
-    }
+        points[i] = {load, model.project(design)};
+    });
     return points;
 }
 

@@ -33,6 +33,12 @@ std::vector<double> logspace(double lo, double hi, size_t count);
 /**
  * Generic sweep: for each x, @p apply mutates a copy of @p base, then the
  * model is evaluated under @p design.
+ *
+ * Points are evaluated on the global worker pool (see
+ * util/thread_pool.hh; ACCEL_JOBS controls the width). Results are
+ * written by input index, so the vector is bit-identical to a serial
+ * evaluation for every worker count. @p apply must be safe to call
+ * concurrently on distinct Params copies.
  */
 std::vector<SweepPoint>
 sweep(const Params &base, ThreadingDesign design,
@@ -62,13 +68,18 @@ sweepAlpha(const Params &base, ThreadingDesign design,
 /**
  * Sweep accelerator load: for each offered load (offloads/s), Q is set
  * from the M/M/1 wait at that load and n is set to the load. Points with
- * utilization >= 1 are omitted.
+ * utilization >= 1 (a saturated accelerator has no finite steady-state
+ * wait) are omitted with a warning; pass @p omittedOut to observe how
+ * many inputs were dropped — a fully saturated sweep returns an empty
+ * vector, which is otherwise indistinguishable from empty input.
  *
  * @param serviceCycles  accelerator service time per offload
  * @param clockHz        host clock in cycles per second
+ * @param omittedOut     optional out-count of omitted load points
  */
 std::vector<SweepPoint>
 sweepLoad(const Params &base, ThreadingDesign design, double serviceCycles,
-          double clockHz, const std::vector<double> &loads);
+          double clockHz, const std::vector<double> &loads,
+          size_t *omittedOut = nullptr);
 
 } // namespace accel::model

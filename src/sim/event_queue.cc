@@ -1,5 +1,8 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/logging.hh"
 
 namespace accel::sim {
@@ -9,7 +12,8 @@ EventQueue::schedule(Tick when, Callback cb, int priority)
 {
     require(when >= now_, "EventQueue: scheduling into the past");
     ensure(static_cast<bool>(cb), "EventQueue: empty callback");
-    heap_.push(Event{when, priority, sequence_++, std::move(cb)});
+    heap_.push_back(Event{when, priority, sequence_++, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void
@@ -18,15 +22,25 @@ EventQueue::scheduleIn(Tick delay, Callback cb, int priority)
     schedule(now_ + delay, std::move(cb), priority);
 }
 
+EventQueue::Event
+EventQueue::popEvent()
+{
+    // pop_heap moves the earliest event to the back; moving it out
+    // transfers the callback's state instead of copying it.
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    return ev;
+}
+
 bool
 EventQueue::runNext()
 {
     if (heap_.empty())
         return false;
-    // priority_queue::top() is const; move out via const_cast is UB-free
-    // here because we pop immediately. Copy instead for clarity.
-    Event ev = heap_.top();
-    heap_.pop();
+    // The event is fully detached from the heap before the callback
+    // runs, so callbacks may schedule further events freely.
+    Event ev = popEvent();
     now_ = ev.when;
     ++processed_;
     ev.callback();
@@ -36,7 +50,7 @@ EventQueue::runNext()
 void
 EventQueue::runUntil(Tick limit)
 {
-    while (!heap_.empty() && heap_.top().when <= limit)
+    while (!heap_.empty() && heap_.front().when <= limit)
         runNext();
     if (now_ < limit)
         now_ = limit;

@@ -14,7 +14,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace accel::sim {
@@ -48,6 +47,9 @@ class EventQueue
 
     /** Number of pending events. */
     size_t pending() const { return heap_.size(); }
+
+    /** Reserve heap capacity for an expected number of pending events. */
+    void reserve(size_t events) { heap_.reserve(events); }
 
     /** Total events executed so far. */
     std::uint64_t processed() const { return processed_; }
@@ -89,7 +91,17 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    /** Move the earliest event out of the heap (heap_ must be non-empty). */
+    Event popEvent();
+
+    // An explicit vector heap (std::push_heap/pop_heap with Later, so
+    // front() is the earliest event) instead of std::priority_queue:
+    // priority_queue::top() is const and forces a copy of the Event —
+    // including its std::function and any captured shared_ptrs — on
+    // every pop, which is pure hot-path overhead in multi-million-event
+    // runs. pop_heap moves the earliest event to the back, where it can
+    // be moved out.
+    std::vector<Event> heap_;
     Tick now_ = 0;
     std::uint64_t sequence_ = 0;
     std::uint64_t processed_ = 0;

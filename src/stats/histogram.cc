@@ -44,6 +44,7 @@ Histogram::addWeighted(double value, double weight)
     require(weight >= 0, "Histogram: negative weight");
     counts_[bucketIndex(value)] += weight;
     total_ += weight;
+    prefixDirty_ = true;
     stats_.add(value);
 }
 
@@ -75,10 +76,17 @@ Histogram::bucketLabel(size_t i) const
 {
     auto fmt = [](double v) {
         std::ostringstream os;
-        if (v >= 1024 && std::fmod(v, 1024.0) == 0)
+        if (v >= 1024 && std::fmod(v, 1024.0) == 0) {
             os << static_cast<long long>(v / 1024) << "K";
-        else
+        } else if (std::floor(v) == v &&
+                   std::abs(v) < 9.2e18 /* fits long long */) {
             os << static_cast<long long>(v);
+        } else {
+            // Fractional edges (e.g. 0.5) must not truncate to the
+            // integer below — that produced duplicate labels like
+            // "0-0". Default stream precision keeps them readable.
+            os << v;
+        }
         return os.str();
     };
     if (i + 1 >= edges_.size())
@@ -94,10 +102,19 @@ Histogram::cumulativeFraction(size_t i) const
     ensure(i < counts_.size(), "Histogram: bucket index out of range");
     if (total_ == 0)
         return 0.0;
-    double cum = 0.0;
-    for (size_t b = 0; b <= i; ++b)
-        cum += counts_[b];
-    return cum / total_;
+    if (prefixDirty_) {
+        // Rebuild once per add-burst; emitting a whole CDF is then O(1)
+        // per bucket instead of O(buckets) re-summation. Left-to-right
+        // accumulation matches the old per-call loop bit for bit.
+        prefix_.resize(counts_.size());
+        double cum = 0.0;
+        for (size_t b = 0; b < counts_.size(); ++b) {
+            cum += counts_[b];
+            prefix_[b] = cum;
+        }
+        prefixDirty_ = false;
+    }
+    return prefix_[i] / total_;
 }
 
 size_t

@@ -57,7 +57,10 @@ class Histogram
     /** Human-readable label, e.g. "256-512" or ">4096". */
     std::string bucketLabel(size_t i) const;
 
-    /** Cumulative fraction of weight in buckets 0..i (inclusive). */
+    /**
+     * Cumulative fraction of weight in buckets 0..i (inclusive).
+     * Amortized O(1): a cached prefix sum is rebuilt lazily after adds.
+     */
     double cumulativeFraction(size_t i) const;
 
     /** Summary statistics of raw observations. */
@@ -68,6 +71,8 @@ class Histogram
     std::vector<double> counts_; // one per bucket incl. overflow
     double total_ = 0.0;
     OnlineStats stats_;
+    mutable std::vector<double> prefix_; // cached cumulative weights
+    mutable bool prefixDirty_ = true;
 
     size_t bucketIndex(double value) const;
 };

@@ -24,8 +24,10 @@ ReservoirSample::add(double value)
         return;
     }
     // Algorithm R: replace a uniformly random slot with probability
-    // capacity / seen.
-    std::uint64_t slot = rng_.next() % seen_;
+    // capacity / seen. The draw must be an unbiased 64-bit one: a
+    // 32-bit `next() % seen_` truncates once seen_ exceeds 2^32 and
+    // carries modulo bias at every stream length.
+    std::uint64_t slot = rng_.below64(seen_);
     if (slot < capacity_)
         values_[static_cast<size_t>(slot)] = value;
 }

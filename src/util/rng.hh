@@ -29,6 +29,14 @@ class Rng
         next();
     }
 
+    /** Next 64 uniformly random bits (two next() words). */
+    std::uint64_t
+    next64()
+    {
+        std::uint64_t hi = next();
+        return (hi << 32) | next();
+    }
+
     /** Next 32 uniformly random bits. */
     std::uint32_t
     next()
@@ -70,6 +78,31 @@ class Rng
             if (r >= threshold)
                 return r % bound;
         }
+    }
+
+    /**
+     * Uniform 64-bit integer in [0, bound) without modulo bias
+     * (Lemire's multiply-with-rejection over next64() words). A bound
+     * of 0 returns 0. Streams longer than 2^32 — e.g. reservoir
+     * sampling over multi-billion-event simulations — need the full
+     * 64-bit range; a 32-bit draw would truncate and bias them.
+     */
+    std::uint64_t
+    below64(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        unsigned __int128 m =
+            static_cast<unsigned __int128>(next64()) * bound;
+        auto low = static_cast<std::uint64_t>(m);
+        if (low < bound) {
+            std::uint64_t threshold = (-bound) % bound;
+            while (low < threshold) {
+                m = static_cast<unsigned __int128>(next64()) * bound;
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
     }
 
     /** Bernoulli draw with success probability @p p. */

@@ -1,0 +1,224 @@
+#include "util/thread_pool.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace accel {
+
+/**
+ * Worker state shared between the pool and its threads. Workers park on
+ * a condition variable between batches; a batch publishes the body plus
+ * an atomic index cursor, and workers claim indices until the cursor
+ * passes n or an exception aborts the batch.
+ */
+namespace {
+
+/** True on threads owned by a pool; nested parallelFor runs inline. */
+thread_local bool tls_in_worker = false;
+
+} // namespace
+
+struct ThreadPool::Impl
+{
+    std::mutex dispatch; // serializes whole batches from multiple callers
+    std::mutex mutex;
+    std::condition_variable wake;   // workers wait for a batch
+    std::condition_variable done;   // caller waits for batch completion
+    std::vector<std::thread> threads;
+
+    // Current batch; guarded by mutex except for the atomic cursor.
+    const std::function<void(size_t)> *body = nullptr;
+    size_t batchSize = 0;
+    std::uint64_t batchId = 0;
+    size_t active = 0;
+    std::atomic<size_t> cursor{0};
+    std::exception_ptr error;
+    bool shutdown = false;
+
+    void
+    workerLoop()
+    {
+        tls_in_worker = true;
+        std::uint64_t last_seen = 0;
+        while (true) {
+            const std::function<void(size_t)> *job = nullptr;
+            size_t n = 0;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                wake.wait(lock, [&] {
+                    return shutdown || batchId != last_seen;
+                });
+                if (shutdown)
+                    return;
+                last_seen = batchId;
+                job = body;
+                n = batchSize;
+                // A straggler can wake after the batch drained and the
+                // caller cleared body; it has nothing to do.
+                if (job == nullptr)
+                    continue;
+                ++active;
+            }
+            runShard(*job, n);
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (--active == 0 && cursor.load() >= n)
+                    done.notify_all();
+            }
+        }
+    }
+
+    void
+    runShard(const std::function<void(size_t)> &job, size_t n)
+    {
+        while (true) {
+            size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                break;
+            try {
+                job(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (!error)
+                    error = std::current_exception();
+                // Abandon the remaining indices so the batch drains
+                // promptly; claimed indices still finish.
+                cursor.store(n, std::memory_order_relaxed);
+            }
+        }
+    }
+};
+
+namespace {
+
+size_t
+envWorkers()
+{
+    const char *env = std::getenv("ACCEL_JOBS");
+    if (env == nullptr || *env == '\0')
+        return 0;
+    char *end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || parsed < 1) {
+        warn("ACCEL_JOBS=\"" + std::string(env) +
+             "\" is not a positive integer; ignoring");
+        return 0;
+    }
+    return static_cast<size_t>(parsed);
+}
+
+} // namespace
+
+size_t
+ThreadPool::defaultWorkers()
+{
+    size_t n = envWorkers();
+    if (n == 0)
+        n = std::thread::hardware_concurrency();
+    return n > 0 ? n : 1;
+}
+
+ThreadPool::ThreadPool(size_t workers)
+    : workers_(workers > 0 ? workers : defaultWorkers())
+{
+    if (workers_ == 1)
+        return; // exact serial fallback: no threads, no impl
+    impl_ = new Impl;
+    impl_->threads.reserve(workers_);
+    // Capture the Impl pointer by value: setWorkers() may swap impl_
+    // to another pool object before a freshly spawned thread runs.
+    Impl *impl = impl_;
+    for (size_t t = 0; t < workers_; ++t)
+        impl_->threads.emplace_back([impl] { impl->workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    if (impl_ == nullptr)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->shutdown = true;
+    }
+    impl_->wake.notify_all();
+    for (std::thread &t : impl_->threads)
+        t.join();
+    delete impl_;
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
+{
+    ensure(static_cast<bool>(body), "ThreadPool: empty loop body");
+    if (n == 0)
+        return;
+    if (impl_ == nullptr || n == 1 || tls_in_worker) {
+        // Serial fallback: identical iteration order to a plain loop.
+        // Calls from inside a pool worker (nested parallelism) run
+        // inline rather than deadlocking on the busy pool.
+        for (size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    // One batch at a time: concurrent external callers take turns.
+    std::lock_guard<std::mutex> batch_lock(impl_->dispatch);
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->body = &body;
+        impl_->batchSize = n;
+        impl_->cursor.store(0, std::memory_order_relaxed);
+        impl_->error = nullptr;
+        ++impl_->batchId;
+    }
+    impl_->wake.notify_all();
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(impl_->mutex);
+        impl_->done.wait(lock, [&] {
+            return impl_->active == 0 && impl_->cursor.load() >= n;
+        });
+        impl_->body = nullptr;
+        error = impl_->error;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    // Function-local static: destroyed at exit, which parks and joins
+    // the workers (keeps ThreadSanitizer's thread-leak check quiet).
+    static ThreadPool pool;
+    return pool;
+}
+
+void
+ThreadPool::setWorkers(size_t workers)
+{
+    ThreadPool &pool = global();
+    size_t target = workers > 0 ? workers : defaultWorkers();
+    if (pool.workers_ == target)
+        return;
+    // Rebuild in place: join the old workers, then start the new set.
+    ThreadPool fresh(target);
+    std::swap(pool.impl_, fresh.impl_);
+    std::swap(pool.workers_, fresh.workers_);
+}
+
+void
+parallelFor(size_t n, const std::function<void(size_t)> &body)
+{
+    ThreadPool::global().parallelFor(n, body);
+}
+
+} // namespace accel

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fixed-size worker pool for embarrassingly parallel experiment fan-out.
+ *
+ * The paper's results are produced by hundreds of independent,
+ * seed-deterministic model evaluations and simulator runs (sweeps,
+ * sensitivity panels, fleet projections, A/B experiments). Each one is a
+ * pure function of its inputs, so they can shard across cores freely —
+ * provided the results land in pre-sized slots indexed by input
+ * position, never by completion order, which keeps every aggregate
+ * bit-identical to the serial path regardless of worker count.
+ *
+ * Worker count resolution (first match wins):
+ *   1. an explicit setWorkers() call (tests, embedding programs),
+ *   2. the ACCEL_JOBS environment variable,
+ *   3. std::thread::hardware_concurrency().
+ * A count of 1 bypasses the pool entirely: the loop body runs inline on
+ * the calling thread, making ACCEL_JOBS=1 an exact serial fallback.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace accel {
+
+/**
+ * A fixed pool of worker threads executing indexed loop bodies.
+ *
+ * The pool is task-batch oriented rather than queue oriented: each
+ * parallelFor() call dispatches one batch of indices [0, n) to the
+ * workers and blocks until every index has run. Indices are handed out
+ * through a shared atomic counter, so uneven per-index cost balances
+ * automatically; determinism comes from callers writing to slot i, not
+ * from execution order.
+ *
+ * Exceptions thrown by the body are captured (first one wins), the
+ * remaining indices are abandoned, and the exception is rethrown on the
+ * calling thread once the batch drains — callers see the same error
+ * surface as a serial loop, without deadlock.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers thread count; 0 resolves via ACCEL_JOBS or
+     *                hardware concurrency (minimum 1)
+     */
+    explicit ThreadPool(size_t workers = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker threads backing this pool (>= 1; 1 means inline). */
+    size_t workers() const { return workers_; }
+
+    /**
+     * Run body(i) for every i in [0, n), blocking until all complete.
+     * With one worker (or n <= 1) the body runs inline in index order.
+     * @throws whatever body throws (the first captured exception).
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &body);
+
+    /** The process-wide pool used by the experiment runners. */
+    static ThreadPool &global();
+
+    /**
+     * Reconfigure the global pool's worker count (joins the old
+     * workers). Intended for tests and programs that must override
+     * ACCEL_JOBS programmatically; not thread-safe against concurrent
+     * parallelFor() calls on the global pool.
+     */
+    static void setWorkers(size_t workers);
+
+    /** Resolve the default worker count (ACCEL_JOBS or hardware). */
+    static size_t defaultWorkers();
+
+  private:
+    struct Impl;
+    Impl *impl_ = nullptr; // absent when workers_ == 1
+    size_t workers_ = 1;
+};
+
+/**
+ * Run body(i) for i in [0, n) on the global pool.
+ *
+ * The body must confine its writes to per-index state (slot i of a
+ * pre-sized output vector); under that contract results are
+ * bit-identical for every worker count.
+ */
+void parallelFor(size_t n, const std::function<void(size_t)> &body);
+
+/**
+ * Map @p fn over @p inputs on the global pool, preserving input order.
+ * Output slot i holds fn(inputs[i]) regardless of completion order.
+ */
+template <typename T, typename Fn>
+auto
+parallelMap(const std::vector<T> &inputs, Fn &&fn)
+    -> std::vector<decltype(fn(inputs.front()))>
+{
+    std::vector<decltype(fn(inputs.front()))> out(inputs.size());
+    parallelFor(inputs.size(),
+                [&](size_t i) { out[i] = fn(inputs[i]); });
+    return out;
+}
+
+} // namespace accel

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Serial-vs-parallel parity suite for the experiment runner.
+ *
+ * Every experiment in this repository is a pure function of its seed
+ * and parameters, and the runner writes results into slots indexed by
+ * input position. Consequences tested here: sweeps, sensitivity
+ * rankings, fleet projections, and A/B results must be bit-identical —
+ * not merely close — for worker counts {1, 2, 8}.
+ */
+
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "microsim/ab_test.hh"
+#include "model/fleet.hh"
+#include "model/sensitivity.hh"
+#include "model/sweep.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace accel {
+namespace {
+
+using model::FleetProjection;
+using model::FleetService;
+using model::Params;
+using model::SweepPoint;
+using model::ThreadingDesign;
+
+const std::vector<size_t> kWorkerCounts = {1, 2, 8};
+
+Params
+modelParams()
+{
+    Params p;
+    p.hostCycles = 2e9;
+    p.alpha = 0.3;
+    p.offloads = 2e5;
+    p.setupCycles = 30;
+    p.interfaceCycles = 400;
+    p.threadSwitchCycles = 100;
+    p.accelFactor = 10;
+    return p;
+}
+
+microsim::AbExperiment
+abExperiment()
+{
+    microsim::AbExperiment e;
+    e.service.cores = 1;
+    e.service.threads = 1;
+    e.service.design = ThreadingDesign::Sync;
+    e.service.clockGHz = 1.0;
+    e.service.offloadSetupCycles = 20;
+    e.accelerator.speedupFactor = 8;
+    e.accelerator.fixedLatencyCycles = 40;
+    e.workload.nonKernelCyclesMean = 4000;
+    e.workload.kernelsPerRequest = 1;
+    e.workload.granularity = std::make_shared<const BucketDist>(
+        std::vector<DistBucket>{{400, 600, 1.0}});
+    e.workload.cyclesPerByte = 2.0;
+    e.measureSeconds = 0.05;
+    e.warmupSeconds = 0.01;
+    return e;
+}
+
+/** Run @p fn at every worker count and assert bitwise-equal results. */
+template <typename Fn>
+void
+expectParity(Fn &&fn)
+{
+    ThreadPool::setWorkers(1);
+    auto reference = fn();
+    for (size_t workers : kWorkerCounts) {
+        ThreadPool::setWorkers(workers);
+        auto result = fn();
+        EXPECT_TRUE(result == reference)
+            << "diverged at " << workers << " workers";
+    }
+    ThreadPool::setWorkers(0); // restore ACCEL_JOBS/hardware default
+}
+
+/** Flatten sweep points into a bitwise-comparable tuple vector. */
+std::vector<std::tuple<double, double, double>>
+flatten(const std::vector<SweepPoint> &points)
+{
+    std::vector<std::tuple<double, double, double>> out;
+    for (const SweepPoint &p : points) {
+        out.emplace_back(p.x, p.projection.speedup,
+                         p.projection.latencyReduction);
+    }
+    return out;
+}
+
+TEST(ParallelParity, SweepBitIdentical)
+{
+    expectParity([] {
+        return flatten(model::sweepAccelFactor(
+            modelParams(), ThreadingDesign::Sync,
+            model::logspace(1, 64, 61)));
+    });
+}
+
+TEST(ParallelParity, LoadSweepBitIdenticalWithOmissions)
+{
+    expectParity([] {
+        size_t omitted = 0;
+        auto points = model::sweepLoad(
+            modelParams(), ThreadingDesign::Sync,
+            /*serviceCycles=*/1000, /*clockHz=*/1e9,
+            model::linspace(1e5, 2e6, 40), &omitted);
+        return std::make_pair(flatten(points), omitted);
+    });
+}
+
+TEST(ParallelParity, SensitivityRankingBitIdentical)
+{
+    expectParity([] {
+        auto sens = model::speedupSensitivities(
+            modelParams(), ThreadingDesign::AsyncSameThread);
+        // Compare the full numeric ranking.
+        std::vector<std::pair<std::string, double>> flat;
+        for (const auto &s : sens)
+            flat.emplace_back(s.parameter, s.elasticity);
+        return flat;
+    });
+}
+
+TEST(ParallelParity, FleetProjectionBitIdentical)
+{
+    expectParity([] {
+        std::vector<FleetService> services;
+        for (int i = 0; i < 12; ++i) {
+            FleetService svc;
+            svc.name = "svc" + std::to_string(i);
+            svc.servers = 1000 + 137 * i;
+            svc.params = modelParams();
+            svc.params.alpha = 0.05 + 0.02 * i;
+            svc.design = ThreadingDesign::Sync;
+            services.push_back(std::move(svc));
+        }
+        FleetProjection fp = model::projectFleet(services);
+        return std::make_tuple(fp.fleetSpeedup, fp.serversFreed,
+                               fp.totalServers, fp.perService);
+    });
+}
+
+TEST(ParallelParity, AbResultBitIdentical)
+{
+    expectParity([] {
+        microsim::AbResult r = microsim::runAbTest(abExperiment());
+        return std::make_tuple(
+            r.baseline.qps(), r.baseline.meanLatencyCycles(),
+            r.baseline.latencySample.p99(), r.treatment.qps(),
+            r.treatment.meanLatencyCycles(),
+            r.treatment.latencySample.p99(), r.measuredSpeedup());
+    });
+}
+
+TEST(ParallelParity, WorkerExceptionPropagatesFromSweep)
+{
+    ThreadPool::setWorkers(8);
+    EXPECT_THROW(
+        model::sweep(modelParams(), ThreadingDesign::Sync,
+                     model::linspace(0, 1, 32),
+                     [](Params &p, double x) {
+                         // alpha > 1 violates the model domain.
+                         p.alpha = 1.5 + x;
+                     }),
+        FatalError);
+    ThreadPool::setWorkers(0);
+}
+
+} // namespace
+} // namespace accel

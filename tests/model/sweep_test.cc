@@ -94,5 +94,31 @@ TEST(Sweeps, LoadSweepDropsUnstablePoints)
     }
 }
 
+TEST(Sweeps, LoadSweepSurfacesOmissionCount)
+{
+    size_t omitted = 99;
+    auto points = sweepLoad(base(), ThreadingDesign::Sync, 1000, 1e9,
+                            {1e5, 5e5, 9e5, 2e6, 3e6}, &omitted);
+    EXPECT_EQ(points.size(), 3u);
+    EXPECT_EQ(omitted, 2u);
+}
+
+TEST(Sweeps, FullySaturatedLoadSweepReportsAllPointsOmitted)
+{
+    // Every load saturates the accelerator: the empty result must be
+    // distinguishable from "no inputs" via the omission count.
+    size_t omitted = 0;
+    auto points = sweepLoad(base(), ThreadingDesign::Sync, 1000, 1e9,
+                            {2e6, 3e6, 4e6}, &omitted);
+    EXPECT_TRUE(points.empty());
+    EXPECT_EQ(omitted, 3u);
+
+    size_t none = 99;
+    auto empty = sweepLoad(base(), ThreadingDesign::Sync, 1000, 1e9,
+                           {}, &none);
+    EXPECT_TRUE(empty.empty());
+    EXPECT_EQ(none, 0u);
+}
+
 } // namespace
 } // namespace accel::model

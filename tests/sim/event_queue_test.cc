@@ -2,6 +2,7 @@
 
 #include "sim/event_queue.hh"
 
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -10,6 +11,27 @@
 
 namespace accel::sim {
 namespace {
+
+/** Callable that counts how many times it is copied and invoked. */
+struct CountingCallback
+{
+    std::shared_ptr<int> copies;
+    std::shared_ptr<int> fired;
+
+    CountingCallback(std::shared_ptr<int> c, std::shared_ptr<int> f)
+        : copies(std::move(c)), fired(std::move(f))
+    {}
+    CountingCallback(const CountingCallback &other)
+        : copies(other.copies), fired(other.fired)
+    {
+        ++*copies;
+    }
+    CountingCallback(CountingCallback &&) noexcept = default;
+    CountingCallback &operator=(const CountingCallback &) = delete;
+    CountingCallback &operator=(CountingCallback &&) noexcept = default;
+
+    void operator()() const { ++*fired; }
+};
 
 TEST(EventQueue, RunsInTimestampOrder)
 {
@@ -114,6 +136,50 @@ TEST(EventQueue, DeterministicReplay)
         return ticks;
     };
     EXPECT_EQ(run(), run());
+}
+
+TEST(EventQueue, ExecutionDoesNotCopyCallbacks)
+{
+    // The acknowledged hot-path bug: priority_queue::top() forced a
+    // copy of every Event's std::function (and captured shared_ptrs)
+    // on every pop. Moving out of the heap must execute events without
+    // a single callback copy after scheduling.
+    EventQueue eq;
+    auto copies = std::make_shared<int>(0);
+    auto fired = std::make_shared<int>(0);
+    for (int i = 0; i < 64; ++i) {
+        eq.schedule(static_cast<Tick>((i * 31) % 16),
+                    Callback(CountingCallback(copies, fired)));
+    }
+    int copies_after_scheduling = *copies;
+    eq.runAll();
+    EXPECT_EQ(*fired, 64);
+    EXPECT_EQ(*copies, copies_after_scheduling)
+        << "popping the heap copied callback state";
+}
+
+TEST(EventQueue, CapturedSharedStateReleasedAfterRun)
+{
+    EventQueue eq;
+    auto payload = std::make_shared<int>(42);
+    std::weak_ptr<int> watch = payload;
+    eq.schedule(1, [payload] { (void)*payload; });
+    payload.reset();
+    EXPECT_FALSE(watch.expired()); // alive inside the queue
+    eq.runAll();
+    EXPECT_TRUE(watch.expired()); // not retained after execution
+}
+
+TEST(EventQueue, ReserveDoesNotDisturbOrdering)
+{
+    EventQueue eq;
+    eq.reserve(1024);
+    std::vector<int> order;
+    eq.schedule(3, [&] { order.push_back(3); });
+    eq.schedule(1, [&] { order.push_back(1); });
+    eq.schedule(2, [&] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(EventQueue, ManyEventsStressOrdering)

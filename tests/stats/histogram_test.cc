@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "util/logging.hh"
+#include "util/rng.hh"
 
 namespace accel {
 namespace {
@@ -101,6 +102,51 @@ TEST(Histogram, EmptyCumulativeIsZero)
 {
     Histogram h = Histogram::makePow2(4, 16);
     EXPECT_DOUBLE_EQ(h.cumulativeFraction(0), 0.0);
+}
+
+TEST(Histogram, FractionalEdgeLabelsKeepPrecision)
+{
+    // Regression: long-long formatting rendered 0.5 as "0", producing
+    // duplicate labels like "0-0".
+    Histogram h(std::vector<double>{0.0, 0.5, 1.0, 2.5});
+    EXPECT_EQ(h.bucketLabel(0), "0-0.5");
+    EXPECT_EQ(h.bucketLabel(1), "0.5-1");
+    EXPECT_EQ(h.bucketLabel(2), "1-2.5");
+    EXPECT_EQ(h.bucketLabel(3), ">2.5");
+}
+
+TEST(Histogram, IntegerAndKilobyteLabelsUnchanged)
+{
+    Histogram h(std::vector<double>{0.0, 256.0, 4096.0});
+    EXPECT_EQ(h.bucketLabel(0), "0-256");
+    EXPECT_EQ(h.bucketLabel(1), "256-4K");
+    EXPECT_EQ(h.bucketLabel(2), ">4K");
+}
+
+TEST(Histogram, CumulativeFractionMatchesManualSum)
+{
+    Histogram h = Histogram::makePow2(4, 64);
+    Rng rng(2020);
+    for (int i = 0; i < 5000; ++i)
+        h.addWeighted(rng.uniform(0, 100), rng.uniform(0.5, 2.0));
+    double cum = 0;
+    for (size_t i = 0; i < h.bucketCount(); ++i) {
+        cum += h.bucketWeight(i);
+        EXPECT_DOUBLE_EQ(h.cumulativeFraction(i), cum / h.total());
+    }
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(h.bucketCount() - 1), 1.0);
+}
+
+TEST(Histogram, CumulativeCacheInvalidatedByAdds)
+{
+    Histogram h = Histogram::makePow2(4, 16);
+    h.add(2);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(0), 1.0);
+    // New mass in the overflow bucket must be visible after the
+    // cached prefix sum was already materialized.
+    h.add(100);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(h.bucketCount() - 1), 1.0);
 }
 
 } // namespace

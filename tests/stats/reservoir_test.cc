@@ -75,6 +75,41 @@ TEST(Reservoir, InterleavedAddAndQuantile)
     EXPECT_DOUBLE_EQ(r.p50(), 2);
 }
 
+TEST(Reservoir, AlgorithmRKeepsStreamPositionsUniformly)
+{
+    // Algorithm R must sample every stream position with equal
+    // probability K/N. Stream the positions 0..N-1 as values across
+    // many seeds and count how many survivors fall into each quarter
+    // of the stream; a biased replacement draw (the old 32-bit modulo)
+    // systematically favors some region. Aggregate counts are
+    // binomial-ish: expected 3840 per quarter, sd ~54, tolerance 5 sd.
+    constexpr size_t kCapacity = 512;
+    constexpr size_t kStream = 20000;
+    constexpr int kSeeds = 30;
+    constexpr size_t kQuarter = kStream / 4;
+    size_t quarters[4] = {};
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+        ReservoirSample r(kCapacity, static_cast<std::uint64_t>(seed));
+        for (size_t i = 0; i < kStream; ++i)
+            r.add(static_cast<double>(i));
+        for (size_t q = 0; q < 4; ++q) {
+            // Survivors in [q*kQuarter, (q+1)*kQuarter) by quantile
+            // counting: values are the positions themselves.
+            double lo = static_cast<double>(q * kQuarter);
+            double hi = static_cast<double>((q + 1) * kQuarter);
+            for (size_t s = 0; s < r.size(); ++s) {
+                double v = r.quantile(
+                    (static_cast<double>(s) + 0.5) / r.size());
+                if (v >= lo && v < hi)
+                    ++quarters[q];
+            }
+        }
+    }
+    double expected = kCapacity * kSeeds / 4.0;
+    for (size_t q = 0; q < 4; ++q)
+        EXPECT_NEAR(quarters[q], expected, 270) << "quarter " << q;
+}
+
 TEST(Reservoir, DomainChecks)
 {
     ReservoirSample r(8);

@@ -147,5 +147,54 @@ TEST(Rng, LogNormalRejectsNegativeSigma)
     EXPECT_THROW(rng.logNormal(0.0, -1.0), FatalError);
 }
 
+TEST(Rng, Below64RespectsBound)
+{
+    Rng rng(15);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.below64(bound), bound);
+    }
+    EXPECT_EQ(rng.below64(0), 0u);
+    EXPECT_EQ(rng.below64(1), 0u);
+}
+
+TEST(Rng, Below64ReachesBeyond32Bits)
+{
+    // Regression for the reservoir truncation bug: a 32-bit draw can
+    // never land above 2^32, silently pinning long streams.
+    Rng rng(16);
+    std::uint64_t bound = 1ull << 40;
+    bool above_32_bits = false;
+    for (int i = 0; i < 4096 && !above_32_bits; ++i)
+        above_32_bits = rng.below64(bound) > (1ull << 32);
+    EXPECT_TRUE(above_32_bits);
+}
+
+TEST(Rng, Below64UniformAcrossBuckets)
+{
+    // Chi-square against uniformity with a bound chosen so plain
+    // modulo would be visibly biased (bound = 3/4 of 2^64 means
+    // low results occur twice as often under `next64() % bound`).
+    Rng rng(17);
+    std::uint64_t bound = (3ull << 62); // 0.75 * 2^64
+    constexpr int kBuckets = 16;
+    constexpr int kDraws = 160000;
+    int counts[kBuckets] = {};
+    double width = static_cast<double>(bound) / kBuckets;
+    for (int i = 0; i < kDraws; ++i) {
+        int b = static_cast<int>(
+            static_cast<double>(rng.below64(bound)) / width);
+        ++counts[b < kBuckets ? b : kBuckets - 1];
+    }
+    double expected = static_cast<double>(kDraws) / kBuckets;
+    double chi2 = 0;
+    for (int c : counts) {
+        double d = c - expected;
+        chi2 += d * d / expected;
+    }
+    // 15 dof: p=0.001 critical value is 37.7.
+    EXPECT_LT(chi2, 37.7);
+}
+
 } // namespace
 } // namespace accel

@@ -1,0 +1,147 @@
+/** @file Tests for the parallel experiment runner's worker pool. */
+
+#include "util/thread_pool.hh"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel {
+namespace {
+
+/** Restore the global pool width after each test. */
+class ThreadPoolTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { ThreadPool::setWorkers(0); }
+};
+
+TEST_F(ThreadPoolTest, EveryIndexRunsExactlyOnce)
+{
+    for (size_t workers : {1u, 2u, 8u}) {
+        ThreadPool pool(workers);
+        std::vector<std::atomic<int>> hits(100);
+        pool.parallelFor(hits.size(),
+                         [&](size_t i) { hits[i].fetch_add(1); });
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST_F(ThreadPoolTest, SlotIndexedOutputMatchesSerial)
+{
+    auto square = [](size_t i) {
+        return static_cast<double>(i) * static_cast<double>(i);
+    };
+    std::vector<double> serial(1000);
+    for (size_t i = 0; i < serial.size(); ++i)
+        serial[i] = square(i);
+
+    ThreadPool pool(8);
+    std::vector<double> parallel(serial.size());
+    pool.parallelFor(parallel.size(),
+                     [&](size_t i) { parallel[i] = square(i); });
+    EXPECT_EQ(parallel, serial);
+}
+
+TEST_F(ThreadPoolTest, ZeroAndOneIterationBatches)
+{
+    ThreadPool pool(4);
+    int runs = 0;
+    pool.parallelFor(0, [&](size_t) { ++runs; });
+    EXPECT_EQ(runs, 0);
+    pool.parallelFor(1, [&](size_t) { ++runs; });
+    EXPECT_EQ(runs, 1);
+}
+
+TEST_F(ThreadPoolTest, SingleWorkerRunsInlineInOrder)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.workers(), 1u);
+    std::vector<size_t> order;
+    pool.parallelFor(10, [&](size_t i) { order.push_back(i); });
+    std::vector<size_t> expected(10);
+    std::iota(expected.begin(), expected.end(), 0u);
+    EXPECT_EQ(order, expected);
+}
+
+TEST_F(ThreadPoolTest, ExceptionPropagatesWithoutDeadlock)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(64,
+                         [&](size_t i) {
+                             if (i == 13)
+                                 throw std::runtime_error("worker 13");
+                         }),
+        std::runtime_error);
+    // The pool must stay usable after an aborted batch.
+    std::atomic<int> runs{0};
+    pool.parallelFor(8, [&](size_t) { runs.fetch_add(1); });
+    EXPECT_EQ(runs.load(), 8);
+}
+
+TEST_F(ThreadPoolTest, FatalErrorTypePreserved)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(
+                     4, [](size_t) { fatal("bad experiment config"); }),
+                 FatalError);
+}
+
+TEST_F(ThreadPoolTest, NestedParallelForRunsInline)
+{
+    ThreadPool::setWorkers(4);
+    std::atomic<int> inner_runs{0};
+    // A nested call on the busy global pool must not deadlock; it runs
+    // the inner loop inline on the worker.
+    parallelFor(4, [&](size_t) {
+        parallelFor(8, [&](size_t) { inner_runs.fetch_add(1); });
+    });
+    EXPECT_EQ(inner_runs.load(), 32);
+}
+
+TEST_F(ThreadPoolTest, ParallelMapPreservesInputOrder)
+{
+    ThreadPool::setWorkers(8);
+    std::vector<int> inputs(257);
+    std::iota(inputs.begin(), inputs.end(), 0);
+    std::vector<int> out =
+        parallelMap(inputs, [](int v) { return v * 3; });
+    ASSERT_EQ(out.size(), inputs.size());
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+}
+
+TEST_F(ThreadPoolTest, SetWorkersReconfiguresGlobalPool)
+{
+    ThreadPool::setWorkers(3);
+    EXPECT_EQ(ThreadPool::global().workers(), 3u);
+    ThreadPool::setWorkers(1);
+    EXPECT_EQ(ThreadPool::global().workers(), 1u);
+    std::atomic<int> runs{0};
+    parallelFor(5, [&](size_t) { runs.fetch_add(1); });
+    EXPECT_EQ(runs.load(), 5);
+}
+
+TEST_F(ThreadPoolTest, DefaultWorkersIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultWorkers(), 1u);
+}
+
+TEST_F(ThreadPoolTest, ManySmallBatchesReuseWorkers)
+{
+    ThreadPool pool(4);
+    std::atomic<long> total{0};
+    for (int batch = 0; batch < 200; ++batch)
+        pool.parallelFor(16, [&](size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 200 * 16);
+}
+
+} // namespace
+} // namespace accel
