@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Build, test, and regenerate every table/figure into results/.
+# Build, lint, test, and regenerate every table/figure into results/.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 cmake -B build -G Ninja
 cmake --build build
+cmake --build build --target lint
 ctest --test-dir build --output-on-failure
 
 mkdir -p results

@@ -1,7 +1,6 @@
 #include "kernels/calibration.hh"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <memory>
 #include <string>
@@ -13,6 +12,7 @@
 #include "kernels/sha256.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/wall_timer.hh"
 
 namespace accel::kernels {
 
@@ -30,15 +30,14 @@ median(std::vector<double> xs)
     return 0.5 * (xs[mid - 1] + xs[mid]);
 }
 
-/** Time one invocation in seconds. */
+/** Time one invocation in seconds on the injected wall clock. */
 double
 timeOnce(const std::function<std::uint64_t(size_t)> &op, size_t bytes,
-         std::uint64_t &sink)
+         std::uint64_t &sink, const WallTimer &timer)
 {
-    auto start = std::chrono::steady_clock::now();
+    double start = timer.seconds();
     sink ^= op(bytes);
-    auto end = std::chrono::steady_clock::now();
-    return std::chrono::duration<double>(end - start).count();
+    return timer.seconds() - start;
 }
 
 /** Synthetic log-like text with realistic redundancy. */
@@ -101,7 +100,7 @@ fitLinear(const std::vector<std::pair<double, double>> &samples)
 Calibration
 calibrate(const std::function<std::uint64_t(size_t)> &op,
           const std::vector<size_t> &sizes, double clockGHz,
-          int repetitions)
+          int repetitions, const WallTimer &timer)
 {
     require(clockGHz > 0, "calibrate: clock must be positive");
     require(repetitions >= 1, "calibrate: need at least one repetition");
@@ -115,7 +114,7 @@ calibrate(const std::function<std::uint64_t(size_t)> &op,
         std::vector<double> times;
         times.reserve(static_cast<size_t>(repetitions));
         for (int r = 0; r < repetitions; ++r)
-            times.push_back(timeOnce(op, bytes, sink));
+            times.push_back(timeOnce(op, bytes, sink, timer));
         samples.emplace_back(static_cast<double>(bytes),
                              median(times) * cycles_per_second);
     }

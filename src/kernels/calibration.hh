@@ -21,6 +21,8 @@
 #include <functional>
 #include <vector>
 
+#include "util/wall_timer.hh"
+
 namespace accel::kernels {
 
 /** Result of a linear-fit calibration. */
@@ -39,6 +41,8 @@ struct Calibration
  * @param sizes       granularities to sample (>= 2 distinct values)
  * @param clockGHz    nominal host clock for the time→cycles conversion
  * @param repetitions timing repetitions per granularity (median taken)
+ * @param timer       wall-clock source; tests inject a deterministic
+ *                    fake so calibration itself is reproducible
  *
  * @throws FatalError on fewer than two distinct sizes or non-positive
  *         clock.
@@ -46,7 +50,8 @@ struct Calibration
 Calibration
 calibrate(const std::function<std::uint64_t(size_t)> &op,
           const std::vector<size_t> &sizes, double clockGHz = 2.0,
-          int repetitions = 9);
+          int repetitions = 9,
+          const WallTimer &timer = steadyWallTimer());
 
 /**
  * Fit the linear model to already-collected (bytes, cycles) samples.

@@ -33,7 +33,7 @@ Accelerator::transferCycles(double bytes) const
 
 void
 Accelerator::offload(double hostEquivalentCycles, double bytes,
-                     std::function<void()> onComplete,
+                     std::function<void()> &&onComplete,
                      bool transferPaidByHost)
 {
     require(hostEquivalentCycles >= 0, "Accelerator: negative work");

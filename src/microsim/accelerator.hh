@@ -66,13 +66,14 @@ class Accelerator
      * @param hostEquivalentCycles cycles the host would have spent
      * @param bytes                offload granularity (drives transfer)
      * @param onComplete           invoked when service finishes
+     *                             (sink: moved into the device queue)
      * @param transferPaidByHost   true when the caller already held the
      *                             core for the transfer (driver-awaits-ack
      *                             designs); the device then skips its own
      *                             transfer delay so L is charged once
      */
     void offload(double hostEquivalentCycles, double bytes,
-                 std::function<void()> onComplete,
+                 std::function<void()> &&onComplete,
                  bool transferPaidByHost = false);
 
     /** Clear statistics (used at the end of a warmup window). */

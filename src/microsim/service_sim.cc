@@ -92,7 +92,7 @@ ServiceSim::onArrival()
 // --------------------------------------------------------------------
 
 void
-ServiceSim::makeReady(size_t tid, std::function<void()> resume)
+ServiceSim::makeReady(size_t tid, std::function<void()> &&resume)
 {
     ThreadCtx &ctx = threads_[tid];
     ctx.state = ThreadState::Ready;
@@ -183,7 +183,7 @@ ServiceSim::chargeStolen(double cycles)
 
 void
 ServiceSim::runOnCore(size_t tid, double cycles,
-                      std::function<void()> done, WorkTag tag)
+                      std::function<void()> &&done, WorkTag tag)
 {
     ThreadCtx &ctx = threads_[tid];
     ensure(ctx.state == ThreadState::Running && ctx.core >= 0,

@@ -169,7 +169,8 @@ class ServiceSim
     ServiceMetrics metrics_;
 
     // --- scheduling ---
-    void makeReady(size_t tid, std::function<void()> resume);
+    /** Mark @p tid runnable; @p resume is the sink continuation. */
+    void makeReady(size_t tid, std::function<void()> &&resume);
     void dispatch();
     void releaseCore(size_t tid);
     void yieldCore(size_t tid);
@@ -178,7 +179,8 @@ class ServiceSim
      * Occupy the thread's core for @p cycles, then call @p done.
      * @p tag attributes the cycles in coreCyclesByTag.
      */
-    void runOnCore(size_t tid, double cycles, std::function<void()> done,
+    void runOnCore(size_t tid, double cycles,
+                   std::function<void()> &&done,
                    WorkTag tag = kUntagged);
 
     // --- request flow ---

@@ -8,7 +8,7 @@
 namespace accel::sim {
 
 void
-EventQueue::schedule(Tick when, Callback cb, int priority)
+EventQueue::schedule(Tick when, Callback &&cb, int priority)
 {
     require(when >= now_, "EventQueue: scheduling into the past");
     ensure(static_cast<bool>(cb), "EventQueue: empty callback");
@@ -17,7 +17,7 @@ EventQueue::schedule(Tick when, Callback cb, int priority)
 }
 
 void
-EventQueue::scheduleIn(Tick delay, Callback cb, int priority)
+EventQueue::scheduleIn(Tick delay, Callback &&cb, int priority)
 {
     schedule(now_ + delay, std::move(cb), priority);
 }

@@ -34,13 +34,15 @@ class EventQueue
     Tick now() const { return now_; }
 
     /**
-     * Schedule @p cb at absolute time @p when.
+     * Schedule @p cb at absolute time @p when. The callback is taken
+     * as a sink (&&): the queue stores millions of events per run, so
+     * the type-erased state must move, never copy.
      * @throws FatalError when @p when precedes now().
      */
-    void schedule(Tick when, Callback cb, int priority = 0);
+    void schedule(Tick when, Callback &&cb, int priority = 0);
 
     /** Schedule @p cb @p delay cycles from now. */
-    void scheduleIn(Tick delay, Callback cb, int priority = 0);
+    void scheduleIn(Tick delay, Callback &&cb, int priority = 0);
 
     /** True when no events remain. */
     bool empty() const { return heap_.empty(); }

@@ -92,6 +92,10 @@ std::uint64_t
 parseCount(std::string_view s)
 {
     double v = parseDouble(s);
+    // NaN compares false against every bound below and would reach the
+    // float→integer cast, which is undefined for NaN; reject it first.
+    if (!std::isfinite(v))
+        fatal("parseCount: non-finite value '" + std::string(s) + "'");
     if (v < 0)
         fatal("parseCount: negative value '" + std::string(s) + "'");
     if (v > static_cast<double>(std::numeric_limits<std::uint64_t>::max()))

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/logging.hh"
@@ -68,6 +69,12 @@ parseBytes(std::string_view s)
     }
 
     double v = parseDouble(number) * multiplier;
+    // llround on NaN/inf or beyond long long is undefined; bound at
+    // 8 EiB, far above any plausible byte size.
+    if (!std::isfinite(v) ||
+        v >= static_cast<double>(
+                 std::numeric_limits<long long>::max()))
+        fatal("parseBytes: size out of range '" + t + "'");
     if (v < 0)
         fatal("parseBytes: negative size '" + t + "'");
     return static_cast<Bytes>(std::llround(v));

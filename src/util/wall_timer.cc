@@ -1,0 +1,30 @@
+#include "util/wall_timer.hh"
+
+#include <chrono>
+
+namespace accel {
+
+namespace {
+
+class SteadyWallTimer final : public WallTimer
+{
+  public:
+    double
+    seconds() const override
+    {
+        auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(now.time_since_epoch())
+            .count();
+    }
+};
+
+} // namespace
+
+const WallTimer &
+steadyWallTimer()
+{
+    static const SteadyWallTimer timer;
+    return timer;
+}
+
+} // namespace accel

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Injectable wall-clock time source.
+ *
+ * Simulation, model, and kernel code must never read the machine clock
+ * directly (the accel-lint `banned-clock` rule enforces this): simulated
+ * time comes from the event clock, and the one legitimate consumer of
+ * wall time — kernel calibration, which times real code — receives its
+ * clock through this interface so tests can substitute a deterministic
+ * fake. steadyWallTimer() is the single sanctioned steady_clock reader
+ * in the library.
+ */
+
+#pragma once
+
+namespace accel {
+
+/** Monotonic wall-clock abstraction. */
+class WallTimer
+{
+  public:
+    virtual ~WallTimer() = default;
+
+    /** Monotonic seconds since an arbitrary fixed epoch. */
+    virtual double seconds() const = 0;
+};
+
+/** The process-wide steady-clock timer (thread-safe, stateless). */
+const WallTimer &steadyWallTimer();
+
+} // namespace accel

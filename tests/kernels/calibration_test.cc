@@ -63,6 +63,61 @@ TEST(Calibrate, DomainChecks)
     EXPECT_THROW(calibrate(op, {7, 7}, 2.0, 1), FatalError);
 }
 
+/**
+ * Wall clock that advances by a scripted amount per timed call: the
+ * k-th timeOnce interval for a b-byte op lasts (2*b + 100) "seconds",
+ * so at a 1e-9 GHz clock (1 cycle/second) calibration must recover
+ * exactly 2 cycles/byte and 100 fixed cycles — deterministically,
+ * with zero reads of the real clock.
+ */
+class ScriptedTimer final : public WallTimer
+{
+  public:
+    double
+    seconds() const override
+    {
+        // Calls alternate start/end; odd calls close an interval of
+        // the scripted duration for the current op size.
+        if (++calls_ % 2 == 1)
+            return clock_;
+        clock_ += 2.0 * static_cast<double>(bytes_) + 100.0;
+        return clock_;
+    }
+
+    void setBytes(size_t bytes) { bytes_ = bytes; }
+
+  private:
+    mutable std::uint64_t calls_ = 0;
+    mutable double clock_ = 0.0;
+    size_t bytes_ = 0;
+};
+
+TEST(Calibrate, InjectedTimerMakesCalibrationDeterministic)
+{
+    ScriptedTimer timer;
+    auto op = [&timer](size_t bytes) -> std::uint64_t {
+        timer.setBytes(bytes);
+        return bytes;
+    };
+    // 1e-9 GHz => 1 cycle per scripted "second".
+    Calibration c =
+        calibrate(op, {256, 1024, 4096}, 1e-9, 3, timer);
+    EXPECT_NEAR(c.cyclesPerByte, 2.0, 1e-9);
+    EXPECT_NEAR(c.fixedCycles, 100.0, 1e-6);
+    EXPECT_NEAR(c.rSquared, 1.0, 1e-12);
+
+    // Bit-identical on a second run: no hidden wall-clock dependence.
+    ScriptedTimer timer2;
+    auto op2 = [&timer2](size_t bytes) -> std::uint64_t {
+        timer2.setBytes(bytes);
+        return bytes;
+    };
+    Calibration d =
+        calibrate(op2, {256, 1024, 4096}, 1e-9, 3, timer2);
+    EXPECT_EQ(c.cyclesPerByte, d.cyclesPerByte);
+    EXPECT_EQ(c.fixedCycles, d.fixedCycles);
+}
+
 TEST(Calibrate, RealKernelsHavePositiveMarginalCost)
 {
     // Smoke calibration of the real kernels with few repetitions: the

@@ -1,0 +1,24 @@
+// Fixture: must fire banned-clock 4 times (steady_clock::now,
+// system_clock::now, time(nullptr), clock()).
+#include <chrono>
+#include <ctime>
+
+double
+wallReads()
+{
+    auto a = std::chrono::steady_clock::now();
+    auto b = std::chrono::system_clock::now();
+    std::time_t t = time(nullptr);
+    std::clock_t c = clock();
+    (void)a;
+    (void)b;
+    return static_cast<double>(t) + static_cast<double>(c);
+}
+
+// Negative controls: none of these are clock reads.
+double
+notClockReads(double runtime)
+{
+    double uptime = runtime * 2;    // identifier merely contains "time"
+    return uptime;
+}

@@ -1,0 +1,14 @@
+// Fixture: must fire header-standalone — std::vector and std::string
+// are used without their includes, so this header only compiles when
+// the including TU happens to pull them in first.
+#pragma once
+
+namespace fixture {
+
+struct Report
+{
+    std::vector<double> shares;
+    std::string title;
+};
+
+} // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture: must fire parfor-pushback exactly twice (push_back and
+// emplace_back inside the loop body); the slot-indexed loop is a
+// negative control.
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &body);
+
+std::vector<double>
+completionOrdered(std::size_t n)
+{
+    std::vector<double> out;
+    std::vector<int> tags;
+    parallelFor(n, [&](std::size_t i) {
+        out.push_back(static_cast<double>(i)); // must fire
+        tags.emplace_back(static_cast<int>(i)); // must fire
+    });
+
+    std::vector<double> slots(n);
+    parallelFor(n, [&](std::size_t i) {
+        slots[i] = static_cast<double>(i) * 2.0; // slot write: fine
+    });
+    for (double s : slots)
+        out.push_back(s); // outside parallelFor: fine
+    return out;
+}

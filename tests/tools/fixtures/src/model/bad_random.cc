@@ -1,0 +1,14 @@
+// Fixture: must fire banned-random 4 times (rand, srand,
+// std::random_device, std::mt19937) and nothing else.
+#include <cstdlib>
+#include <random>
+
+int
+unseededDraws()
+{
+    std::srand(7);
+    int a = std::rand() % 10;
+    std::random_device rd;
+    std::mt19937 gen(rd());
+    return a + static_cast<int>(gen());
+}

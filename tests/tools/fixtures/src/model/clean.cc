@@ -1,0 +1,27 @@
+// Fixture: a fully clean file — the self-test asserts zero findings
+// here so the rules don't over-match idiomatic code.
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &body);
+
+double
+deterministicSum(const std::map<std::string, double> &weights)
+{
+    double sum = 0.0;
+    for (const auto &[name, w] : weights)
+        sum += w; // ordered container: reproducible
+    return sum;
+}
+
+std::vector<double>
+slotIndexed(std::size_t n, const std::function<double(std::size_t)> &f)
+{
+    std::vector<double> out(n);
+    parallelFor(n, [&](std::size_t i) { out[i] = f(i); });
+    return out;
+}

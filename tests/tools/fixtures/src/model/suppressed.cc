@@ -1,0 +1,23 @@
+// Fixture: every violation below carries a justified allow(); the
+// suppression test asserts all findings are reported as suppressed and
+// none count against the exit status.
+#include <cstdlib>
+#include <ctime>
+#include <functional>
+#include <utility>
+
+int
+grandfathered()
+{
+    // accel-lint: allow(banned-random) -- fixture: proves same-line and
+    // preceding-comment suppression both work
+    int a = std::rand();
+    int b = std::rand(); // accel-lint: allow(banned-random) -- fixture
+    std::time_t t =
+        time(nullptr); // accel-lint: allow(banned-clock) -- fixture
+    return a + b + static_cast<int>(t);
+}
+
+// accel-lint: allow(fn-by-value) -- fixture: multi-line justification
+// comments must cover the first code line after the comment block
+void takeByValue(std::function<void()> cb);

@@ -1,0 +1,46 @@
+// Fixture: must fire fn-by-value exactly twice (declaration and
+// definition below); the const&/&& parameters, the local variable, and
+// the member are negative controls.
+#include <functional>
+#include <utility>
+
+void runLater(std::function<void()> cb);
+
+namespace fixture {
+
+class Queue
+{
+  public:
+    // by-value parameter: must fire
+    void
+    post(std::function<void()> cb)
+    {
+        stored_ = std::move(cb);
+    }
+
+    // sink parameter: must NOT fire
+    void
+    postSink(std::function<void()> &&cb)
+    {
+        stored_ = std::move(cb);
+    }
+
+    // borrow parameter: must NOT fire
+    void
+    postBorrow(const std::function<void()> &cb)
+    {
+        stored_ = cb;
+    }
+
+  private:
+    std::function<void()> stored_; // member: must NOT fire
+};
+
+int
+localsAreFine()
+{
+    std::function<int()> f = []() { return 3; }; // local: must NOT fire
+    return f();
+}
+
+} // namespace fixture

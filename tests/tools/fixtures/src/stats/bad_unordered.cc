@@ -1,0 +1,33 @@
+// Fixture: must fire unordered-float-iter exactly twice (the two
+// accumulating loops); the read-only loop and the ordered-map loop are
+// negative controls.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+double
+hashOrderSum(const std::unordered_map<std::string, double> &weights)
+{
+    double sum = 0.0;
+    for (const auto &[name, w] : weights) {
+        sum += w; // accumulation in hash order: not reproducible
+    }
+
+    std::unordered_map<int, double> local;
+    double total = 0.0;
+    for (const auto &kv : local)
+        total += kv.second;
+
+    // Negative control: iteration without accumulation is fine.
+    for (const auto &[name, w] : weights) {
+        if (w < 0)
+            return -1.0;
+    }
+
+    // Negative control: ordered map iteration is deterministic.
+    std::map<std::string, double> ordered(weights.begin(),
+                                          weights.end());
+    for (const auto &[name, w] : ordered)
+        sum += w;
+    return sum + total;
+}

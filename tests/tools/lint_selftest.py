@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint/accel_lint.py.
+
+Runs the linter over the fixture corpus in tests/tools/fixtures (a
+fake repo root, so the scoped determinism rules apply) and asserts
+that every custom rule fires exactly where the fixtures say it must,
+that justified allow() comments suppress, and that the exit status
+reflects unsuppressed findings.
+
+Usage: lint_selftest.py <case>
+where <case> is a rule name, "suppression", "clean", or "exit-code".
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(HERE, "..", "..", "tools", "lint", "accel_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+# Expected *unsuppressed* findings per rule: file -> count.
+EXPECTED = {
+    "banned-random": {"src/model/bad_random.cc": 4},
+    "banned-clock": {"src/model/bad_clock.cc": 4},
+    "unordered-float-iter": {"src/stats/bad_unordered.cc": 2},
+    "fn-by-value": {"src/sim/bad_fn_value.cc": 2},
+    "parfor-pushback": {"src/model/bad_parfor.cc": 2},
+    "header-standalone": {"src/model/bad_header.hh": 1},
+}
+
+# suppressed.cc must yield only suppressed findings, this many total.
+SUPPRESSED_FILE = "src/model/suppressed.cc"
+SUPPRESSED_COUNT = 4
+
+CLEAN_FILE = "src/model/clean.cc"
+
+
+def run_lint():
+    with tempfile.NamedTemporaryFile(suffix=".json",
+                                     delete=False) as tmp:
+        report_path = tmp.name
+    try:
+        proc = subprocess.run(
+            [sys.executable, LINT, "--root", FIXTURES,
+             "--no-libclang", "--json", report_path, "src"],
+            capture_output=True, text=True)
+        with open(report_path, encoding="utf-8") as f:
+            report = json.load(f)
+    finally:
+        os.unlink(report_path)
+    return proc, report
+
+
+def fail(msg, proc):
+    print("FAIL:", msg)
+    print("--- linter stdout ---")
+    print(proc.stdout)
+    print("--- linter stderr ---")
+    print(proc.stderr)
+    return 1
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    case = sys.argv[1]
+    proc, report = run_lint()
+    findings = report["findings"]
+
+    def count(rule, path, suppressed=False):
+        return sum(1 for f in findings
+                   if f["rule"] == rule and f["file"] == path and
+                   f["suppressed"] == suppressed)
+
+    if case in EXPECTED:
+        for path, want in EXPECTED[case].items():
+            got = count(case, path)
+            if got != want:
+                return fail("rule %s: expected %d finding(s) in %s, "
+                            "got %d" % (case, want, path, got), proc)
+        # The rule must not leak into the clean fixture.
+        stray = sum(1 for f in findings
+                    if f["rule"] == case and f["file"] == CLEAN_FILE)
+        if stray:
+            return fail("rule %s fired %d time(s) on the clean "
+                        "fixture" % (case, stray), proc)
+    elif case == "suppression":
+        active = [f for f in findings
+                  if f["file"] == SUPPRESSED_FILE and
+                  not f["suppressed"]]
+        if active:
+            return fail("suppressed.cc has %d unsuppressed finding(s):"
+                        " %r" % (len(active), active), proc)
+        got = sum(1 for f in findings
+                  if f["file"] == SUPPRESSED_FILE and f["suppressed"])
+        if got != SUPPRESSED_COUNT:
+            return fail("suppressed.cc: expected %d suppressed "
+                        "finding(s), got %d" % (SUPPRESSED_COUNT, got),
+                        proc)
+    elif case == "clean":
+        stray = [f for f in findings if f["file"] == CLEAN_FILE]
+        if stray:
+            return fail("clean fixture produced findings: %r" % stray,
+                        proc)
+    elif case == "exit-code":
+        if proc.returncode != 1:
+            return fail("expected exit 1 with unsuppressed findings, "
+                        "got %d" % proc.returncode, proc)
+        # A run restricted to the clean fixture must exit 0.
+        clean_proc = subprocess.run(
+            [sys.executable, LINT, "--root", FIXTURES, "--no-libclang",
+             "--rules",
+             "banned-random,banned-clock,unordered-float-iter,"
+             "fn-by-value,parfor-pushback",
+             os.path.join("src", "model", "clean.cc")],
+            capture_output=True, text=True)
+        if clean_proc.returncode != 0:
+            return fail("expected exit 0 on the clean fixture, got %d"
+                        % clean_proc.returncode, clean_proc)
+    else:
+        print("unknown case:", case)
+        return 2
+
+    print("PASS:", case)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -93,6 +93,37 @@ TEST(ParseCount, RejectsNegativeAndFractional)
     EXPECT_THROW(parseCount("1.5"), FatalError);
 }
 
+TEST(ParseCount, RejectsOverflowAndNonFinite)
+{
+    // uint64 max is ~1.8e19; anything at or beyond must throw rather
+    // than wrap, and non-finite values must never reach the
+    // float→integer cast (undefined behaviour for NaN/inf).
+    EXPECT_THROW(parseCount("2e19"), FatalError);
+    EXPECT_THROW(parseCount("1e300"), FatalError);
+    EXPECT_THROW(parseCount("inf"), FatalError);
+    EXPECT_THROW(parseCount("nan"), FatalError);
+    EXPECT_THROW(parseCount("-nan"), FatalError);
+}
+
+TEST(ParseCount, AcceptsLargeExactValues)
+{
+    EXPECT_EQ(parseCount("1e18"), 1000000000000000000u);
+    EXPECT_EQ(parseCount("0"), 0u);
+}
+
+TEST(ParseDouble, OverflowToInfinityRejected)
+{
+    // strtod sets ERANGE for 1e400; the parser must surface that as
+    // a parse failure, not return inf.
+    EXPECT_THROW(parseDouble("1e400"), FatalError);
+    EXPECT_THROW(parseDouble("-1e400"), FatalError);
+}
+
+TEST(ParseDouble, WhitespaceOnlyRejected)
+{
+    EXPECT_THROW(parseDouble("   \t  "), FatalError);
+}
+
 TEST(ParseBool, AllSpellings)
 {
     EXPECT_TRUE(parseBool("true"));

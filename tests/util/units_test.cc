@@ -63,6 +63,29 @@ TEST(ParseBytes, RejectsMalformed)
     EXPECT_THROW(parseBytes("-4K"), FatalError);
 }
 
+TEST(ParseBytes, RejectsWhitespaceAndBareSuffix)
+{
+    EXPECT_THROW(parseBytes("   "), FatalError);
+    EXPECT_THROW(parseBytes("K"), FatalError);
+    EXPECT_THROW(parseBytes("KiB"), FatalError);
+}
+
+TEST(ParseBytes, RejectsOverflowAndNonFinite)
+{
+    // llround beyond long long (or on NaN/inf) is undefined; the
+    // parser must throw instead. 1e19 > 2^63-1 ≈ 9.2e18.
+    EXPECT_THROW(parseBytes("1e19"), FatalError);
+    EXPECT_THROW(parseBytes("1e300G"), FatalError);
+    EXPECT_THROW(parseBytes("inf"), FatalError);
+    EXPECT_THROW(parseBytes("nan"), FatalError);
+    EXPECT_THROW(parseBytes("nanKiB"), FatalError);
+}
+
+TEST(ParseBytes, NegativeFractionRejected)
+{
+    EXPECT_THROW(parseBytes("-0.5K"), FatalError);
+}
+
 TEST(ParseBytes, CaseInsensitiveSuffix)
 {
     EXPECT_EQ(parseBytes("4k"), 4096u);

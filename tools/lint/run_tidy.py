@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over every project TU in compile_commands.json.
+
+A thin, dependency-free replacement for run-clang-tidy: filters the
+compilation database to first-party sources (src/, tests/, bench/,
+examples/), fans out across cores, and exits nonzero when any TU
+produces a diagnostic. The check selection lives in .clang-tidy at the
+repo root; this driver adds nothing on top.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+PROJECT_DIRS = ("src/", "tests/", "bench/", "examples/")
+EXCLUDES = ("tests/tools/fixtures/",)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("-p", "--build-dir", required=True)
+    ap.add_argument("--clang-tidy", default=None,
+                    help="clang-tidy executable (default: from PATH)")
+    ap.add_argument("-j", "--jobs", type=int,
+                    default=os.cpu_count() or 1)
+    args = ap.parse_args()
+
+    tidy = args.clang_tidy or shutil.which("clang-tidy")
+    if not tidy:
+        print("run_tidy: clang-tidy not found on PATH", file=sys.stderr)
+        return 2
+
+    cc_path = os.path.join(args.build_dir, "compile_commands.json")
+    with open(cc_path, encoding="utf-8") as f:
+        database = json.load(f)
+
+    root = os.path.dirname(os.path.abspath(cc_path))
+    repo = os.path.dirname(root)
+    files = []
+    for entry in database:
+        path = os.path.normpath(
+            os.path.join(entry["directory"], entry["file"]))
+        rel = os.path.relpath(path, repo)
+        if rel.startswith(PROJECT_DIRS) and \
+                not rel.startswith(EXCLUDES):
+            files.append(path)
+    files = sorted(set(files))
+
+    def run_one(path):
+        proc = subprocess.run(
+            [tidy, "-p", args.build_dir, "--quiet", path],
+            capture_output=True, text=True)
+        return path, proc.returncode, proc.stdout, proc.stderr
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(
+            max_workers=args.jobs) as ex:
+        for path, rc, out, err in ex.map(run_one, files):
+            # clang-tidy exits nonzero on warnings when
+            # WarningsAsErrors is set; surface the TU's output either
+            # way so CI logs are readable.
+            if rc != 0 or "warning:" in out or "error:" in out:
+                failures += 1
+                print("== %s" % os.path.relpath(path, repo))
+                sys.stdout.write(out)
+                sys.stderr.write(err)
+
+    print("run_tidy: %d TU(s) checked, %d with findings"
+          % (len(files), failures))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
