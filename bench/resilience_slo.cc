@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Extension bench: goodput and tail latency under injected device
+ * faults, swept over fault rate x resilience policy.
+ *
+ * The paper models the accelerator as perfectly reliable; at
+ * hyperscale, devices stall, drop completions, and die. This bench
+ * asks the operational question: which degraded-mode policy keeps the
+ * most goodput as the device degrades? It sweeps completion-drop
+ * probability against three policies — timeout with immediate host
+ * fallback, timeout with capped-exponential-backoff retries, and
+ * retries behind a circuit breaker — and reports goodput relative to
+ * the all-host endpoint the breaker converges to.
+ *
+ * Usage: resilience_slo [--seed N] [--json PATH]
+ *
+ * Exits non-zero when the breaker acceptance criterion fails: under a
+ * 100% fault rate the breaker policy must hold goodput within 5% of
+ * the host-only baseline.
+ */
+
+#include <cstdlib>
+#include <fstream>
+
+#include "bench_common.hh"
+#include "faults/fault_plan.hh"
+#include "microsim/ab_test.hh"
+
+using namespace accel;
+using model::ThreadingDesign;
+
+namespace {
+
+microsim::WorkloadSpec
+workload()
+{
+    microsim::WorkloadSpec w;
+    w.nonKernelCyclesMean = 4000;
+    w.nonKernelCv = 0.3;
+    w.kernelsPerRequest = 1;
+    w.granularity = std::make_shared<const BucketDist>(
+        std::vector<DistBucket>{{400, 600, 1.0}});
+    w.cyclesPerByte = 2.0; // ~1000 host cycles per kernel
+    return w;
+}
+
+struct Policy
+{
+    const char *name;
+    microsim::RetryPolicy retry;
+    microsim::BreakerConfig breaker;
+};
+
+std::vector<Policy>
+policies()
+{
+    // The accelerated kernel takes ~300 cycles end to end, so a 3000-
+    // cycle deadline only fires on genuinely lost completions.
+    microsim::RetryPolicy no_retry;
+    no_retry.timeoutCycles = 3000;
+
+    microsim::RetryPolicy retry = no_retry;
+    retry.maxAttempts = 3;
+    retry.backoffBaseCycles = 500;
+    retry.backoffCapCycles = 4000;
+
+    microsim::BreakerConfig breaker;
+    breaker.enabled = true;
+    breaker.window = 32;
+    breaker.minSamples = 8;
+    breaker.openThreshold = 0.5;
+    breaker.probeAfterCycles = 1e6;
+
+    return {{"timeout-no-retry", no_retry, {}},
+            {"retry", retry, {}},
+            {"retry+breaker", retry, breaker}};
+}
+
+microsim::AbExperiment
+experiment(const Policy &policy, double drop_p, std::uint64_t seed)
+{
+    microsim::AbExperiment e;
+    e.service.cores = 2;
+    e.service.threads = 2;
+    e.service.design = ThreadingDesign::Sync;
+    e.service.clockGHz = 1.0;
+    e.service.offloadSetupCycles = 20;
+    e.service.retry = policy.retry;
+    e.service.breaker = policy.breaker;
+    e.accelerator.speedupFactor = 5;
+    e.accelerator.fixedLatencyCycles = 50;
+    e.accelerator.latencyCyclesPerByte = 0.1;
+    if (drop_p > 0) {
+        auto plan = std::make_shared<faults::FaultPlan>();
+        plan->seed = seed;
+        plan->dropProbability = drop_p;
+        e.accelerator.faultPlan = std::move(plan);
+    }
+    e.workload = workload();
+    e.seed = seed;
+    e.measureSeconds = 0.05;
+    e.warmupSeconds = 0.01;
+    return e;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t seed = 2020;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--seed" && i + 1 < argc) {
+            seed = static_cast<std::uint64_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            fatal("resilience_slo: unknown argument '" + arg +
+                  "' (usage: [--seed N] [--json PATH])");
+        }
+    }
+
+    bench::banner("Resilience SLO: goodput under injected device "
+                  "faults, by policy (extension)");
+
+    const std::vector<double> drop_rates = {0.0,  0.01, 0.05,
+                                            0.2,  0.5,  1.0};
+    std::vector<Policy> pols = policies();
+
+    struct Cell
+    {
+        size_t policy;
+        double dropP;
+        microsim::ResilienceAbResult ab;
+    };
+    std::vector<Cell> cells;
+    for (size_t p = 0; p < pols.size(); ++p)
+        for (double d : drop_rates)
+            cells.push_back({p, d, {}});
+    cells = bench::shardConfigs(cells, [&](Cell cell) {
+        cell.ab = microsim::runResilienceAbTest(
+            experiment(pols[cell.policy], cell.dropP, seed));
+        return cell;
+    });
+
+    double host_goodput = cells.front().ab.hostOnly.goodputQps();
+
+    TextTable table({"policy", "drop p", "goodput QPS", "vs host",
+                     "p99 cyc", "degraded", "timeouts", "fallbacks",
+                     "opens"});
+    for (size_t c = 1; c <= 8; ++c)
+        table.setAlign(c, Align::Right);
+    std::ostringstream csv_text;
+    CsvWriter csv(csv_text,
+                  {"policy", "drop_p", "goodput_qps", "goodput_vs_host",
+                   "qps", "p99_cycles", "degraded", "failed", "timeouts",
+                   "retries", "host_fallbacks", "breaker_fallbacks",
+                   "breaker_opens"});
+    std::ostringstream json;
+    json << "{\n  \"seed\": " << seed << ",\n"
+         << "  \"host_goodput_qps\": " << fmtF(host_goodput, 1)
+         << ",\n  \"rows\": [\n";
+
+    bool first_row = true;
+    double breaker_ratio_at_full_failure = 0.0;
+    for (const Cell &cell : cells) {
+        const microsim::ServiceMetrics &m = cell.ab.resilient;
+        double ratio = cell.ab.goodputRatio();
+        std::uint64_t fallbacks = m.hostFallbacks + m.breakerFallbacks;
+        if (pols[cell.policy].breaker.enabled && cell.dropP == 1.0)
+            breaker_ratio_at_full_failure = ratio;
+        table.addRow({pols[cell.policy].name, fmtF(cell.dropP, 2),
+                      fmtF(m.goodputQps(), 0), fmtF(ratio, 3),
+                      fmtF(m.latencySample.p99(), 0),
+                      fmtF(static_cast<double>(m.requestsDegraded), 0),
+                      fmtF(static_cast<double>(m.offloadTimeouts), 0),
+                      fmtF(static_cast<double>(fallbacks), 0),
+                      fmtF(static_cast<double>(m.breakerOpens), 0)});
+        csv.row({pols[cell.policy].name, fmtF(cell.dropP, 2),
+                 fmtF(m.goodputQps(), 1), fmtF(ratio, 4),
+                 fmtF(m.qps(), 1), fmtF(m.latencySample.p99(), 0),
+                 fmtF(static_cast<double>(m.requestsDegraded), 0),
+                 fmtF(static_cast<double>(m.requestsFailed), 0),
+                 fmtF(static_cast<double>(m.offloadTimeouts), 0),
+                 fmtF(static_cast<double>(m.offloadRetries), 0),
+                 fmtF(static_cast<double>(m.hostFallbacks), 0),
+                 fmtF(static_cast<double>(m.breakerFallbacks), 0),
+                 fmtF(static_cast<double>(m.breakerOpens), 0)});
+        json << (first_row ? "" : ",\n") << "    {\"policy\": \""
+             << pols[cell.policy].name << "\", \"drop_p\": "
+             << fmtF(cell.dropP, 2) << ", \"goodput_qps\": "
+             << fmtF(m.goodputQps(), 1) << ", \"goodput_vs_host\": "
+             << fmtF(ratio, 4) << ", \"p99_cycles\": "
+             << fmtF(m.latencySample.p99(), 0) << ", \"timeouts\": "
+             << m.offloadTimeouts << ", \"retries\": "
+             << m.offloadRetries << ", \"host_fallbacks\": "
+             << m.hostFallbacks << ", \"breaker_fallbacks\": "
+             << m.breakerFallbacks << ", \"breaker_opens\": "
+             << m.breakerOpens << "}";
+        first_row = false;
+    }
+
+    // Acceptance criterion: when the device is fully dead, the breaker
+    // must converge to the host-only endpoint (goodput within 5%).
+    bool breaker_ok =
+        breaker_ratio_at_full_failure >= 0.95 &&
+        breaker_ratio_at_full_failure <= 1.05;
+    json << "\n  ],\n  \"breaker_ratio_at_full_failure\": "
+         << fmtF(breaker_ratio_at_full_failure, 4)
+         << ",\n  \"breaker_criterion_pass\": "
+         << (breaker_ok ? "true" : "false") << "\n}\n";
+
+    std::cout << table.str() << "\ncsv:\n" << csv_text.str();
+    std::cout << "\nbreaker check: goodput at 100% failure is "
+              << fmtF(breaker_ratio_at_full_failure, 3)
+              << "x host-only (criterion: within 5%) -> "
+              << (breaker_ok ? "pass" : "FAIL") << "\n";
+    std::cout << "\nReading: without a breaker every kernel pays the "
+                 "full timeout/retry ladder before falling back, so "
+                 "goodput collapses as the fault rate rises; the "
+                 "breaker amortises that cost over its window and "
+                 "converges to host-only throughput, trading only the "
+                 "occasional probe.\n";
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        require(static_cast<bool>(out),
+                "resilience_slo: cannot write '" + json_path + "'");
+        out << json.str();
+        std::cout << "json written to " << json_path << "\n";
+    }
+    return breaker_ok ? 0 : 1;
+}

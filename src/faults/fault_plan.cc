@@ -1,0 +1,121 @@
+#include "faults/fault_plan.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace accel::faults {
+
+namespace {
+
+/** splitmix64 finalizer: decorrelates (seed, index) into an Rng seed. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t kFaultStream = 0xfa0175ULL;
+
+void
+requireProbability(double p, const char *field)
+{
+    require(std::isfinite(p) && p >= 0.0 && p <= 1.0,
+            std::string("FaultPlan.") + field + " must be in [0, 1]");
+}
+
+} // namespace
+
+bool
+FaultPlan::active() const
+{
+    return dropProbability > 0.0 || lateProbability > 0.0 ||
+           transferSpikeProbability > 0.0 || !stallWindows.empty() ||
+           deviceFailAtTick != kNeverTick;
+}
+
+void
+FaultPlan::validate() const
+{
+    requireProbability(dropProbability, "dropProbability");
+    requireProbability(lateProbability, "lateProbability");
+    requireProbability(transferSpikeProbability,
+                       "transferSpikeProbability");
+    require(std::isfinite(lateDelayCycles) && lateDelayCycles >= 0.0,
+            "FaultPlan.lateDelayCycles must be finite and >= 0");
+    require(std::isfinite(transferSpikeFactor) &&
+                transferSpikeFactor >= 1.0,
+            "FaultPlan.transferSpikeFactor must be finite and >= 1");
+    require(lateProbability == 0.0 || lateDelayCycles > 0.0,
+            "FaultPlan.lateDelayCycles must be > 0 when "
+            "lateProbability > 0");
+    sim::Tick prev_end = 0;
+    for (const StallWindow &w : stallWindows) {
+        require(w.begin < w.end,
+                "FaultPlan.stallWindows entries must have begin < end");
+        require(w.begin >= prev_end,
+                "FaultPlan.stallWindows must be sorted and disjoint");
+        prev_end = w.end;
+    }
+    if (deviceFailAtTick == kNeverTick) {
+        require(deviceRecoverAtTick == kNeverTick,
+                "FaultPlan.deviceRecoverAtTick needs deviceFailAtTick");
+    } else if (deviceRecoverAtTick != kNeverTick) {
+        require(deviceFailAtTick < deviceRecoverAtTick,
+                "FaultPlan.deviceRecoverAtTick must follow "
+                "deviceFailAtTick");
+    }
+}
+
+FaultDraw
+FaultPlan::draw(std::uint64_t offloadIndex) const
+{
+    FaultDraw d;
+    // One throwaway generator per offload keeps the draw a pure
+    // function of (seed, index): fault outcomes cannot shift when
+    // retries or scheduling change the order in which offloads issue.
+    Rng rng(mix(seed ^ mix(offloadIndex + 1)), kFaultStream);
+    if (transferSpikeProbability > 0.0 &&
+        rng.chance(transferSpikeProbability)) {
+        d.transferFactor = transferSpikeFactor;
+    }
+    if (dropProbability > 0.0 && rng.chance(dropProbability)) {
+        d.dropResponse = true;
+        return d; // a dropped completion can't also be late
+    }
+    if (lateProbability > 0.0 && rng.chance(lateProbability))
+        d.lateResponseCycles = lateDelayCycles;
+    return d;
+}
+
+bool
+FaultPlan::stalledAt(sim::Tick t) const
+{
+    return stallEnd(t) != t;
+}
+
+sim::Tick
+FaultPlan::stallEnd(sim::Tick t) const
+{
+    for (const StallWindow &w : stallWindows) {
+        if (t < w.begin)
+            break; // sorted: later windows can't contain t
+        if (t < w.end)
+            return w.end;
+    }
+    return t;
+}
+
+bool
+FaultPlan::failedAt(sim::Tick t) const
+{
+    if (deviceFailAtTick == kNeverTick || t < deviceFailAtTick)
+        return false;
+    return deviceRecoverAtTick == kNeverTick || t < deviceRecoverAtTick;
+}
+
+} // namespace accel::faults

@@ -48,6 +48,40 @@ runAbTest(const AbExperiment &experiment)
     return result;
 }
 
+double
+ResilienceAbResult::goodputRatio() const
+{
+    require(hostOnly.goodputQps() > 0,
+            "ResilienceAbResult: host-only arm measured no goodput");
+    return resilient.goodputQps() / hostOnly.goodputQps();
+}
+
+ResilienceAbResult
+runResilienceAbTest(const AbExperiment &experiment)
+{
+    ResilienceAbResult result;
+    parallelFor(2, [&](size_t arm) {
+        ServiceConfig svc = experiment.service;
+        AcceleratorConfig acc = experiment.accelerator;
+        if (arm == 0) {
+            // Control: the all-host endpoint. Faults only affect the
+            // device, and the resilience policy is moot without
+            // offloads — strip both so validation can't trip on a
+            // breaker-without-retry combination.
+            svc.accelerated = false;
+            svc.retry = RetryPolicy();
+            svc.breaker = BreakerConfig();
+            acc.faultPlan.reset();
+        }
+        ServiceSim sim(svc, acc, experiment.workload, experiment.seed);
+        ServiceMetrics metrics = sim.run(experiment.measureSeconds,
+                                         experiment.warmupSeconds);
+        (arm == 0 ? result.hostOnly : result.resilient) =
+            std::move(metrics);
+    });
+    return result;
+}
+
 model::Params
 deriveModelParams(const AbExperiment &experiment, const AbResult &result)
 {

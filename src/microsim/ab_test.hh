@@ -50,6 +50,31 @@ struct AbExperiment
 AbResult runAbTest(const AbExperiment &experiment);
 
 /**
+ * Outcome of a resilience A/B (faulted-accelerated vs host-only).
+ *
+ * Unlike the acceleration A/B, the control arm here is the degraded
+ * endpoint the breaker converges to: every kernel on the host, no
+ * faults. The question a resilience experiment answers is how much
+ * goodput the fault-handling policy preserves relative to giving up on
+ * the accelerator entirely.
+ */
+struct ResilienceAbResult
+{
+    ServiceMetrics hostOnly;  //!< control: host execution, faults stripped
+    ServiceMetrics resilient; //!< treatment: accelerated under the plan
+
+    /** Goodput retained: resilient goodput / host-only goodput. */
+    double goodputRatio() const;
+};
+
+/**
+ * Run the host-only control (acceleration off, fault plan and
+ * retry/breaker policy stripped) against the configured treatment with
+ * identical seeds and return both measurements.
+ */
+ResilienceAbResult runResilienceAbTest(const AbExperiment &experiment);
+
+/**
  * Derive the Accelerometer model parameters that describe @p experiment,
  * the way the paper derives them from production measurements: C from
  * the baseline run's busy cycles, α from the workload's kernel share,

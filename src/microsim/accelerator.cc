@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/logging.hh"
 
@@ -10,11 +11,18 @@ namespace accel::microsim {
 void
 AcceleratorConfig::validate() const
 {
-    require(speedupFactor >= 1.0, "Accelerator: A must be >= 1");
-    require(fixedLatencyCycles >= 0, "Accelerator: negative fixed latency");
-    require(latencyCyclesPerByte >= 0,
-            "Accelerator: negative per-byte latency");
-    require(channels >= 1, "Accelerator: need at least one channel");
+    require(std::isfinite(speedupFactor) && speedupFactor >= 1.0,
+            "AcceleratorConfig.speedupFactor must be finite and >= 1");
+    require(std::isfinite(fixedLatencyCycles) && fixedLatencyCycles >= 0,
+            "AcceleratorConfig.fixedLatencyCycles must be finite and "
+            ">= 0");
+    require(std::isfinite(latencyCyclesPerByte) &&
+                latencyCyclesPerByte >= 0,
+            "AcceleratorConfig.latencyCyclesPerByte must be finite and "
+            ">= 0");
+    require(channels >= 1, "AcceleratorConfig.channels must be >= 1");
+    if (faultPlan)
+        faultPlan->validate();
 }
 
 Accelerator::Accelerator(sim::EventQueue &eq,
@@ -22,6 +30,11 @@ Accelerator::Accelerator(sim::EventQueue &eq,
     : eq_(eq), config_(config)
 {
     config_.validate();
+    // An inert plan (all defaults) is dropped here so every later
+    // check is a single null test and fault-off behaviour is the
+    // pre-fault code path.
+    if (config_.faultPlan && !config_.faultPlan->active())
+        config_.faultPlan.reset();
 }
 
 double
@@ -41,21 +54,76 @@ Accelerator::offload(double hostEquivalentCycles, double bytes,
 
     double transfer = transferPaidByHost ? 0.0 : transferCycles(bytes);
     double service = hostEquivalentCycles / config_.speedupFactor;
+
+    Pending item;
+    item.serviceCycles = service;
+    item.lateResponseCycles = 0.0;
+    item.dropResponse = false;
+    item.onComplete = std::move(onComplete);
+
+    if (const faults::FaultPlan *plan = config_.faultPlan.get()) {
+        faults::FaultDraw d = plan->draw(offloadIndex_++);
+        if (d.transferFactor != 1.0 && !transferPaidByHost) {
+            // Host-paid transfers were already charged at the nominal
+            // latency on the core; spikes only hit the device-side leg.
+            transfer *= d.transferFactor;
+            ++stats_.spikedTransfers;
+        }
+        item.dropResponse = d.dropResponse;
+        item.lateResponseCycles = d.lateResponseCycles;
+    }
     stats_.transferCycles.add(transfer);
 
     // The offload reaches the device queue after the transfer completes.
-    eq_.scheduleIn(static_cast<sim::Tick>(std::llround(transfer)), [this,
-        service, cb = std::move(onComplete)]() mutable {
-        queue_.push_back(Pending{service, eq_.now(), std::move(cb)});
-        stats_.maxQueueDepth =
-            std::max<std::uint64_t>(stats_.maxQueueDepth, queue_.size());
-        tryServe();
-    });
+    eq_.scheduleIn(static_cast<sim::Tick>(std::llround(transfer)),
+                   [this, it = std::move(item)]() mutable {
+                       enqueue(std::move(it));
+                   });
+}
+
+void
+Accelerator::enqueue(Pending &&item)
+{
+    if (config_.faultPlan && config_.faultPlan->failedAt(eq_.now())) {
+        // The device is resetting: the request vanishes at the
+        // interface and its completion callback never fires.
+        ++stats_.lostToDeviceFailure;
+        return;
+    }
+    item.enqueued = eq_.now();
+    queue_.push_back(std::move(item));
+    stats_.maxQueueDepth =
+        std::max<std::uint64_t>(stats_.maxQueueDepth, queue_.size());
+    tryServe();
 }
 
 void
 Accelerator::tryServe()
 {
+    const faults::FaultPlan *plan = config_.faultPlan.get();
+    if (plan && plan->failedAt(eq_.now())) {
+        // Device reset: everything queued is lost. Wake up at the
+        // recovery tick (if one exists) to resume service.
+        stats_.lostToDeviceFailure += queue_.size();
+        queue_.clear();
+        if (plan->deviceRecoverAtTick != faults::kNeverTick &&
+            !recoveryWakeScheduled_) {
+            recoveryWakeScheduled_ = true;
+            eq_.schedule(plan->deviceRecoverAtTick,
+                         [this]() { tryServe(); });
+        }
+        return;
+    }
+    if (plan && !queue_.empty() && plan->stalledAt(eq_.now())) {
+        // Channel stall: nothing new starts until the window ends.
+        ++stats_.stallDeferrals;
+        sim::Tick end = plan->stallEnd(eq_.now());
+        if (stallWakeAt_ != end) {
+            stallWakeAt_ = end;
+            eq_.schedule(end, [this]() { tryServe(); });
+        }
+        return;
+    }
     while (busyChannels_ < config_.channels && !queue_.empty()) {
         Pending item = std::move(queue_.front());
         queue_.pop_front();
@@ -68,15 +136,36 @@ Accelerator::tryServe()
 
         eq_.scheduleIn(
             static_cast<sim::Tick>(std::llround(item.serviceCycles)),
-            [this, cb = std::move(item.onComplete)]() mutable {
-                ensure(busyChannels_ > 0,
-                       "Accelerator: channel underflow");
-                --busyChannels_;
-                ++stats_.served;
-                cb();
-                tryServe();
+            [this, it = std::move(item)]() mutable {
+                finishService(std::move(it));
             });
     }
+}
+
+void
+Accelerator::finishService(Pending &&item)
+{
+    ensure(busyChannels_ > 0, "Accelerator: channel underflow");
+    --busyChannels_;
+    const faults::FaultPlan *plan = config_.faultPlan.get();
+    if (plan && plan->failedAt(eq_.now())) {
+        // The reset raced the in-flight work: its completion is lost.
+        ++stats_.lostToDeviceFailure;
+        tryServe();
+        return;
+    }
+    ++stats_.served;
+    if (item.dropResponse) {
+        ++stats_.droppedResponses;
+    } else if (item.lateResponseCycles > 0) {
+        ++stats_.lateResponses;
+        eq_.scheduleIn(static_cast<sim::Tick>(
+                           std::llround(item.lateResponseCycles)),
+                       std::move(item.onComplete));
+    } else {
+        item.onComplete();
+    }
+    tryServe();
 }
 
 } // namespace accel::microsim

@@ -7,6 +7,12 @@
  * free channel, is served at the device's speedup factor, and invokes a
  * completion callback. Queue waits are emergent, giving the analytical
  * model's Q parameter a measurable counterpart.
+ *
+ * An optional FaultPlan makes the device misbehave deterministically:
+ * transfers spike, completions arrive late or never, channels stall,
+ * and the whole device can fail (and recover) at fixed ticks. Without a
+ * plan the device takes the exact pre-fault code path, so fault-off
+ * runs stay bit-identical.
  */
 
 #pragma once
@@ -14,7 +20,9 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 
+#include "faults/fault_plan.hh"
 #include "sim/event_queue.hh"
 #include "stats/online_stats.hh"
 
@@ -35,7 +43,10 @@ struct AcceleratorConfig
     /** Parallel service channels. */
     std::uint32_t channels = 1;
 
-    /** @throws FatalError on out-of-domain values. */
+    /** Optional deterministic misbehaviour schedule (null = healthy). */
+    std::shared_ptr<const faults::FaultPlan> faultPlan;
+
+    /** @throws FatalError on out-of-domain values (names the field). */
     void validate() const;
 };
 
@@ -48,6 +59,13 @@ struct AcceleratorStats
     OnlineStats queueWaitCycles;   //!< emergent Q per offload
     OnlineStats serviceCycles;
     OnlineStats transferCycles;
+
+    // --- fault-plan outcomes (all zero on a healthy device) ---
+    std::uint64_t droppedResponses = 0;  //!< served but response lost
+    std::uint64_t lateResponses = 0;     //!< response delayed
+    std::uint64_t spikedTransfers = 0;   //!< transfer-latency spikes
+    std::uint64_t lostToDeviceFailure = 0; //!< discarded by reset
+    std::uint64_t stallDeferrals = 0;    //!< service starts deferred
 };
 
 /** The device: transfer -> queue -> serve -> completion callback. */
@@ -62,6 +80,10 @@ class Accelerator
 
     /**
      * Dispatch one offload.
+     *
+     * Under a fault plan the completion callback may be invoked late or
+     * never (dropped response, device failure); callers that need to
+     * survive that race a deadline timer against it.
      *
      * @param hostEquivalentCycles cycles the host would have spent
      * @param bytes                offload granularity (drives transfer)
@@ -93,6 +115,8 @@ class Accelerator
     {
         double serviceCycles;
         sim::Tick enqueued;
+        double lateResponseCycles;
+        bool dropResponse;
         std::function<void()> onComplete;
     };
 
@@ -102,7 +126,14 @@ class Accelerator
     std::uint32_t busyChannels_ = 0;
     AcceleratorStats stats_;
 
+    // --- fault-plan state ---
+    std::uint64_t offloadIndex_ = 0;  //!< issue-order slot for draws
+    sim::Tick stallWakeAt_ = 0;       //!< pending stall-resume event
+    bool recoveryWakeScheduled_ = false;
+
+    void enqueue(Pending &&item);
     void tryServe();
+    void finishService(Pending &&item);
 };
 
 } // namespace accel::microsim

@@ -1,5 +1,7 @@
 #include "microsim/metrics.hh"
 
+#include "util/logging.hh"
+
 namespace accel::microsim {
 
 double
@@ -8,6 +10,17 @@ ServiceMetrics::qps() const
     if (measuredSeconds <= 0)
         return 0.0;
     return static_cast<double>(requestsCompleted) / measuredSeconds;
+}
+
+double
+ServiceMetrics::goodputQps() const
+{
+    if (measuredSeconds <= 0)
+        return 0.0;
+    ensure(requestsFailed <= requestsCompleted,
+           "ServiceMetrics: failed > completed");
+    return static_cast<double>(requestsCompleted - requestsFailed) /
+           measuredSeconds;
 }
 
 double

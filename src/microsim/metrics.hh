@@ -26,11 +26,38 @@ struct ServiceMetrics
     /** Open-loop mode only: requests that arrived in the window. */
     std::uint64_t requestsArrived = 0;
 
+    /**
+     * Completed requests that experienced degraded-mode handling (an
+     * offload timeout, retry, host fallback, breaker fallback, or an
+     * abandoned kernel). Subset of requestsCompleted.
+     */
+    std::uint64_t requestsDegraded = 0;
+
+    /**
+     * Completed requests in which at least one kernel was abandoned
+     * (retries exhausted, no host fallback): the request finished but
+     * produced no result for that kernel. Subset of requestsDegraded;
+     * excluded from goodput.
+     */
+    std::uint64_t requestsFailed = 0;
+
+    /** Open-loop mode: arrivals rejected by the bounded admission
+     *  queue (load shedding). Shed arrivals count in requestsArrived
+     *  (offered load) but never reach a thread. */
+    std::uint64_t requestsShed = 0;
+
+    /** Open-loop mode: peak admission-queue depth observed. */
+    std::uint64_t maxArrivalQueueDepth = 0;
+
     /** Request latency in cycles (service-local, per the paper). */
     OnlineStats latencyCycles;
 
     /** Uniform latency sample for tail quantiles (SLO analysis). */
     ReservoirSample latencySample;
+
+    /** Latency of degraded requests only (tail under faults). */
+    OnlineStats degradedLatencyCycles;
+    ReservoirSample degradedLatencySample;
 
     /**
      * End-to-end latency including remote accelerator time that the
@@ -61,10 +88,31 @@ struct ServiceMetrics
     std::uint64_t offloadsIssued = 0;
     std::uint64_t kernelsOnHost = 0;
 
+    // --- degraded-mode offload accounting (zero without faults) ---
+    std::uint64_t offloadTimeouts = 0;   //!< deadline expiries
+    std::uint64_t offloadRetries = 0;    //!< re-issues after a timeout
+    std::uint64_t hostFallbacks = 0;     //!< retry exhaustion -> host
+    std::uint64_t breakerFallbacks = 0;  //!< breaker open -> host
+    std::uint64_t offloadsAbandoned = 0; //!< exhausted, no fallback
+    std::uint64_t lateCompletionsIgnored = 0; //!< lost the deadline race
+    std::uint64_t breakerOpens = 0;
+    std::uint64_t breakerProbes = 0;
+    std::uint64_t breakerCloses = 0;
+
+    /** Host cycles consumed re-executing fallen-back kernels. */
+    double fallbackHostCycles = 0.0;
+
     AcceleratorStats accelerator;
 
     /** Completed requests per simulated second. */
     double qps() const;
+
+    /**
+     * Usefully completed requests per second: completions minus
+     * failed (kernel-abandoned) requests. Degraded-but-correct work —
+     * e.g. host fallback — still counts; shed arrivals never do.
+     */
+    double goodputQps() const;
 
     /** Mean request latency in cycles. */
     double meanLatencyCycles() const;

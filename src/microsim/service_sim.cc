@@ -1,5 +1,6 @@
 #include "microsim/service_sim.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.hh"
@@ -9,24 +10,69 @@ namespace accel::microsim {
 using model::Strategy;
 using model::ThreadingDesign;
 
+namespace {
+
+/** Shared shape check: every cycle-cost knob must be finite and >= 0. */
+void
+requireCycles(double v, const char *field)
+{
+    require(std::isfinite(v) && v >= 0,
+            std::string(field) + " must be finite and >= 0");
+}
+
+} // namespace
+
+void
+RetryPolicy::validate() const
+{
+    requireCycles(timeoutCycles, "RetryPolicy.timeoutCycles");
+    require(maxAttempts >= 1, "RetryPolicy.maxAttempts must be >= 1");
+    requireCycles(backoffBaseCycles, "RetryPolicy.backoffBaseCycles");
+    require(std::isfinite(backoffFactor) && backoffFactor >= 1.0,
+            "RetryPolicy.backoffFactor must be finite and >= 1");
+    requireCycles(backoffCapCycles, "RetryPolicy.backoffCapCycles");
+}
+
+void
+BreakerConfig::validate() const
+{
+    require(window >= 1, "BreakerConfig.window must be >= 1");
+    require(minSamples >= 1, "BreakerConfig.minSamples must be >= 1");
+    require(minSamples <= window,
+            "BreakerConfig.minSamples must be <= window");
+    require(std::isfinite(openThreshold) && openThreshold > 0 &&
+                openThreshold <= 1,
+            "BreakerConfig.openThreshold must be in (0, 1]");
+    requireCycles(probeAfterCycles, "BreakerConfig.probeAfterCycles");
+}
+
 void
 ServiceConfig::validate() const
 {
-    require(cores >= 1, "ServiceConfig: need at least one core");
-    require(threads >= 1, "ServiceConfig: need at least one thread");
-    require(clockGHz > 0, "ServiceConfig: clock must be positive");
-    require(offloadSetupCycles >= 0, "ServiceConfig: negative o0");
-    require(contextSwitchCycles >= 0, "ServiceConfig: negative o1");
-    require(cachePollutionCycles >= 0,
-            "ServiceConfig: negative cache pollution");
-    require(responsePickupCycles >= 0,
-            "ServiceConfig: negative pickup cost");
-    require(unmodeledPerOffloadCycles >= 0,
-            "ServiceConfig: negative driver slop");
-    require(minOffloadBytes >= 0, "ServiceConfig: negative threshold");
-    require(maxOutstanding >= 1, "ServiceConfig: maxOutstanding >= 1");
-    require(openArrivalsPerSec >= 0,
-            "ServiceConfig: negative arrival rate");
+    require(cores >= 1, "ServiceConfig.cores must be >= 1");
+    require(threads >= 1, "ServiceConfig.threads must be >= 1");
+    require(std::isfinite(clockGHz) && clockGHz > 0,
+            "ServiceConfig.clockGHz must be finite and positive");
+    requireCycles(offloadSetupCycles, "ServiceConfig.offloadSetupCycles");
+    requireCycles(contextSwitchCycles,
+                  "ServiceConfig.contextSwitchCycles");
+    requireCycles(cachePollutionCycles,
+                  "ServiceConfig.cachePollutionCycles");
+    requireCycles(responsePickupCycles,
+                  "ServiceConfig.responsePickupCycles");
+    requireCycles(unmodeledPerOffloadCycles,
+                  "ServiceConfig.unmodeledPerOffloadCycles");
+    require(std::isfinite(minOffloadBytes) && minOffloadBytes >= 0,
+            "ServiceConfig.minOffloadBytes must be finite and >= 0");
+    require(maxOutstanding >= 1,
+            "ServiceConfig.maxOutstanding must be >= 1");
+    require(std::isfinite(openArrivalsPerSec) && openArrivalsPerSec >= 0,
+            "ServiceConfig.openArrivalsPerSec must be finite and >= 0");
+    retry.validate();
+    breaker.validate();
+    require(!breaker.enabled || retry.active(),
+            "ServiceConfig.breaker needs RetryPolicy.timeoutCycles > 0 "
+            "(timeouts are the breaker's failure signal)");
     if (design == ThreadingDesign::Sync) {
         require(threads == cores,
                 "ServiceConfig: Sync runs one thread per core");
@@ -75,9 +121,22 @@ ServiceSim::onArrival()
 {
     if (eq_.now() < endTick_)
         scheduleNextArrival();
-    arrivals_.push_back(PendingArrival{source_.next(), eq_.now()});
     if (measuring_)
         ++metrics_.requestsArrived;
+    if (cfg_.maxArrivalQueue > 0 &&
+        arrivals_.size() >= cfg_.maxArrivalQueue) {
+        // Load shedding: the bounded admission queue is full, so the
+        // arrival is rejected instead of queued. This is what keeps a
+        // saturated open-loop run in constant memory.
+        if (measuring_)
+            ++metrics_.requestsShed;
+        return;
+    }
+    arrivals_.push_back(PendingArrival{source_.next(), eq_.now()});
+    if (measuring_) {
+        metrics_.maxArrivalQueueDepth = std::max<std::uint64_t>(
+            metrics_.maxArrivalQueueDepth, arrivals_.size());
+    }
     if (!idleThreads_.empty()) {
         size_t tid = idleThreads_.back();
         idleThreads_.pop_back();
@@ -287,19 +346,36 @@ ServiceSim::handleKernel(size_t tid)
         return;
     }
 
+    bool probe = false;
+    if (cfg_.breaker.enabled) {
+        BreakerGate gate = breakerGate();
+        if (!gate.offload) {
+            // Breaker open: revert the kernel to host execution.
+            if (measuring_) {
+                ++metrics_.breakerFallbacks;
+                metrics_.fallbackHostCycles += k.hostCycles;
+            }
+            ctx.inflight->degraded = true;
+            runOnCore(tid, k.hostCycles,
+                      [this, tid]() { maybeNext(tid); }, k.tag);
+            return;
+        }
+        probe = gate.probe;
+    }
+
     if (measuring_)
         ++metrics_.offloadsIssued;
     switch (cfg_.design) {
       case ThreadingDesign::Sync:
-        offloadSync(tid, k);
+        offloadSync(tid, k, probe);
         break;
       case ThreadingDesign::SyncOS:
-        offloadSyncOS(tid, k);
+        offloadSyncOS(tid, k, probe);
         break;
       case ThreadingDesign::AsyncSameThread:
       case ThreadingDesign::AsyncDistinctThread:
       case ThreadingDesign::AsyncNoResponse:
-        offloadAsync(tid, k);
+        offloadAsync(tid, k, probe);
         break;
     }
 }
@@ -332,6 +408,13 @@ ServiceSim::maybeCompleteRequest(const std::shared_ptr<InFlight> &inflight,
                 static_cast<double>(eq_.now() - inflight->start);
             metrics_.latencyCycles.add(latency);
             metrics_.latencySample.add(latency);
+            if (inflight->degraded) {
+                ++metrics_.requestsDegraded;
+                metrics_.degradedLatencyCycles.add(latency);
+                metrics_.degradedLatencySample.add(latency);
+            }
+            if (inflight->failed)
+                ++metrics_.requestsFailed;
         }
     }
     if (inflight->hostDone && inflight->pendingKernels == 0 &&
@@ -346,49 +429,71 @@ ServiceSim::maybeCompleteRequest(const std::shared_ptr<InFlight> &inflight,
 // --------------------------------------------------------------------
 
 void
-ServiceSim::offloadSync(size_t tid, const KernelInvocation &k)
+ServiceSim::offloadSync(size_t tid, const KernelInvocation &k, bool probe)
 {
     double issue = cfg_.offloadSetupCycles + cfg_.unmodeledPerOffloadCycles;
     if (measuring_)
         metrics_.dispatchOverheadCycles += issue;
-    runOnCore(tid, issue, [this, tid, k]() {
-        // The core stays held (idle) across transfer + queue + service.
+    runOnCore(tid, issue, [this, tid, k, probe]() {
+        // The core stays held (idle) across transfer + queue + service
+        // — and, in degraded mode, across timeouts and backoff too: a
+        // synchronous driver's retry loop blocks right where it is.
         sim::Tick held_from = eq_.now();
-        accel_.offload(k.hostCycles, k.bytes,
-                       [this, tid, held_from]() {
-                           if (measuring_) {
-                               metrics_.coreHeldIdleCycles +=
-                                   static_cast<double>(eq_.now() -
-                                                       held_from);
-                           }
-                           maybeNext(tid);
-                       });
+        dispatchResilient(
+            tid, k, /*transferPaidByHost=*/false, probe,
+            threads_[tid].inflight,
+            [this, tid, k, held_from](OffloadOutcome out) {
+                if (measuring_) {
+                    metrics_.coreHeldIdleCycles +=
+                        static_cast<double>(eq_.now() - held_from);
+                }
+                if (out == OffloadOutcome::HostFallback) {
+                    // The core is still held; the kernel re-executes
+                    // right here as ordinary (busy) host work.
+                    runOnCore(tid, k.hostCycles,
+                              [this, tid]() { maybeNext(tid); }, k.tag);
+                } else {
+                    maybeNext(tid);
+                }
+            });
     }, kOverheadWorkTag);
 }
 
 void
-ServiceSim::offloadSyncOS(size_t tid, const KernelInvocation &k)
+ServiceSim::offloadSyncOS(size_t tid, const KernelInvocation &k,
+                          bool probe)
 {
     double hold = cfg_.offloadSetupCycles + cfg_.unmodeledPerOffloadCycles;
     if (cfg_.driverWaitsForAck)
         hold += accel_.transferCycles(k.bytes);
     if (measuring_)
         metrics_.dispatchOverheadCycles += hold;
-    runOnCore(tid, hold, [this, tid, k]() {
-        accel_.offload(
-            k.hostCycles, k.bytes,
-            [this, tid]() {
+    runOnCore(tid, hold, [this, tid, k, probe]() {
+        dispatchResilient(
+            tid, k, /*transferPaidByHost=*/cfg_.driverWaitsForAck, probe,
+            threads_[tid].inflight,
+            [this, tid, k](OffloadOutcome out) {
                 ThreadCtx &ctx = threads_[tid];
                 ctx.needsSwitchIn = true;
-                makeReady(tid, [this, tid]() { maybeNext(tid); });
-            },
-            /*transferPaidByHost=*/cfg_.driverWaitsForAck);
+                if (out == OffloadOutcome::HostFallback) {
+                    // Wake the blocked thread to re-run the kernel on
+                    // its core as ordinary host work.
+                    makeReady(tid, [this, tid, k]() {
+                        runOnCore(tid, k.hostCycles,
+                                  [this, tid]() { maybeNext(tid); },
+                                  k.tag);
+                    });
+                } else {
+                    makeReady(tid, [this, tid]() { maybeNext(tid); });
+                }
+            });
         yieldCore(tid);
     }, kOverheadWorkTag);
 }
 
 void
-ServiceSim::offloadAsync(size_t tid, const KernelInvocation &k)
+ServiceSim::offloadAsync(size_t tid, const KernelInvocation &k,
+                         bool probe)
 {
     ThreadCtx &ctx = threads_[tid];
     double hold = cfg_.offloadSetupCycles + cfg_.unmodeledPerOffloadCycles;
@@ -405,12 +510,20 @@ ServiceSim::offloadAsync(size_t tid, const KernelInvocation &k)
     if (tracks_outstanding)
         ++ctx.outstanding;
 
-    runOnCore(tid, hold, [this, tid, k, inflight,
+    runOnCore(tid, hold, [this, tid, k, probe, inflight,
                           tracks_outstanding]() {
-        accel_.offload(
-            k.hostCycles, k.bytes,
-            [this, tid, inflight]() { onAsyncResponse(tid, inflight); },
-            /*transferPaidByHost=*/cfg_.driverWaitsForAck);
+        dispatchResilient(
+            tid, k, /*transferPaidByHost=*/cfg_.driverWaitsForAck, probe,
+            inflight,
+            [this, tid, k, inflight](OffloadOutcome out) {
+                if (out == OffloadOutcome::HostFallback) {
+                    // Async fallback: the re-execution steals core
+                    // time from whatever runs next (the established
+                    // response-pickup accounting; see DESIGN.md).
+                    pendingStolenCycles_ += k.hostCycles;
+                }
+                onAsyncResponse(tid, inflight);
+            });
 
         ThreadCtx &ctx = threads_[tid];
         if (tracks_outstanding && ctx.outstanding >= cfg_.maxOutstanding) {
@@ -463,6 +576,189 @@ ServiceSim::onAsyncResponse(size_t tid,
 }
 
 // --------------------------------------------------------------------
+// Degraded-mode offload: deadline + retry + circuit breaker
+// --------------------------------------------------------------------
+
+void
+ServiceSim::dispatchResilient(size_t tid, const KernelInvocation &k,
+                              bool transferPaidByHost, bool probe,
+                              const std::shared_ptr<InFlight> &inflight,
+                              std::function<void(OffloadOutcome)> &&resolve)
+{
+    if (!resilienceActive()) {
+        // No deadline configured: the pre-fault code path — wait for
+        // the device forever. Bit-identical to a tree without this
+        // layer.
+        accel_.offload(k.hostCycles, k.bytes,
+                       [res = std::move(resolve)]() {
+                           res(OffloadOutcome::Accel);
+                       },
+                       transferPaidByHost);
+        return;
+    }
+    issueAttempt(tid, k, transferPaidByHost, /*attempt=*/0, probe,
+                 inflight, std::move(resolve));
+}
+
+sim::Tick
+ServiceSim::backoffTicks(std::uint32_t attempt) const
+{
+    double d = cfg_.retry.backoffBaseCycles *
+               std::pow(cfg_.retry.backoffFactor,
+                        static_cast<double>(attempt));
+    d = std::min(d, cfg_.retry.backoffCapCycles);
+    return static_cast<sim::Tick>(std::llround(d));
+}
+
+void
+ServiceSim::issueAttempt(size_t tid, const KernelInvocation &k,
+                         bool transferPaidByHost, std::uint32_t attempt,
+                         bool probe,
+                         const std::shared_ptr<InFlight> &inflight,
+                         std::function<void(OffloadOutcome)> &&resolve)
+{
+    auto state = std::make_shared<AttemptState>();
+    state->resolve = std::move(resolve);
+
+    // The device completion and the deadline timer race; whichever
+    // fires first settles the attempt and the loser is cancelled (or
+    // ignored — a completion that lost the race is a late response).
+    accel_.offload(
+        k.hostCycles, k.bytes,
+        [this, state, probe]() {
+            if (state->settled) {
+                if (measuring_)
+                    ++metrics_.lateCompletionsIgnored;
+                return;
+            }
+            state->settled = true;
+            eq_.cancelTimer(state->timer);
+            breakerRecord(/*success=*/true, probe);
+            state->resolve(OffloadOutcome::Accel);
+        },
+        transferPaidByHost);
+
+    state->timer = eq_.scheduleTimerIn(
+        static_cast<sim::Tick>(std::llround(cfg_.retry.timeoutCycles)),
+        [this, state, tid, k, transferPaidByHost, attempt, probe,
+         inflight]() {
+            ensure(!state->settled,
+                   "issueAttempt: deadline fired after settlement");
+            state->settled = true;
+            inflight->degraded = true;
+            if (measuring_)
+                ++metrics_.offloadTimeouts;
+            timeoutWarner_.warn(
+                "thread " + std::to_string(tid) + " attempt " +
+                std::to_string(attempt + 1) + " deadline at tick " +
+                std::to_string(eq_.now()));
+            breakerRecord(/*success=*/false, probe);
+
+            // A probe never retries, and an open breaker cuts the
+            // retry chain short — both routes go straight to host.
+            bool can_retry = !probe &&
+                attempt + 1 < cfg_.retry.maxAttempts &&
+                breakerState_ == BreakerState::Closed;
+            if (can_retry) {
+                if (measuring_)
+                    ++metrics_.offloadRetries;
+                eq_.scheduleIn(
+                    backoffTicks(attempt),
+                    [this, state, tid, k, transferPaidByHost,
+                     attempt, inflight]() {
+                        issueAttempt(tid, k, transferPaidByHost,
+                                     attempt + 1, /*probe=*/false,
+                                     inflight,
+                                     std::move(state->resolve));
+                    });
+            } else if (cfg_.retry.hostFallback) {
+                if (measuring_) {
+                    ++metrics_.hostFallbacks;
+                    metrics_.fallbackHostCycles += k.hostCycles;
+                }
+                fallbackWarner_.warn(
+                    "thread " + std::to_string(tid) +
+                    " reverting kernel to host at tick " +
+                    std::to_string(eq_.now()));
+                state->resolve(OffloadOutcome::HostFallback);
+            } else {
+                if (measuring_)
+                    ++metrics_.offloadsAbandoned;
+                inflight->failed = true;
+                state->resolve(OffloadOutcome::Abandoned);
+            }
+        });
+}
+
+ServiceSim::BreakerGate
+ServiceSim::breakerGate()
+{
+    switch (breakerState_) {
+      case BreakerState::Closed:
+        return {true, false};
+      case BreakerState::Open:
+        if (static_cast<double>(eq_.now() - breakerOpenedAt_) >=
+            cfg_.breaker.probeAfterCycles) {
+            breakerState_ = BreakerState::HalfOpen;
+            if (measuring_)
+                ++metrics_.breakerProbes;
+            return {true, true};
+        }
+        return {false, false};
+      case BreakerState::HalfOpen:
+        // A probe is already in flight; everyone else stays on host.
+        return {false, false};
+    }
+    panic("breakerGate: unreachable state");
+}
+
+void
+ServiceSim::breakerRecord(bool success, bool probe)
+{
+    if (!cfg_.breaker.enabled)
+        return;
+    if (probe) {
+        ensure(breakerState_ == BreakerState::HalfOpen,
+               "breakerRecord: probe outcome without half-open state");
+        if (success) {
+            breakerState_ = BreakerState::Closed;
+            breakerWindow_.clear();
+            breakerFailures_ = 0;
+            if (measuring_)
+                ++metrics_.breakerCloses;
+        } else {
+            breakerState_ = BreakerState::Open;
+            breakerOpenedAt_ = eq_.now();
+        }
+        return;
+    }
+    if (breakerState_ != BreakerState::Closed)
+        return; // stragglers from before the breaker opened
+    breakerWindow_.push_back(success);
+    if (!success)
+        ++breakerFailures_;
+    if (breakerWindow_.size() > cfg_.breaker.window) {
+        if (!breakerWindow_.front())
+            --breakerFailures_;
+        breakerWindow_.pop_front();
+    }
+    if (breakerWindow_.size() >= cfg_.breaker.minSamples &&
+        static_cast<double>(breakerFailures_) /
+                static_cast<double>(breakerWindow_.size()) >=
+            cfg_.breaker.openThreshold) {
+        breakerState_ = BreakerState::Open;
+        breakerOpenedAt_ = eq_.now();
+        breakerWindow_.clear();
+        breakerFailures_ = 0;
+        if (measuring_)
+            ++metrics_.breakerOpens;
+        warn("circuit breaker opened at tick " +
+             std::to_string(eq_.now()) +
+             ": offloads revert to host execution");
+    }
+}
+
+// --------------------------------------------------------------------
 // Run loop
 // --------------------------------------------------------------------
 
@@ -499,6 +795,8 @@ ServiceSim::run(double measureSeconds, double warmupSeconds)
         makeReady(tid, [this, tid]() { startNextRequest(tid); });
 
     eq_.runUntil(endTick_);
+    timeoutWarner_.flushSummary();
+    fallbackWarner_.flushSummary();
     metrics_.accelerator = accel_.stats();
     return metrics_;
 }

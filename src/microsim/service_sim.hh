@@ -36,8 +36,64 @@
 #include "microsim/request_gen.hh"
 #include "model/params.hh"
 #include "sim/event_queue.hh"
+#include "util/logging.hh"
 
 namespace accel::microsim {
+
+/**
+ * Per-offload deadline + retry policy (degraded-mode offload).
+ *
+ * timeoutCycles == 0 (the default) disables the whole resilience
+ * layer: offloads wait for the device forever, exactly the pre-fault
+ * behaviour. With a deadline, each attempt races a cancellable timer
+ * against the device completion; expiry triggers capped exponential
+ * backoff and, after maxAttempts, host fallback (or abandonment).
+ */
+struct RetryPolicy
+{
+    /** Deadline per offload attempt in cycles (0 = never time out). */
+    double timeoutCycles = 0.0;
+
+    /** Total attempts per kernel, including the first. */
+    std::uint32_t maxAttempts = 1;
+
+    double backoffBaseCycles = 0.0; //!< delay before the first retry
+    double backoffFactor = 2.0;     //!< exponential growth per retry
+    double backoffCapCycles = 1e9;  //!< hard cap on any single backoff
+
+    /**
+     * After retry exhaustion, re-execute the kernel on the host. When
+     * false the kernel is abandoned: the request still completes but
+     * counts as failed, not goodput.
+     */
+    bool hostFallback = true;
+
+    /** True when the deadline/retry layer is engaged. */
+    bool active() const { return timeoutCycles > 0; }
+
+    /** @throws FatalError on out-of-domain values (names the field). */
+    void validate() const;
+};
+
+/**
+ * Failure-rate circuit breaker. While closed, offload outcomes feed a
+ * sliding window; when the observed failure fraction crosses
+ * openThreshold the breaker opens and kernels revert to host
+ * execution. After probeAfterCycles one probe offload is attempted
+ * (half-open): success closes the breaker, failure re-opens it.
+ * Requires RetryPolicy::active() — timeouts are the failure signal.
+ */
+struct BreakerConfig
+{
+    bool enabled = false;
+    std::uint32_t window = 32;     //!< sliding outcome window size
+    std::uint32_t minSamples = 8;  //!< samples before evaluating
+    double openThreshold = 0.5;    //!< failure fraction that opens
+    double probeAfterCycles = 1e6; //!< open -> probe delay (sim cycles)
+
+    /** @throws FatalError on out-of-domain values (names the field). */
+    void validate() const;
+};
 
 /** Static description of a service instance. */
 struct ServiceConfig
@@ -73,6 +129,19 @@ struct ServiceConfig
 
     /** Per-thread cap on outstanding async offloads (backpressure). */
     std::uint32_t maxOutstanding = 64;
+
+    /** Deadline/retry/fallback policy for offloads (default: off). */
+    RetryPolicy retry;
+
+    /** Circuit breaker reverting kernels to host (default: off). */
+    BreakerConfig breaker;
+
+    /**
+     * Open-loop mode: bound on the admission queue. Arrivals beyond
+     * this depth are shed (rejected, counted in requestsShed) instead
+     * of queued. 0 = unbounded (legacy behaviour).
+     */
+    std::uint32_t maxArrivalQueue = 0;
 
     /**
      * Load mode. 0 (default) runs the closed loop the paper's
@@ -119,6 +188,10 @@ class ServiceSim
         std::uint32_t pendingKernels = 0;
         bool hostDone = false;
         bool counted = false;
+        /** Saw degraded handling (timeout/retry/fallback/breaker). */
+        bool degraded = false;
+        /** A kernel was abandoned: completed without a result. */
+        bool failed = false;
         sim::Tick lastResponse = 0;
     };
 
@@ -194,11 +267,71 @@ class ServiceSim
                               bool remoteExcluded);
 
     // --- offload paths ---
-    void offloadSync(size_t tid, const KernelInvocation &k);
-    void offloadSyncOS(size_t tid, const KernelInvocation &k);
-    void offloadAsync(size_t tid, const KernelInvocation &k);
+    void offloadSync(size_t tid, const KernelInvocation &k, bool probe);
+    void offloadSyncOS(size_t tid, const KernelInvocation &k, bool probe);
+    void offloadAsync(size_t tid, const KernelInvocation &k, bool probe);
     void onAsyncResponse(size_t tid,
                          const std::shared_ptr<InFlight> &inflight);
+
+    // --- degraded-mode offload (deadline, retry, breaker) ---
+
+    /** How a resilient offload ultimately resolved. */
+    enum class OffloadOutcome
+    {
+        Accel,        //!< device completion arrived in time
+        HostFallback, //!< retries exhausted; re-executed on the host
+        Abandoned,    //!< retries exhausted; no fallback configured
+    };
+
+    /** One attempt's race between device completion and deadline. */
+    struct AttemptState
+    {
+        bool settled = false;
+        sim::TimerId timer = sim::kInvalidTimer;
+        std::function<void(OffloadOutcome)> resolve;
+    };
+
+    bool resilienceActive() const { return cfg_.retry.active(); }
+
+    /**
+     * Offload @p k with the configured resilience policy. @p resolve
+     * is invoked exactly once with the final outcome; without an
+     * active policy this degenerates to a plain device offload.
+     */
+    void dispatchResilient(size_t tid, const KernelInvocation &k,
+                           bool transferPaidByHost, bool probe,
+                           const std::shared_ptr<InFlight> &inflight,
+                           std::function<void(OffloadOutcome)> &&resolve);
+
+    void issueAttempt(size_t tid, const KernelInvocation &k,
+                      bool transferPaidByHost, std::uint32_t attempt,
+                      bool probe,
+                      const std::shared_ptr<InFlight> &inflight,
+                      std::function<void(OffloadOutcome)> &&resolve);
+
+    sim::Tick backoffTicks(std::uint32_t attempt) const;
+
+    // --- circuit breaker state machine ---
+    enum class BreakerState { Closed, Open, HalfOpen };
+
+    struct BreakerGate
+    {
+        bool offload; //!< false: revert this kernel to the host
+        bool probe;   //!< this offload is the half-open probe
+    };
+
+    BreakerGate breakerGate();
+    void breakerRecord(bool success, bool probe);
+
+    BreakerState breakerState_ = BreakerState::Closed;
+    std::deque<bool> breakerWindow_;
+    std::uint32_t breakerFailures_ = 0;
+    sim::Tick breakerOpenedAt_ = 0;
+
+    // Fault storms must not flood stderr: first-N + suppressed-count
+    // (count-based so logs replay identically for a seed).
+    RateLimitedWarner timeoutWarner_{"offload timeout", 3};
+    RateLimitedWarner fallbackWarner_{"offload fallback", 3};
 
     /** Per-thread resume continuation while blocked. */
     std::vector<std::function<void()>> resume_;

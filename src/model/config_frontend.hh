@@ -36,10 +36,12 @@
 
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "config/config.hh"
+#include "faults/fault_plan.hh"
 #include "model/accelerometer.hh"
 #include "stats/bucket_dist.hh"
 
@@ -73,6 +75,26 @@ BucketDist granularityFromConfig(const std::string &literal);
 /** Threading design for a section (key "threading", default "sync"). */
 ThreadingDesign threadingFromConfig(const Config &cfg,
                                     const std::string &section);
+
+/**
+ * Parse a section's fault-plan keys into a FaultPlan, or nullptr when
+ * the section sets none of them (so fault-off configs build the exact
+ * pre-fault device). Recognised keys, all prefixed `fault_`:
+ *
+ *     fault_seed = 7
+ *     fault_drop_p = 0.05          ; per-offload completion loss
+ *     fault_late_p = 0.1           ; per-offload late completion...
+ *     fault_late_cycles = 5000     ; ...delayed by this many cycles
+ *     fault_spike_p = 0.02         ; per-offload transfer spike...
+ *     fault_spike_factor = 8       ; ...multiplying the transfer
+ *     fault_stalls = 1e6:2e6, 5e6:6e6   ; begin:end tick windows
+ *     fault_fail_at = 2.5e8        ; whole-device failure tick
+ *     fault_recover_at = 3.5e8     ; optional recovery tick
+ *
+ * @throws FatalError on malformed windows or out-of-domain values.
+ */
+std::shared_ptr<const faults::FaultPlan>
+faultPlanFromConfig(const Config &cfg, const std::string &section);
 
 /** Parse every section of a config into cases, preserving order. */
 std::vector<ConfigCase> casesFromConfig(const Config &cfg);

@@ -1,25 +1,57 @@
 #include "sim/event_queue.hh"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "util/logging.hh"
 
 namespace accel::sim {
 
-void
-EventQueue::schedule(Tick when, Callback &&cb, int priority)
+std::uint64_t
+EventQueue::scheduleEvent(Tick when, Callback &&cb, int priority)
 {
     require(when >= now_, "EventQueue: scheduling into the past");
     ensure(static_cast<bool>(cb), "EventQueue: empty callback");
-    heap_.push_back(Event{when, priority, sequence_++, std::move(cb)});
+    std::uint64_t seq = sequence_++;
+    heap_.push_back(Event{when, priority, seq, std::move(cb)});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return seq;
+}
+
+void
+EventQueue::schedule(Tick when, Callback &&cb, int priority)
+{
+    scheduleEvent(when, std::move(cb), priority);
 }
 
 void
 EventQueue::scheduleIn(Tick delay, Callback &&cb, int priority)
 {
     schedule(now_ + delay, std::move(cb), priority);
+}
+
+TimerId
+EventQueue::scheduleTimer(Tick when, Callback &&cb, int priority)
+{
+    std::uint64_t seq = scheduleEvent(when, std::move(cb), priority);
+    liveTimers_.insert(seq);
+    return seq;
+}
+
+TimerId
+EventQueue::scheduleTimerIn(Tick delay, Callback &&cb, int priority)
+{
+    return scheduleTimer(now_ + delay, std::move(cb), priority);
+}
+
+bool
+EventQueue::cancelTimer(TimerId id)
+{
+    if (liveTimers_.erase(id) == 0)
+        return false;
+    cancelled_.insert(id);
+    return true;
 }
 
 EventQueue::Event
@@ -34,24 +66,36 @@ EventQueue::popEvent()
 }
 
 bool
+EventQueue::runOne(Tick limit)
+{
+    while (!heap_.empty() && heap_.front().when <= limit) {
+        // The event is fully detached from the heap before the callback
+        // runs, so callbacks may schedule further events freely.
+        Event ev = popEvent();
+        if (!cancelled_.empty() && cancelled_.erase(ev.sequence) > 0)
+            continue; // cancelled timer: drop without running or
+                      // advancing the clock
+        if (!liveTimers_.empty())
+            liveTimers_.erase(ev.sequence);
+        now_ = ev.when;
+        ++processed_;
+        ev.callback();
+        return true;
+    }
+    return false;
+}
+
+bool
 EventQueue::runNext()
 {
-    if (heap_.empty())
-        return false;
-    // The event is fully detached from the heap before the callback
-    // runs, so callbacks may schedule further events freely.
-    Event ev = popEvent();
-    now_ = ev.when;
-    ++processed_;
-    ev.callback();
-    return true;
+    return runOne(std::numeric_limits<Tick>::max());
 }
 
 void
 EventQueue::runUntil(Tick limit)
 {
-    while (!heap_.empty() && heap_.front().when <= limit)
-        runNext();
+    while (runOne(limit)) {
+    }
     if (now_ < limit)
         now_ = limit;
 }

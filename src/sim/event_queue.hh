@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_set>
 #include <vector>
 
 namespace accel::sim {
@@ -23,6 +24,13 @@ using Tick = std::uint64_t;
 
 /** Scheduled work: lower priority values run first within a tick. */
 using Callback = std::function<void()>;
+
+/**
+ * Handle to a cancellable timer. Valid ids are non-zero; kInvalidTimer
+ * never names a live timer, so it can serve as an "unset" sentinel.
+ */
+using TimerId = std::uint64_t;
+constexpr TimerId kInvalidTimer = 0;
 
 /** Deterministic min-heap event queue. */
 class EventQueue
@@ -44,10 +52,36 @@ class EventQueue
     /** Schedule @p cb @p delay cycles from now. */
     void scheduleIn(Tick delay, Callback &&cb, int priority = 0);
 
+    /**
+     * Schedule a cancellable timer at absolute time @p when. Only
+     * timers pay the cancellation bookkeeping; plain schedule() events
+     * keep the zero-overhead hot path. Timeout/retry logic (offload
+     * deadlines racing device completions) needs the returned handle.
+     */
+    TimerId scheduleTimer(Tick when, Callback &&cb, int priority = 0);
+
+    /** Schedule a cancellable timer @p delay cycles from now. */
+    TimerId scheduleTimerIn(Tick delay, Callback &&cb, int priority = 0);
+
+    /**
+     * Cancel a pending timer. A cancelled timer's callback never runs
+     * and its state is released when its slot drains from the heap.
+     * @return true when @p id was live (scheduled, not yet fired or
+     *         cancelled); false for fired, already-cancelled, invalid,
+     *         or plain-schedule() ids.
+     */
+    bool cancelTimer(TimerId id);
+
+    /** Timers scheduled and neither fired nor cancelled yet. */
+    size_t activeTimers() const { return liveTimers_.size(); }
+
     /** True when no events remain. */
     bool empty() const { return heap_.empty(); }
 
-    /** Number of pending events. */
+    /**
+     * Number of pending events. Cancelled timers still occupy their
+     * heap slot until their tick drains, so they count here.
+     */
     size_t pending() const { return heap_.size(); }
 
     /** Reserve heap capacity for an expected number of pending events. */
@@ -96,6 +130,16 @@ class EventQueue
     /** Move the earliest event out of the heap (heap_ must be non-empty). */
     Event popEvent();
 
+    /** schedule() body that also reports the event's sequence number. */
+    std::uint64_t scheduleEvent(Tick when, Callback &&cb, int priority);
+
+    /**
+     * Pop-and-execute the earliest live event whose tick is <= @p limit,
+     * discarding cancelled timers along the way.
+     * @return false when no eligible event remains.
+     */
+    bool runOne(Tick limit);
+
     // An explicit vector heap (std::push_heap/pop_heap with Later, so
     // front() is the earliest event) instead of std::priority_queue:
     // priority_queue::top() is const and forces a copy of the Event —
@@ -105,8 +149,18 @@ class EventQueue
     // be moved out.
     std::vector<Event> heap_;
     Tick now_ = 0;
-    std::uint64_t sequence_ = 0;
+    // Sequence numbers double as TimerIds, so 0 is reserved as the
+    // invalid handle. Starting at 1 preserves relative ordering.
+    std::uint64_t sequence_ = 1;
     std::uint64_t processed_ = 0;
+
+    // Cancellation bookkeeping. Both sets are bounded by the number of
+    // pending events: a live timer leaves liveTimers_ when it fires or
+    // is cancelled, and a cancelled entry leaves cancelled_ when its
+    // heap slot drains. Never iterated, so hash order cannot leak into
+    // results.
+    std::unordered_set<std::uint64_t> liveTimers_;
+    std::unordered_set<std::uint64_t> cancelled_;
 };
 
 } // namespace accel::sim

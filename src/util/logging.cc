@@ -48,4 +48,32 @@ panic(const std::string &msg)
     throw PanicError(msg);
 }
 
+RateLimitedWarner::RateLimitedWarner(std::string label,
+                                     std::uint64_t firstN)
+    : label_(std::move(label)), firstN_(firstN)
+{}
+
+void
+RateLimitedWarner::warn(const std::string &msg)
+{
+    ++occurrences_;
+    if (occurrences_ <= firstN_) {
+        accel::warn(label_ + ": " + msg);
+        if (occurrences_ == firstN_)
+            accel::warn(label_ + ": further warnings suppressed");
+    } else {
+        ++suppressed_;
+    }
+}
+
+void
+RateLimitedWarner::flushSummary()
+{
+    if (suppressed_ == 0)
+        return;
+    accel::warn(label_ + ": suppressed " + std::to_string(suppressed_) +
+                " similar warning(s)");
+    suppressed_ = 0;
+}
+
 } // namespace accel

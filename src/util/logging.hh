@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -106,5 +107,47 @@ ensure(bool ok, const std::string &msg)
     if (!ok) [[unlikely]]
         panic(msg);
 }
+
+/**
+ * Count-based rate limiter for warn(): the first N occurrences print,
+ * the rest are counted, and flushSummary() reports the suppressed
+ * total. Count-based (not wall-clock-based) on purpose — fault storms
+ * in the simulator must produce byte-identical logs for a given seed,
+ * and the determinism lint bans clock reads in simulation code.
+ *
+ * Typical use: one warner per failure class (e.g. offload timeouts),
+ * warn() on every occurrence, flushSummary() at end of run.
+ */
+class RateLimitedWarner
+{
+  public:
+    /**
+     * @param label  failure-class name, prefixed to every message
+     * @param firstN occurrences printed before suppression starts
+     */
+    explicit RateLimitedWarner(std::string label, std::uint64_t firstN = 5);
+
+    /** Print (first N times) or count (afterwards) one occurrence. */
+    void warn(const std::string &msg);
+
+    /** Occurrences seen so far. */
+    std::uint64_t occurrences() const { return occurrences_; }
+
+    /** Occurrences swallowed since the last flushSummary(). */
+    std::uint64_t suppressed() const { return suppressed_; }
+
+    /**
+     * Emit "<label>: suppressed K similar warning(s)" when any were
+     * swallowed, then reset the suppressed counter (occurrences keep
+     * accumulating). Quiet when nothing was suppressed.
+     */
+    void flushSummary();
+
+  private:
+    std::string label_;
+    std::uint64_t firstN_;
+    std::uint64_t occurrences_ = 0;
+    std::uint64_t suppressed_ = 0;
+};
 
 } // namespace accel

@@ -1,0 +1,184 @@
+/** @file Tests for the deterministic fault-schedule description. */
+
+#include "faults/fault_plan.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel::faults {
+namespace {
+
+TEST(FaultPlan, NullPlanIsInactive)
+{
+    FaultPlan plan;
+    EXPECT_FALSE(plan.active());
+    EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlan, EachFaultFieldActivatesThePlan)
+{
+    FaultPlan p;
+    p.dropProbability = 0.1;
+    EXPECT_TRUE(p.active());
+    p = FaultPlan{};
+    p.lateProbability = 0.1;
+    p.lateDelayCycles = 10;
+    EXPECT_TRUE(p.active());
+    p = FaultPlan{};
+    p.transferSpikeProbability = 0.1;
+    EXPECT_TRUE(p.active());
+    p = FaultPlan{};
+    p.stallWindows = {{10, 20}};
+    EXPECT_TRUE(p.active());
+    p = FaultPlan{};
+    p.deviceFailAtTick = 100;
+    EXPECT_TRUE(p.active());
+}
+
+TEST(FaultPlan, ValidationNamesTheField)
+{
+    FaultPlan p;
+    p.dropProbability = 1.5;
+    try {
+        p.validate();
+        FAIL() << "out-of-domain probability accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("dropProbability"),
+                  std::string::npos);
+    }
+}
+
+TEST(FaultPlan, ValidationRejectsOutOfDomainValues)
+{
+    FaultPlan p;
+    p.lateProbability = -0.1;
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = FaultPlan{};
+    p.lateProbability = 0.5; // no lateDelayCycles
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = FaultPlan{};
+    p.transferSpikeFactor = 0.5; // spikes must not speed transfers up
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = FaultPlan{};
+    p.stallWindows = {{20, 10}}; // begin >= end
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = FaultPlan{};
+    p.stallWindows = {{10, 30}, {20, 40}}; // overlapping
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = FaultPlan{};
+    p.deviceRecoverAtTick = 100; // recovery without failure
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = FaultPlan{};
+    p.deviceFailAtTick = 200;
+    p.deviceRecoverAtTick = 100; // recovery before failure
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(FaultPlan, DrawIsAPureFunctionOfSeedAndIndex)
+{
+    FaultPlan p;
+    p.seed = 42;
+    p.dropProbability = 0.3;
+    p.lateProbability = 0.3;
+    p.lateDelayCycles = 500;
+    p.transferSpikeProbability = 0.2;
+    p.transferSpikeFactor = 4.0;
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        FaultDraw a = p.draw(i);
+        FaultDraw b = p.draw(i); // replay, any call order
+        EXPECT_EQ(a.dropResponse, b.dropResponse);
+        EXPECT_DOUBLE_EQ(a.lateResponseCycles, b.lateResponseCycles);
+        EXPECT_DOUBLE_EQ(a.transferFactor, b.transferFactor);
+    }
+}
+
+TEST(FaultPlan, DifferentSeedsDecorrelate)
+{
+    FaultPlan a, b;
+    a.seed = 1;
+    b.seed = 2;
+    a.dropProbability = b.dropProbability = 0.5;
+    int differing = 0;
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        if (a.draw(i).dropResponse != b.draw(i).dropResponse)
+            ++differing;
+    }
+    EXPECT_GT(differing, 64); // ~half should disagree
+}
+
+TEST(FaultPlan, DrawRatesMatchProbabilities)
+{
+    FaultPlan p;
+    p.seed = 7;
+    p.dropProbability = 0.25;
+    p.lateProbability = 0.25;
+    p.lateDelayCycles = 100;
+    int drops = 0, lates = 0;
+    const int kDraws = 20000;
+    for (std::uint64_t i = 0; i < kDraws; ++i) {
+        FaultDraw d = p.draw(i);
+        drops += d.dropResponse;
+        lates += d.lateResponseCycles > 0;
+    }
+    EXPECT_NEAR(drops / double(kDraws), 0.25, 0.02);
+    // Late draws only happen on non-dropped offloads: 0.75 * 0.25.
+    EXPECT_NEAR(lates / double(kDraws), 0.1875, 0.02);
+}
+
+TEST(FaultPlan, DroppedCompletionIsNeverAlsoLate)
+{
+    FaultPlan p;
+    p.seed = 3;
+    p.dropProbability = 0.5;
+    p.lateProbability = 1.0;
+    p.lateDelayCycles = 100;
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        FaultDraw d = p.draw(i);
+        if (d.dropResponse)
+            EXPECT_DOUBLE_EQ(d.lateResponseCycles, 0.0);
+        else
+            EXPECT_DOUBLE_EQ(d.lateResponseCycles, 100.0);
+    }
+}
+
+TEST(FaultPlan, StallWindowLookup)
+{
+    FaultPlan p;
+    p.stallWindows = {{10, 20}, {50, 60}};
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_FALSE(p.stalledAt(9));
+    EXPECT_TRUE(p.stalledAt(10));
+    EXPECT_TRUE(p.stalledAt(19));
+    EXPECT_FALSE(p.stalledAt(20)); // half-open
+    EXPECT_TRUE(p.stalledAt(55));
+    EXPECT_FALSE(p.stalledAt(60));
+    EXPECT_EQ(p.stallEnd(15), 20u);
+    EXPECT_EQ(p.stallEnd(55), 60u);
+    EXPECT_EQ(p.stallEnd(30), 30u); // not stalled: identity
+}
+
+TEST(FaultPlan, DeviceFailureWindow)
+{
+    FaultPlan p;
+    p.deviceFailAtTick = 100;
+    p.deviceRecoverAtTick = 200;
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_FALSE(p.failedAt(99));
+    EXPECT_TRUE(p.failedAt(100));
+    EXPECT_TRUE(p.failedAt(199));
+    EXPECT_FALSE(p.failedAt(200));
+
+    p.deviceRecoverAtTick = kNeverTick; // permanent failure
+    EXPECT_TRUE(p.failedAt(100));
+    EXPECT_TRUE(p.failedAt(1u << 30));
+}
+
+} // namespace
+} // namespace accel::faults

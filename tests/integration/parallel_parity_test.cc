@@ -9,6 +9,7 @@
  * not merely close — for worker counts {1, 2, 8}.
  */
 
+#include <memory>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -16,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "faults/fault_plan.hh"
 #include "microsim/ab_test.hh"
 #include "model/fleet.hh"
 #include "model/sensitivity.hh"
@@ -160,6 +162,39 @@ TEST(ParallelParity, AbResultBitIdentical)
             r.treatment.meanLatencyCycles(),
             r.treatment.latencySample.p99(), r.measuredSpeedup());
     });
+}
+
+TEST(ParallelParity, ResilienceAbBitIdentical)
+{
+    // Fault draws are slot-indexed by offload number, so the resilient
+    // arm's retries, fallbacks, and breaker trips must replay
+    // bit-identically at any worker count.
+    LogLevel prev = setLogLevel(LogLevel::Silent);
+    expectParity([] {
+        microsim::AbExperiment e = abExperiment();
+        auto plan = std::make_shared<faults::FaultPlan>();
+        plan->seed = 77;
+        plan->dropProbability = 0.3;
+        e.accelerator.faultPlan = std::move(plan);
+        e.service.retry.timeoutCycles = 2000;
+        e.service.retry.maxAttempts = 2;
+        e.service.retry.backoffBaseCycles = 500;
+        e.service.retry.backoffCapCycles = 2000;
+        e.service.breaker.enabled = true;
+        e.service.breaker.window = 16;
+        e.service.breaker.minSamples = 8;
+        e.service.breaker.openThreshold = 0.9;
+        e.service.breaker.probeAfterCycles = 50000;
+        microsim::ResilienceAbResult r =
+            microsim::runResilienceAbTest(e);
+        return std::make_tuple(
+            r.hostOnly.qps(), r.hostOnly.goodputQps(),
+            r.resilient.qps(), r.resilient.goodputQps(),
+            r.resilient.offloadTimeouts, r.resilient.offloadRetries,
+            r.resilient.hostFallbacks, r.resilient.breakerOpens,
+            r.resilient.requestsDegraded, r.goodputRatio());
+    });
+    setLogLevel(prev);
 }
 
 TEST(ParallelParity, WorkerExceptionPropagatesFromSweep)

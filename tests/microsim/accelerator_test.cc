@@ -2,6 +2,9 @@
 
 #include "microsim/accelerator.hh"
 
+#include <limits>
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "util/logging.hh"
@@ -128,6 +131,201 @@ TEST(Accelerator, RejectsNegativeWork)
     Accelerator dev(eq, AcceleratorConfig{});
     EXPECT_THROW(dev.offload(-1, 0, [] {}), FatalError);
     EXPECT_THROW(dev.offload(1, -1, [] {}), FatalError);
+}
+
+TEST(Accelerator, ValidationNamesTheOffendingField)
+{
+    AcceleratorConfig bad;
+    bad.channels = 0;
+    try {
+        bad.validate();
+        FAIL() << "channels = 0 accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("channels"),
+                  std::string::npos);
+    }
+}
+
+TEST(Accelerator, ValidationRejectsNonFiniteValues)
+{
+    AcceleratorConfig bad;
+    bad.speedupFactor = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = AcceleratorConfig{};
+    bad.latencyCyclesPerByte =
+        std::numeric_limits<double>::infinity();
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = AcceleratorConfig{};
+    bad.latencyCyclesPerByte = -0.5;
+    EXPECT_THROW(bad.validate(), FatalError);
+}
+
+TEST(Accelerator, ValidationCoversTheFaultPlan)
+{
+    AcceleratorConfig cfg;
+    auto plan = std::make_shared<faults::FaultPlan>();
+    plan->dropProbability = 2.0;
+    cfg.faultPlan = plan;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Accelerator, DroppedResponseServesButNeverCallsBack)
+{
+    sim::EventQueue eq;
+    AcceleratorConfig cfg;
+    auto plan = std::make_shared<faults::FaultPlan>();
+    plan->dropProbability = 1.0;
+    cfg.faultPlan = plan;
+    Accelerator dev(eq, cfg);
+    int fired = 0;
+    dev.offload(100, 0, [&] { ++fired; });
+    eq.runAll();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(dev.stats().served, 1u);
+    EXPECT_EQ(dev.stats().droppedResponses, 1u);
+}
+
+TEST(Accelerator, LateResponseDelaysTheCallback)
+{
+    sim::EventQueue eq;
+    AcceleratorConfig cfg;
+    auto plan = std::make_shared<faults::FaultPlan>();
+    plan->lateProbability = 1.0;
+    plan->lateDelayCycles = 700;
+    cfg.faultPlan = plan;
+    Accelerator dev(eq, cfg);
+    sim::Tick done = 0;
+    dev.offload(100, 0, [&] { done = eq.now(); });
+    eq.runAll();
+    EXPECT_EQ(done, 100u + 700u);
+    EXPECT_EQ(dev.stats().lateResponses, 1u);
+}
+
+TEST(Accelerator, TransferSpikeMultipliesDeviceSideTransferOnly)
+{
+    AcceleratorConfig cfg;
+    cfg.fixedLatencyCycles = 100;
+    auto plan = std::make_shared<faults::FaultPlan>();
+    plan->transferSpikeProbability = 1.0;
+    plan->transferSpikeFactor = 5.0;
+    cfg.faultPlan = plan;
+
+    sim::EventQueue eq;
+    Accelerator dev(eq, cfg);
+    sim::Tick done = 0;
+    dev.offload(100, 0, [&] { done = eq.now(); });
+    eq.runAll();
+    EXPECT_EQ(done, 500u + 100u); // spiked transfer + service
+    EXPECT_EQ(dev.stats().spikedTransfers, 1u);
+
+    // Host-paid transfers were charged at nominal cost on the core
+    // already; the spike must not double-bill them.
+    sim::EventQueue eq2;
+    Accelerator dev2(eq2, cfg);
+    sim::Tick done2 = 0;
+    dev2.offload(100, 0, [&] { done2 = eq2.now(); },
+                 /*transferPaidByHost=*/true);
+    eq2.runAll();
+    EXPECT_EQ(done2, 100u);
+    EXPECT_EQ(dev2.stats().spikedTransfers, 0u);
+}
+
+TEST(Accelerator, StallWindowDefersServiceToWindowEnd)
+{
+    AcceleratorConfig cfg;
+    auto plan = std::make_shared<faults::FaultPlan>();
+    plan->stallWindows = {{0, 1000}};
+    cfg.faultPlan = plan;
+    sim::EventQueue eq;
+    Accelerator dev(eq, cfg);
+    sim::Tick done = 0;
+    dev.offload(100, 0, [&] { done = eq.now(); });
+    eq.runAll();
+    EXPECT_EQ(done, 1000u + 100u);
+    EXPECT_GE(dev.stats().stallDeferrals, 1u);
+    EXPECT_GT(dev.stats().queueWaitCycles.mean(), 0.0);
+}
+
+TEST(Accelerator, DeviceFailureDiscardsArrivalsUntilRecovery)
+{
+    AcceleratorConfig cfg;
+    auto plan = std::make_shared<faults::FaultPlan>();
+    plan->deviceFailAtTick = 0;
+    plan->deviceRecoverAtTick = 5000;
+    cfg.faultPlan = plan;
+    sim::EventQueue eq;
+    Accelerator dev(eq, cfg);
+    int fired = 0;
+    dev.offload(100, 0, [&] { ++fired; }); // arrives dead -> lost
+    eq.runAll();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(dev.stats().lostToDeviceFailure, 1u);
+
+    eq.runUntil(6000); // past recovery
+    sim::Tick done = 0;
+    dev.offload(100, 0, [&] { done = eq.now(); });
+    eq.runAll();
+    EXPECT_EQ(done, 6000u + 100u);
+    EXPECT_EQ(dev.stats().served, 1u);
+}
+
+TEST(Accelerator, FailureMidServiceLosesInFlightCompletions)
+{
+    AcceleratorConfig cfg;
+    auto plan = std::make_shared<faults::FaultPlan>();
+    plan->deviceFailAtTick = 50; // strikes while serving
+    cfg.faultPlan = plan;
+    sim::EventQueue eq;
+    Accelerator dev(eq, cfg);
+    int fired = 0;
+    dev.offload(100, 0, [&] { ++fired; }); // service 0..100
+    eq.runAll();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(dev.stats().lostToDeviceFailure, 1u);
+    EXPECT_EQ(dev.stats().served, 0u);
+}
+
+TEST(Accelerator, InertPlanIsDroppedAtConstruction)
+{
+    // A default-constructed plan is the null plan: behaviour and stats
+    // must match a device built without one, event for event.
+    auto run = [](std::shared_ptr<const faults::FaultPlan> plan) {
+        sim::EventQueue eq;
+        AcceleratorConfig cfg;
+        cfg.speedupFactor = 2;
+        cfg.fixedLatencyCycles = 30;
+        cfg.faultPlan = std::move(plan);
+        Accelerator dev(eq, cfg);
+        std::vector<sim::Tick> done;
+        for (int i = 0; i < 4; ++i)
+            dev.offload(100, 10, [&] { done.push_back(eq.now()); });
+        eq.runAll();
+        return std::make_pair(done, eq.processed());
+    };
+    EXPECT_EQ(run(nullptr),
+              run(std::make_shared<faults::FaultPlan>()));
+}
+
+TEST(Accelerator, FaultReplayIsDeterministic)
+{
+    auto run = [] {
+        sim::EventQueue eq;
+        AcceleratorConfig cfg;
+        auto plan = std::make_shared<faults::FaultPlan>();
+        plan->seed = 12;
+        plan->dropProbability = 0.4;
+        plan->lateProbability = 0.3;
+        plan->lateDelayCycles = 250;
+        cfg.faultPlan = plan;
+        Accelerator dev(eq, cfg);
+        std::vector<sim::Tick> done;
+        for (int i = 0; i < 200; ++i)
+            dev.offload(50, 0, [&] { done.push_back(eq.now()); });
+        eq.runAll();
+        return std::make_tuple(done, dev.stats().droppedResponses,
+                               dev.stats().lateResponses);
+    };
+    EXPECT_EQ(run(), run());
 }
 
 } // namespace

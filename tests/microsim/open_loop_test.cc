@@ -144,6 +144,53 @@ TEST(OpenLoop, DeterministicArrivals)
     EXPECT_EQ(run(), run());
 }
 
+TEST(OpenLoop, SheddingBoundsQueueUnderSaturation)
+{
+    // Offer 2x capacity with a bounded admission queue: the backlog
+    // must stay capped, the overflow must be counted as shed, and
+    // completions still run at capacity.
+    ServiceConfig cfg = config(400000);
+    cfg.maxArrivalQueue = 16;
+    ServiceSim sim(cfg, AcceleratorConfig{}, workload(), 9);
+    ServiceMetrics m = sim.run(0.1, 0.02);
+    EXPECT_GT(m.requestsShed, 0u);
+    EXPECT_LE(m.maxArrivalQueueDepth, 16u);
+    EXPECT_NEAR(m.qps(), 200000, 8000);
+    // Everything that was not shed either completed or sits in the
+    // bounded backlog; the warmup boundary can shift the balance by at
+    // most one queue's worth in either direction.
+    EXPECT_NEAR(static_cast<double>(m.requestsArrived),
+                static_cast<double>(m.requestsCompleted +
+                                    m.requestsShed),
+                16.0);
+    // Shed arrivals are not failures; goodput tracks completions.
+    EXPECT_DOUBLE_EQ(m.goodputQps(), m.qps());
+}
+
+TEST(OpenLoop, NoSheddingBelowSaturation)
+{
+    ServiceConfig cfg = config(50000);
+    cfg.maxArrivalQueue = 64;
+    ServiceSim sim(cfg, AcceleratorConfig{}, workload(), 9);
+    ServiceMetrics m = sim.run(0.2, 0.05);
+    EXPECT_EQ(m.requestsShed, 0u);
+    EXPECT_NEAR(m.qps(), 50000, 2500);
+}
+
+TEST(OpenLoop, SheddingIsDeterministic)
+{
+    auto run = [] {
+        ServiceConfig cfg = config(400000);
+        cfg.maxArrivalQueue = 8;
+        ServiceSim sim(cfg, AcceleratorConfig{}, workload(), 17);
+        ServiceMetrics m = sim.run(0.05, 0.01);
+        return std::make_tuple(m.requestsArrived, m.requestsShed,
+                               m.requestsCompleted,
+                               m.maxArrivalQueueDepth);
+    };
+    EXPECT_EQ(run(), run());
+}
+
 TEST(OpenLoop, RejectsNegativeRate)
 {
     ServiceConfig cfg = config(0);

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "util/logging.hh"
 
 namespace accel::microsim {
@@ -62,6 +65,57 @@ TEST(ServiceConfig, ValidationRules)
     cfg = baseConfig(ThreadingDesign::Sync);
     cfg.maxOutstanding = 0;
     EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(ServiceConfig, ValidationRejectsDegenerateValues)
+{
+    ServiceConfig cfg = baseConfig(ThreadingDesign::Sync);
+    cfg.cores = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = baseConfig(ThreadingDesign::Sync);
+    cfg.offloadSetupCycles = -5;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = baseConfig(ThreadingDesign::Sync);
+    cfg.contextSwitchCycles =
+        std::numeric_limits<double>::infinity();
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = baseConfig(ThreadingDesign::Sync);
+    cfg.minOffloadBytes = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = baseConfig(ThreadingDesign::Sync);
+    cfg.responsePickupCycles = -1;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = baseConfig(ThreadingDesign::Sync);
+    cfg.clockGHz = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(ServiceConfig, ValidationMessagesNameTheField)
+{
+    ServiceConfig cfg = baseConfig(ThreadingDesign::Sync);
+    cfg.maxOutstanding = 0;
+    try {
+        cfg.validate();
+        FAIL() << "maxOutstanding = 0 accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("maxOutstanding"),
+                  std::string::npos);
+    }
+
+    cfg = baseConfig(ThreadingDesign::Sync);
+    cfg.minOffloadBytes = -1;
+    try {
+        cfg.validate();
+        FAIL() << "negative minOffloadBytes accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("minOffloadBytes"),
+                  std::string::npos);
+    }
 }
 
 TEST(ServiceSim, BaselineThroughputMatchesArithmetic)

@@ -136,6 +136,79 @@ TEST(ConfigFrontend, PlannerModeBytesWeighting)
     EXPECT_GT(p.offloadedFraction, 0.99);
 }
 
+TEST(ConfigFrontend, FaultPlanAbsentWithoutFaultKeys)
+{
+    Config cfg = Config::fromString(kAesConfig);
+    EXPECT_EQ(faultPlanFromConfig(cfg, "aes-ni"), nullptr);
+}
+
+TEST(ConfigFrontend, FaultPlanParsesAllKeys)
+{
+    Config cfg = Config::fromString(
+        "[x]\n"
+        "fault_seed = 42\n"
+        "fault_drop_p = 0.05\n"
+        "fault_late_p = 0.1\n"
+        "fault_late_cycles = 2500\n"
+        "fault_spike_p = 0.2\n"
+        "fault_spike_factor = 8\n"
+        "fault_stalls = 1e6:2e6, 5e6:6e6\n"
+        "fault_fail_at = 3e6\n"
+        "fault_recover_at = 4e6\n");
+    auto plan = faultPlanFromConfig(cfg, "x");
+    ASSERT_NE(plan, nullptr);
+    EXPECT_TRUE(plan->active());
+    EXPECT_EQ(plan->seed, 42u);
+    EXPECT_DOUBLE_EQ(plan->dropProbability, 0.05);
+    EXPECT_DOUBLE_EQ(plan->lateProbability, 0.1);
+    EXPECT_DOUBLE_EQ(plan->lateDelayCycles, 2500);
+    EXPECT_DOUBLE_EQ(plan->transferSpikeProbability, 0.2);
+    EXPECT_DOUBLE_EQ(plan->transferSpikeFactor, 8);
+    ASSERT_EQ(plan->stallWindows.size(), 2u);
+    EXPECT_EQ(plan->stallWindows[0].begin, 1000000);
+    EXPECT_EQ(plan->stallWindows[0].end, 2000000);
+    EXPECT_EQ(plan->stallWindows[1].begin, 5000000);
+    EXPECT_EQ(plan->stallWindows[1].end, 6000000);
+    EXPECT_EQ(plan->deviceFailAtTick, 3000000);
+    EXPECT_EQ(plan->deviceRecoverAtTick, 4000000);
+}
+
+TEST(ConfigFrontend, FaultPlanSingleKeyActivates)
+{
+    Config cfg = Config::fromString("[x]\nfault_drop_p = 0.5\n");
+    auto plan = faultPlanFromConfig(cfg, "x");
+    ASSERT_NE(plan, nullptr);
+    EXPECT_TRUE(plan->active());
+    EXPECT_DOUBLE_EQ(plan->dropProbability, 0.5);
+    EXPECT_TRUE(plan->stallWindows.empty());
+}
+
+TEST(ConfigFrontend, FaultPlanRejectsMalformedStalls)
+{
+    Config bad1 = Config::fromString("[x]\nfault_stalls = 1e6\n");
+    EXPECT_THROW(faultPlanFromConfig(bad1, "x"), FatalError);
+    Config bad2 =
+        Config::fromString("[x]\nfault_stalls = 1:2:3\n");
+    EXPECT_THROW(faultPlanFromConfig(bad2, "x"), FatalError);
+    Config bad3 = Config::fromString("[x]\nfault_stalls = ,\n");
+    EXPECT_THROW(faultPlanFromConfig(bad3, "x"), FatalError);
+}
+
+TEST(ConfigFrontend, FaultPlanValidationPropagates)
+{
+    // Out-of-domain probability is rejected by FaultPlan::validate.
+    Config bad = Config::fromString("[x]\nfault_drop_p = 1.5\n");
+    EXPECT_THROW(faultPlanFromConfig(bad, "x"), FatalError);
+    // Late delay without late probability is degenerate the other way:
+    // lateProbability > 0 requires a positive delay.
+    Config bad2 = Config::fromString("[x]\nfault_late_p = 0.1\n");
+    EXPECT_THROW(faultPlanFromConfig(bad2, "x"), FatalError);
+    // Recovery before failure is inconsistent.
+    Config bad3 = Config::fromString(
+        "[x]\nfault_fail_at = 5e6\nfault_recover_at = 1e6\n");
+    EXPECT_THROW(faultPlanFromConfig(bad3, "x"), FatalError);
+}
+
 TEST(ConfigFrontend, PlannerModeRejectsAmbiguity)
 {
     Config cfg = Config::fromString(

@@ -182,6 +182,139 @@ TEST(EventQueue, ReserveDoesNotDisturbOrdering)
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
+TEST(EventQueue, TimerFiresLikeAnEvent)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    TimerId id = eq.scheduleTimerIn(25, [&] { seen = eq.now(); });
+    EXPECT_NE(id, kInvalidTimer);
+    EXPECT_EQ(eq.activeTimers(), 1u);
+    eq.runAll();
+    EXPECT_EQ(seen, 25u);
+    EXPECT_EQ(eq.activeTimers(), 0u);
+}
+
+TEST(EventQueue, CancelledTimerNeverRuns)
+{
+    EventQueue eq;
+    int fired = 0;
+    TimerId id = eq.scheduleTimer(10, [&] { ++fired; });
+    EXPECT_TRUE(eq.cancelTimer(id));
+    eq.schedule(20, [&] { fired += 100; });
+    eq.runAll();
+    EXPECT_EQ(fired, 100);
+    EXPECT_EQ(eq.activeTimers(), 0u);
+}
+
+TEST(EventQueue, CancelledTimerDoesNotAdvanceClockOrCount)
+{
+    EventQueue eq;
+    TimerId id = eq.scheduleTimer(10, [] {});
+    eq.cancelTimer(id);
+    eq.schedule(30, [] {});
+    eq.runAll();
+    // The cancelled slot drains silently: it neither executes nor
+    // becomes the clock's resting point.
+    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.processed(), 1u);
+}
+
+TEST(EventQueue, CancelReturnsFalseWhenNotLive)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.cancelTimer(kInvalidTimer));
+    EXPECT_FALSE(eq.cancelTimer(12345)); // never issued
+
+    TimerId id = eq.scheduleTimer(5, [] {});
+    EXPECT_TRUE(eq.cancelTimer(id));
+    EXPECT_FALSE(eq.cancelTimer(id)); // already cancelled
+
+    TimerId fired = eq.scheduleTimer(6, [] {});
+    eq.runAll();
+    EXPECT_FALSE(eq.cancelTimer(fired)); // already fired
+}
+
+TEST(EventQueue, PlainEventsAreNotCancellable)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    // A plain event's (private) sequence would be 1; cancelling that id
+    // must not touch it.
+    EXPECT_FALSE(eq.cancelTimer(1));
+    eq.runAll();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, TimerAndEventTieBreaksBySchedulingOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleTimer(10, [&] { order.push_back(1); });
+    eq.schedule(10, [&] { order.push_back(2); });
+    eq.scheduleTimer(10, [&] { order.push_back(3); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, CancelFromInsideAnEarlierEvent)
+{
+    // The deadline-vs-completion race: whichever same-tick rival runs
+    // first cancels the other, deterministically by sequence.
+    EventQueue eq;
+    int fired = 0;
+    TimerId timer = eq.scheduleTimer(10, [&] { fired += 1; });
+    eq.schedule(10, [&] {
+        fired += 10;
+        EXPECT_FALSE(eq.cancelTimer(timer)); // timer already fired
+    });
+    eq.runAll();
+    EXPECT_EQ(fired, 11);
+
+    EventQueue eq2;
+    int fired2 = 0;
+    TimerId t2 = kInvalidTimer;
+    eq2.schedule(10, [&] {
+        fired2 += 10;
+        EXPECT_TRUE(eq2.cancelTimer(t2)); // event won: timer dies
+    });
+    t2 = eq2.scheduleTimer(10, [&] { fired2 += 1; });
+    eq2.runAll();
+    EXPECT_EQ(fired2, 10);
+}
+
+TEST(EventQueue, RunUntilDrainsCancelledSlotsWithinLimitOnly)
+{
+    EventQueue eq;
+    int fired = 0;
+    TimerId id = eq.scheduleTimer(10, [&] { ++fired; });
+    eq.cancelTimer(id);
+    eq.schedule(30, [&] { ++fired; });
+    eq.runUntil(20);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.pending(), 1u); // the tick-30 event survived
+    eq.runAll();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancellationStateStaysBounded)
+{
+    // Both bookkeeping sets must drain as the heap does — scheduling
+    // and cancelling many timers leaves no residue.
+    EventQueue eq;
+    for (int round = 0; round < 100; ++round) {
+        std::vector<TimerId> ids;
+        for (int i = 0; i < 10; ++i)
+            ids.push_back(eq.scheduleTimerIn(5 + i, [] {}));
+        for (size_t i = 0; i < ids.size(); i += 2)
+            eq.cancelTimer(ids[i]);
+        eq.runAll();
+        EXPECT_EQ(eq.activeTimers(), 0u);
+        EXPECT_EQ(eq.pending(), 0u);
+    }
+}
+
 TEST(EventQueue, ManyEventsStressOrdering)
 {
     EventQueue eq;

@@ -83,5 +83,53 @@ TEST(Logging, InformAndWarnDoNotThrowWhenSilenced)
     setLogLevel(prev);
 }
 
+TEST(Logging, RateLimitedWarnerPrintsFirstNThenSuppresses)
+{
+    RateLimitedWarner w("flaky device", /*firstN=*/2);
+    testing::internal::CaptureStderr();
+    for (int i = 0; i < 5; ++i)
+        w.warn("event " + std::to_string(i));
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("flaky device: event 0"), std::string::npos);
+    EXPECT_NE(err.find("flaky device: event 1"), std::string::npos);
+    EXPECT_EQ(err.find("event 2"), std::string::npos);
+    EXPECT_NE(err.find("further warnings suppressed"),
+              std::string::npos);
+    EXPECT_EQ(w.occurrences(), 5u);
+    EXPECT_EQ(w.suppressed(), 3u);
+}
+
+TEST(Logging, RateLimitedWarnerFlushReportsAndResetsSuppressed)
+{
+    RateLimitedWarner w("retry", /*firstN=*/1);
+    testing::internal::CaptureStderr();
+    for (int i = 0; i < 4; ++i)
+        w.warn("x");
+    w.flushSummary();
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("retry: suppressed 3 similar warning(s)"),
+              std::string::npos);
+    EXPECT_EQ(w.suppressed(), 0u); // flushed
+    EXPECT_EQ(w.occurrences(), 4u);
+
+    // A flush with nothing suppressed prints nothing.
+    testing::internal::CaptureStderr();
+    w.flushSummary();
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(Logging, RateLimitedWarnerCountsEvenWhenSilenced)
+{
+    // Determinism requirement: suppression is count-based, so the
+    // counters must not depend on whether stderr output is enabled.
+    LogLevel prev = setLogLevel(LogLevel::Silent);
+    RateLimitedWarner w("quiet", 3);
+    for (int i = 0; i < 10; ++i)
+        w.warn("x");
+    EXPECT_EQ(w.occurrences(), 10u);
+    EXPECT_EQ(w.suppressed(), 7u);
+    setLogLevel(prev);
+}
+
 } // namespace
 } // namespace accel

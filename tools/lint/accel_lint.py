@@ -68,6 +68,7 @@ import tempfile
 # sanctioned owners of those effects.
 DETERMINISM_SCOPE = (
     "src/sim",
+    "src/faults",
     "src/microsim",
     "src/model",
     "src/stats",
