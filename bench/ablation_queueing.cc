@@ -15,6 +15,96 @@
 using namespace accel;
 using model::ThreadingDesign;
 
+namespace {
+
+/**
+ * Second ablation: N tier replicas instead of one shared device. The
+ * simulator round-robins offloads over k single-channel replicas (k
+ * separate FIFO queues); the analytical stand-ins are M/M/k (one
+ * shared queue, k servers) and k independent M/M/1 queues each fed
+ * lambda/k. M/M/k is always the smaller of the two — a shared queue
+ * never leaves a server idle while work waits, while round-robin can —
+ * so the pair gives an error band for the open-loop approximations.
+ */
+void
+replicaAdjudication()
+{
+    bench::banner("Ablation: multi-replica Q — M/M/k vs per-replica "
+                  "M/M/1 vs simulator");
+
+    const double kKernelCycles = 2000;
+    const double kClockHz = 1e9;
+    const double kServiceCycles = kKernelCycles / 2.0; // A = 2
+
+    TextTable table({"replicas", "offloads/s", "util/replica", "Q sim",
+                     "Q M/M/k", "Q kxM/M/1", "mmk err", "mm1 err"});
+    for (size_t c = 1; c <= 7; ++c)
+        table.setAlign(c, Align::Right);
+
+    for (std::uint32_t k : {1u, 2u, 3u, 4u}) {
+        microsim::AbExperiment e;
+        e.service.cores = 6;
+        e.service.threads = 6;
+        e.service.design = ThreadingDesign::Sync;
+        e.service.clockGHz = kClockHz / 1e9;
+        e.accelerator.speedupFactor = 2;
+        e.accelerator.channels = 1;
+        e.tier.replicas = k;
+        e.tier.policy = microsim::DispatchPolicy::RoundRobin;
+        e.workload.nonKernelCyclesMean = 2000;
+        e.workload.nonKernelCv = 0.4;
+        e.workload.kernelsPerRequest = 1;
+        e.workload.granularity = std::make_shared<const BucketDist>(
+            std::vector<DistBucket>{{900, 1100, 1.0}});
+        e.workload.cyclesPerByte = 2.0;
+        e.measureSeconds = 0.05;
+        e.warmupSeconds = 0.01;
+        microsim::AbResult r = microsim::runAbTest(e);
+
+        double offered = r.treatment.offloadsIssued /
+            r.treatment.measuredSeconds;
+        double q_sim = r.treatment.accelerator.queueWaitCycles.mean();
+        double rho = model::utilization(kServiceCycles, offered,
+                                        kClockHz) / k;
+
+        std::string q_mmk = "saturated";
+        std::string q_mm1 = "saturated";
+        std::string mmk_err = "-";
+        std::string mm1_err = "-";
+        if (rho < 0.98) {
+            double mmk = model::mmkWaitCycles(kServiceCycles, offered,
+                                              kClockHz, k);
+            double mm1 = model::mm1WaitCycles(kServiceCycles,
+                                              offered / k, kClockHz);
+            q_mmk = fmtF(mmk, 0);
+            q_mm1 = fmtF(mm1, 0);
+            mmk_err = fmtF(mmk - q_sim, 0);
+            mm1_err = fmtF(mm1 - q_sim, 0);
+        }
+        table.addRow({fmtF(k, 0), fmtF(offered, 0), fmtF(rho, 2),
+                      fmtF(q_sim, 0), q_mmk, q_mm1, mmk_err, mm1_err});
+    }
+    std::cout << table.str();
+    std::cout << "\nReadings: adding replicas drains the contention "
+                 "that saturated the single device — per-replica "
+                 "utilization falls and the measured wait collapses. "
+                 "Both open-loop stand-ins over-estimate that wait "
+                 "here, and by a wide margin near saturation: the "
+                 "closed loop caps the queue at the client population "
+                 "(6 threads), arrivals are smoother than Poisson, and "
+                 "service is near-deterministic, all of which M/M/* "
+                 "assumptions give away. The shared-queue M/M/k is "
+                 "consistently the tighter of the two (k separate "
+                 "round-robin queues waste idle servers, so k x M/M/1 "
+                 "sits ~2x higher at moderate load); treat [M/M/k, "
+                 "k x M/M/1] as the model's error band, use M/M/k for "
+                 "tier capacity planning, and prefer the measured "
+                 "sum-of-Qi form when projecting speedup for a "
+                 "deployed tier.\n";
+}
+
+} // namespace
+
 int
 main()
 {
@@ -83,5 +173,7 @@ main()
                  "near-deterministic service violate its assumptions): "
                  "prefer a measured queuing distribution, per the "
                  "paper's sum-of-Qi form, when one is available.\n";
+
+    replicaAdjudication();
     return 0;
 }

@@ -38,8 +38,8 @@ runAbTest(const AbExperiment &experiment)
         // pool shape is kept identical; only the acceleration flag
         // differs.
         cfg.accelerated = (arm == 1);
-        ServiceSim sim(cfg, experiment.accelerator, experiment.workload,
-                       experiment.seed);
+        ServiceSim sim(cfg, experiment.accelerator, experiment.tier,
+                       experiment.workload, experiment.seed);
         ServiceMetrics metrics = sim.run(experiment.measureSeconds,
                                          experiment.warmupSeconds);
         (arm == 0 ? result.baseline : result.treatment) =
@@ -63,17 +63,21 @@ runResilienceAbTest(const AbExperiment &experiment)
     parallelFor(2, [&](size_t arm) {
         ServiceConfig svc = experiment.service;
         AcceleratorConfig acc = experiment.accelerator;
+        TierConfig tier = experiment.tier;
         if (arm == 0) {
             // Control: the all-host endpoint. Faults only affect the
             // device, and the resilience policy is moot without
             // offloads — strip both so validation can't trip on a
-            // breaker-without-retry combination.
+            // breaker-without-retry combination. The tier (and its
+            // per-replica plans) goes with them: no offloads, no tier.
             svc.accelerated = false;
             svc.retry = RetryPolicy();
             svc.breaker = BreakerConfig();
             acc.faultPlan.reset();
+            tier = TierConfig();
         }
-        ServiceSim sim(svc, acc, experiment.workload, experiment.seed);
+        ServiceSim sim(svc, acc, tier, experiment.workload,
+                       experiment.seed);
         ServiceMetrics metrics = sim.run(experiment.measureSeconds,
                                          experiment.warmupSeconds);
         (arm == 0 ? result.hostOnly : result.resilient) =

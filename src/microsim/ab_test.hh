@@ -37,6 +37,8 @@ struct AbExperiment
 {
     ServiceConfig service;      //!< treatment config (accelerated = true)
     AcceleratorConfig accelerator;
+    /** Replica tier in front of the device; default = single device. */
+    TierConfig tier;
     WorkloadSpec workload;
     std::uint64_t seed = 1;
     double measureSeconds = 1.0;

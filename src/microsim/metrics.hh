@@ -9,6 +9,7 @@
 #include <map>
 
 #include "microsim/accelerator.hh"
+#include "microsim/tier.hh"
 #include "stats/online_stats.hh"
 #include "stats/reservoir.hh"
 
@@ -102,7 +103,19 @@ struct ServiceMetrics
     /** Host cycles consumed re-executing fallen-back kernels. */
     double fallbackHostCycles = 0.0;
 
+    /**
+     * Device statistics. With a replicated tier this is the
+     * cross-replica aggregate (counters sum, distributions merge);
+     * with one replica it is exactly that device's stats.
+     */
     AcceleratorStats accelerator;
+
+    /**
+     * Replicated-tier behaviour: dispatch, hedging, ejection, and
+     * failover counters plus per-replica breakdowns and device stats.
+     * All zero when the run used a trivial (single-device) tier.
+     */
+    TierStats tier;
 
     /** Completed requests per simulated second. */
     double qps() const;

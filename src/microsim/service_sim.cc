@@ -88,12 +88,24 @@ ServiceConfig::validate() const
 ServiceSim::ServiceSim(const ServiceConfig &service,
                        const AcceleratorConfig &accel,
                        const WorkloadSpec &workload, std::uint64_t seed)
+    : ServiceSim(service, accel, TierConfig{}, workload, seed)
+{
+}
+
+ServiceSim::ServiceSim(const ServiceConfig &service,
+                       const AcceleratorConfig &accel,
+                       const TierConfig &tier, const WorkloadSpec &workload,
+                       std::uint64_t seed)
     : cfg_(service),
-      accel_(eq_, accel),
+      accel_(eq_, accel, tier),
       source_(workload, seed),
       arrivalRng_(seed ^ 0xa771a15ULL, 0x6f70656e6c6f6fULL)
 {
     cfg_.validate();
+    require(!(tier.hedge.enabled && cfg_.design == ThreadingDesign::Sync),
+            "ServiceSim: hedged offloads cannot help the Sync design "
+            "(the blocked driver waits on its single offload); use an "
+            "async design or Sync-OS, or disable tier_hedge_delay");
     threads_.resize(cfg_.threads);
     resume_.resize(cfg_.threads);
     freeCores_ = cfg_.cores;
@@ -797,7 +809,8 @@ ServiceSim::run(double measureSeconds, double warmupSeconds)
     eq_.runUntil(endTick_);
     timeoutWarner_.flushSummary();
     fallbackWarner_.flushSummary();
-    metrics_.accelerator = accel_.stats();
+    metrics_.accelerator = accel_.aggregateDeviceStats();
+    metrics_.tier = accel_.snapshot();
     return metrics_;
 }
 

@@ -34,6 +34,7 @@
 #include "microsim/accelerator.hh"
 #include "microsim/metrics.hh"
 #include "microsim/request_gen.hh"
+#include "microsim/tier.hh"
 #include "model/params.hh"
 #include "sim/event_queue.hh"
 #include "util/logging.hh"
@@ -171,6 +172,21 @@ class ServiceSim
                const WorkloadSpec &workload, std::uint64_t seed);
 
     /**
+     * As above but with the accelerator behind a replicated tier.
+     * @p accel describes each replica; @p tier the replica count,
+     * dispatch policy, hedging, and health tracking. The default
+     * TierConfig (one replica, everything off) is the plain
+     * single-device constructor, bit for bit.
+     *
+     * @throws FatalError when hedging is combined with the Sync
+     *         design: a synchronous driver blocks on its one offload,
+     *         so a hedge could never be issued usefully.
+     */
+    ServiceSim(const ServiceConfig &service, const AcceleratorConfig &accel,
+               const TierConfig &tier, const WorkloadSpec &workload,
+               std::uint64_t seed);
+
+    /**
      * Run the closed loop and return metrics for the measurement window.
      *
      * @param measureSeconds  measurement window length
@@ -211,7 +227,7 @@ class ServiceSim
     // --- configuration ---
     ServiceConfig cfg_;
     sim::EventQueue eq_;
-    Accelerator accel_;
+    AcceleratorTier accel_; //!< trivial tier = the old single device
     RequestSource source_;
 
     // --- scheduler state ---

@@ -80,51 +80,59 @@ threadingFromConfig(const Config &cfg, const std::string &section)
 std::shared_ptr<const faults::FaultPlan>
 faultPlanFromConfig(const Config &cfg, const std::string &section)
 {
+    return faultPlanFromConfig(cfg, section, "fault_");
+}
+
+std::shared_ptr<const faults::FaultPlan>
+faultPlanFromConfig(const Config &cfg, const std::string &section,
+                    const std::string &prefix)
+{
     static const char *kKeys[] = {
-        "fault_seed",    "fault_drop_p",       "fault_late_p",
-        "fault_late_cycles", "fault_spike_p",  "fault_spike_factor",
-        "fault_stalls",  "fault_fail_at",      "fault_recover_at",
+        "seed",    "drop_p",       "late_p",
+        "late_cycles", "spike_p",  "spike_factor",
+        "stalls",  "fail_at",      "recover_at",
     };
     bool any = false;
     for (const char *key : kKeys)
-        any = any || cfg.has(section, key);
+        any = any || cfg.has(section, prefix + key);
     if (!any)
         return nullptr;
 
     faults::FaultPlan plan;
     plan.seed = static_cast<std::uint64_t>(
-        cfg.getDouble(section, "fault_seed", 1.0));
-    plan.dropProbability = cfg.getDouble(section, "fault_drop_p", 0.0);
-    plan.lateProbability = cfg.getDouble(section, "fault_late_p", 0.0);
+        cfg.getDouble(section, prefix + "seed", 1.0));
+    plan.dropProbability = cfg.getDouble(section, prefix + "drop_p", 0.0);
+    plan.lateProbability = cfg.getDouble(section, prefix + "late_p", 0.0);
     plan.lateDelayCycles =
-        cfg.getDouble(section, "fault_late_cycles", 0.0);
+        cfg.getDouble(section, prefix + "late_cycles", 0.0);
     plan.transferSpikeProbability =
-        cfg.getDouble(section, "fault_spike_p", 0.0);
+        cfg.getDouble(section, prefix + "spike_p", 0.0);
     plan.transferSpikeFactor =
-        cfg.getDouble(section, "fault_spike_factor", 1.0);
-    if (cfg.has(section, "fault_stalls")) {
+        cfg.getDouble(section, prefix + "spike_factor", 1.0);
+    if (cfg.has(section, prefix + "stalls")) {
         for (const std::string &part :
-             split(cfg.getString(section, "fault_stalls"), ',')) {
+             split(cfg.getString(section, prefix + "stalls"), ',')) {
             std::string window = trim(part);
             if (window.empty())
                 continue;
             auto fields = split(window, ':');
             require(fields.size() == 2,
-                    "fault_stalls: expected begin:end, got '" + window +
-                        "'");
+                    prefix + "stalls: expected begin:end, got '" +
+                        window + "'");
             plan.stallWindows.push_back(
                 {static_cast<sim::Tick>(parseDouble(fields[0])),
                  static_cast<sim::Tick>(parseDouble(fields[1]))});
         }
-        require(!plan.stallWindows.empty(), "fault_stalls: no windows");
+        require(!plan.stallWindows.empty(),
+                prefix + "stalls: no windows");
     }
-    if (cfg.has(section, "fault_fail_at")) {
+    if (cfg.has(section, prefix + "fail_at")) {
         plan.deviceFailAtTick = static_cast<sim::Tick>(
-            cfg.getDouble(section, "fault_fail_at"));
+            cfg.getDouble(section, prefix + "fail_at"));
     }
-    if (cfg.has(section, "fault_recover_at")) {
+    if (cfg.has(section, prefix + "recover_at")) {
         plan.deviceRecoverAtTick = static_cast<sim::Tick>(
-            cfg.getDouble(section, "fault_recover_at"));
+            cfg.getDouble(section, prefix + "recover_at"));
     }
     plan.validate();
     return std::make_shared<const faults::FaultPlan>(std::move(plan));

@@ -96,6 +96,15 @@ ThreadingDesign threadingFromConfig(const Config &cfg,
 std::shared_ptr<const faults::FaultPlan>
 faultPlanFromConfig(const Config &cfg, const std::string &section);
 
+/**
+ * As above but with an arbitrary key prefix in place of `fault_`.
+ * The replicated-tier front end uses `fault_r<k>_` so each replica in
+ * a section carries its own independent plan, e.g. `fault_r2_drop_p`.
+ */
+std::shared_ptr<const faults::FaultPlan>
+faultPlanFromConfig(const Config &cfg, const std::string &section,
+                    const std::string &prefix);
+
 /** Parse every section of a config into cases, preserving order. */
 std::vector<ConfigCase> casesFromConfig(const Config &cfg);
 

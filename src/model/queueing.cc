@@ -30,6 +30,38 @@ md1WaitCycles(double serviceCycles, double offloadsPerSec, double clockHz)
 }
 
 double
+erlangC(unsigned servers, double offeredLoad)
+{
+    require(servers >= 1, "erlangC: servers must be >= 1");
+    require(offeredLoad >= 0, "erlangC: negative offered load");
+    require(offeredLoad < static_cast<double>(servers),
+            "erlangC: offered load >= servers, queue unstable");
+    if (offeredLoad == 0.0)
+        return 0.0;
+    double blocking = 1.0; // Erlang-B via the stable recurrence
+    for (unsigned i = 1; i <= servers; ++i) {
+        blocking = offeredLoad * blocking /
+                   (static_cast<double>(i) + offeredLoad * blocking);
+    }
+    double rho = offeredLoad / static_cast<double>(servers);
+    return blocking / (1.0 - rho * (1.0 - blocking));
+}
+
+double
+mmkWaitCycles(double serviceCycles, double offloadsPerSec, double clockHz,
+              unsigned servers)
+{
+    require(servers >= 1, "mmkWaitCycles: servers must be >= 1");
+    double a = utilization(serviceCycles, offloadsPerSec, clockHz);
+    require(a < static_cast<double>(servers),
+            "mmkWaitCycles: utilization >= servers, queue unstable");
+    if (serviceCycles == 0.0 || a == 0.0)
+        return 0.0;
+    return erlangC(servers, a) * serviceCycles /
+           (static_cast<double>(servers) - a);
+}
+
+double
 meanQueueCycles(const std::vector<double> &sampledDelays)
 {
     if (sampledDelays.empty())

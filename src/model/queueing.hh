@@ -41,6 +41,41 @@ double utilization(double serviceCycles, double offloadsPerSec,
                    double clockHz);
 
 /**
+ * Erlang-C: probability an arrival waits in an M/M/k queue.
+ *
+ * @param servers       k >= 1 parallel servers (tier replicas)
+ * @param offeredLoad   a = λ·s in erlangs; must satisfy a < k (stable)
+ *
+ * Computed via the numerically stable Erlang-B recurrence
+ * B(0) = 1, B(i) = a·B(i-1) / (i + a·B(i-1)), then
+ * C = B(k) / (1 - ρ·(1 - B(k))) with ρ = a/k — no factorials, no
+ * overflow at large k.
+ *
+ * @throws FatalError when a >= k or inputs are out of domain.
+ */
+double erlangC(unsigned servers, double offeredLoad);
+
+/**
+ * Mean M/M/k queue wait (cycles) for a replicated accelerator tier:
+ * Wq = C(k, a) · s / (k − a). This is the analytical counterpart of
+ * the simulator's emergent Σ Qi across tier replicas under a
+ * load-balancing dispatch policy (the single shared-queue M/M/k is a
+ * lower bound for per-replica FIFO queues; round-robin over k
+ * separate queues sits between M/M/k and k independent M/M/1s).
+ * With servers == 1 this reduces exactly to mm1WaitCycles.
+ *
+ * @param serviceCycles  mean per-replica service time, cycles
+ * @param offloadsPerSec offered load across the tier, offloads/s
+ * @param clockHz        cycles per second
+ * @param servers        replica count k >= 1
+ *
+ * @throws FatalError when total utilization >= 1 (unstable) or inputs
+ *         are out of domain.
+ */
+double mmkWaitCycles(double serviceCycles, double offloadsPerSec,
+                     double clockHz, unsigned servers);
+
+/**
  * Mean queuing delay from a sampled per-offload delay distribution:
  * the Σ Qi / n form the paper describes.
  */

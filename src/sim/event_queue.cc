@@ -51,7 +51,34 @@ EventQueue::cancelTimer(TimerId id)
     if (liveTimers_.erase(id) == 0)
         return false;
     cancelled_.insert(id);
+    maybeCompact();
     return true;
+}
+
+void
+EventQueue::maybeCompact()
+{
+    // A cancelled timer's heap slot otherwise persists until its tick
+    // drains. Workloads that arm a long timer per operation and cancel
+    // almost all of them early — hedged offloads and per-attempt
+    // watchdogs are the motivating case — would grow the heap with the
+    // number of timers ever cancelled inside the horizon, not the
+    // number outstanding. Once cancelled slots dominate, rebuild the
+    // heap without them: amortized O(1) per cancellation, and results
+    // cannot change because pop order is the total (when, priority,
+    // sequence) order, independent of heap layout.
+    if (cancelled_.size() < kCompactMinCancelled ||
+        cancelled_.size() * 2 < heap_.size()) {
+        return;
+    }
+    auto dead = [this](const Event &ev) {
+        return cancelled_.count(ev.sequence) > 0;
+    };
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+    cancelled_.clear();
+    ++compactions_;
 }
 
 EventQueue::Event

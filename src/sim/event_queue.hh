@@ -79,10 +79,26 @@ class EventQueue
     bool empty() const { return heap_.empty(); }
 
     /**
-     * Number of pending events. Cancelled timers still occupy their
-     * heap slot until their tick drains, so they count here.
+     * Number of pending events. A cancelled timer still occupies its
+     * heap slot — and counts here — until its tick drains or slot
+     * compaction reclaims it (see compactions()).
      */
     size_t pending() const { return heap_.size(); }
+
+    /**
+     * Times the heap was rebuilt to shed cancelled-timer slots. The
+     * rebuild triggers when at least kCompactMinCancelled slots are
+     * cancelled and they make up half the heap, which keeps pending()
+     * at O(live events + kCompactMinCancelled) no matter how many
+     * timers were ever cancelled (hedged offloads cancel one timer per
+     * offload). Compaction never changes results: execution order is
+     * the total (when, priority, sequence) order, which does not
+     * depend on heap layout.
+     */
+    std::uint64_t compactions() const { return compactions_; }
+
+    /** Cancelled-slot floor below which compaction never triggers. */
+    static constexpr size_t kCompactMinCancelled = 64;
 
     /** Reserve heap capacity for an expected number of pending events. */
     void reserve(size_t events) { heap_.reserve(events); }
@@ -140,6 +156,9 @@ class EventQueue
      */
     bool runOne(Tick limit);
 
+    /** Rebuild the heap without cancelled slots once they dominate. */
+    void maybeCompact();
+
     // An explicit vector heap (std::push_heap/pop_heap with Later, so
     // front() is the earliest event) instead of std::priority_queue:
     // priority_queue::top() is const and forces a copy of the Event —
@@ -153,6 +172,7 @@ class EventQueue
     // invalid handle. Starting at 1 preserves relative ordering.
     std::uint64_t sequence_ = 1;
     std::uint64_t processed_ = 0;
+    std::uint64_t compactions_ = 0;
 
     // Cancellation bookkeeping. Both sets are bounded by the number of
     // pending events: a live timer leaves liveTimers_ when it fires or

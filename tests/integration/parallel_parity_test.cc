@@ -197,6 +197,44 @@ TEST(ParallelParity, ResilienceAbBitIdentical)
     setLogLevel(prev);
 }
 
+TEST(ParallelParity, TierAbBitIdentical)
+{
+    // Tier dispatch (p2c), hedging, and per-replica fault draws are
+    // all slot-indexed, so a replicated-tier experiment must replay
+    // bit-identically at any worker count.
+    LogLevel prev = setLogLevel(LogLevel::Silent);
+    expectParity([] {
+        microsim::AbExperiment e = abExperiment();
+        e.service.design = ThreadingDesign::AsyncSameThread;
+        e.service.strategy = model::Strategy::Remote;
+        e.service.driverWaitsForAck = false;
+        e.tier.replicas = 4;
+        e.tier.policy = microsim::DispatchPolicy::PowerOfTwoChoices;
+        e.tier.hedge.enabled = true;
+        e.tier.hedge.delayCycles = 2000;
+        e.tier.healthTimeoutCycles = 5000;
+        e.tier.readmitAfterCycles = 20000;
+        auto slow = std::make_shared<faults::FaultPlan>();
+        slow->seed = 23;
+        slow->lateProbability = 0.3;
+        slow->lateDelayCycles = 8000;
+        e.tier.replicaFaultPlans = {nullptr, nullptr, nullptr,
+                                    std::move(slow)};
+        microsim::AbResult r = microsim::runAbTest(e);
+        return std::make_tuple(
+            r.treatment.qps(), r.treatment.meanLatencyCycles(),
+            r.treatment.latencySample.p99(),
+            r.treatment.tier.hedgesIssued, r.treatment.tier.hedgeWins,
+            r.treatment.tier.duplicateCompletions,
+            r.treatment.tier.wastedServiceCycles,
+            r.treatment.tier.watchdogExpiries,
+            r.treatment.tier.ejections, r.treatment.tier.failovers,
+            r.treatment.tier.offloadLatencyCycles.p99(),
+            r.measuredSpeedup());
+    });
+    setLogLevel(prev);
+}
+
 TEST(ParallelParity, WorkerExceptionPropagatesFromSweep)
 {
     ThreadPool::setWorkers(8);

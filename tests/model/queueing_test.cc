@@ -2,6 +2,8 @@
 
 #include "model/queueing.hh"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "util/logging.hh"
@@ -52,6 +54,56 @@ TEST(Queueing, DomainChecks)
     EXPECT_THROW(utilization(-1, 1, 1), FatalError);
     EXPECT_THROW(utilization(1, -1, 1), FatalError);
     EXPECT_THROW(utilization(1, 1, 0), FatalError);
+}
+
+TEST(Queueing, ErlangCKnownValues)
+{
+    // k=1: C(1, a) = a (an arrival waits iff the server is busy).
+    EXPECT_NEAR(erlangC(1, 0.5), 0.5, 1e-12);
+    EXPECT_NEAR(erlangC(1, 0.9), 0.9, 1e-12);
+    // k=2, a=1 (rho=0.5): B(1)=1/2, B(2)=1/5, C = (1/5)/(1-1/2*4/5)
+    //   = 1/3 — the textbook value.
+    EXPECT_NEAR(erlangC(2, 1.0), 1.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(erlangC(4, 0.0), 0.0);
+}
+
+TEST(Queueing, ErlangCStableAtLargeServerCounts)
+{
+    // The naive factorial form overflows near k ~ 171; the recurrence
+    // must stay finite and inside [0, 1].
+    double c = erlangC(500, 450.0); // rho = 0.9 at k = 500
+    EXPECT_TRUE(std::isfinite(c));
+    EXPECT_GT(c, 0.0);
+    EXPECT_LT(c, 1.0);
+}
+
+TEST(Queueing, MmkReducesToMm1AtOneServer)
+{
+    EXPECT_NEAR(mmkWaitCycles(1000, 1e6, 2e9, 1),
+                mm1WaitCycles(1000, 1e6, 2e9), 1e-9);
+    EXPECT_NEAR(mmkWaitCycles(1000, 1.9e6, 2e9, 1),
+                mm1WaitCycles(1000, 1.9e6, 2e9), 1e-9);
+}
+
+TEST(Queueing, MmkPoolingBeatsSplitMm1)
+{
+    // k pooled servers always wait less than k separate M/M/1 queues
+    // each fed lambda/k, and more servers never wait longer.
+    double split = mm1WaitCycles(1000, 1e6, 2e9);       // rho = 0.5
+    double pooled2 = mmkWaitCycles(1000, 2e6, 2e9, 2);  // same per-server
+    double pooled4 = mmkWaitCycles(1000, 4e6, 2e9, 4);
+    EXPECT_LT(pooled2, split);
+    EXPECT_LT(pooled4, pooled2);
+}
+
+TEST(Queueing, MmkDomainChecks)
+{
+    EXPECT_THROW(erlangC(0, 0.5), FatalError);
+    EXPECT_THROW(erlangC(2, 2.0), FatalError);  // a >= k
+    EXPECT_THROW(erlangC(2, -1.0), FatalError);
+    EXPECT_THROW(mmkWaitCycles(1000, 4e6, 2e9, 2), FatalError); // a = 2
+    EXPECT_THROW(mmkWaitCycles(1000, 1e6, 2e9, 0), FatalError);
+    EXPECT_DOUBLE_EQ(mmkWaitCycles(1000, 0, 2e9, 3), 0.0);
 }
 
 TEST(Queueing, MeanFromSamples)

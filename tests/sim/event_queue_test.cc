@@ -315,6 +315,77 @@ TEST(EventQueue, CancellationStateStaysBounded)
     }
 }
 
+TEST(EventQueue, CompactionKeepsPendingBounded)
+{
+    // Hedged offloads cancel one timer per offload without the clock
+    // ever draining past them. Without compaction the heap would hold
+    // every cancelled slot until its tick; with it, pending() stays
+    // O(live + kCompactMinCancelled) however many timers were ever
+    // cancelled.
+    EventQueue eq;
+    const Tick kFar = 1'000'000'000;
+    const size_t kLive = 10;
+    std::vector<TimerId> live;
+    for (size_t i = 0; i < kLive; ++i)
+        live.push_back(eq.scheduleTimer(kFar + i, [] {}));
+
+    for (int i = 0; i < 10'000; ++i) {
+        TimerId id = eq.scheduleTimer(kFar / 2 + i, [] {});
+        eq.cancelTimer(id);
+        EXPECT_LE(eq.pending(),
+                  kLive + 2 * EventQueue::kCompactMinCancelled)
+            << "cancelled slots accumulated at i=" << i;
+    }
+    EXPECT_GT(eq.compactions(), 0u);
+    EXPECT_EQ(eq.activeTimers(), live.size());
+
+    // The surviving timers still fire.
+    eq.runAll();
+    EXPECT_EQ(eq.activeTimers(), 0u);
+    EXPECT_EQ(eq.processed(), live.size());
+}
+
+TEST(EventQueue, CompactionPreservesExecutionOrder)
+{
+    // Interleave plain events, live timers, and cancelled timers so a
+    // compaction rebuild happens mid-stream; execution order must be
+    // the same total (when, priority, sequence) order as an identical
+    // queue that never compacts (no cancellations).
+    auto run = [](bool withCancelled) {
+        EventQueue eq;
+        std::vector<int> order;
+        for (int i = 0; i < 400; ++i) {
+            Tick when = 1000 + (i * 37) % 500;
+            eq.schedule(when, [&order, i] { order.push_back(i); });
+            eq.scheduleTimer(when, [&order, i] {
+                order.push_back(10'000 + i);
+            });
+            if (withCancelled) {
+                TimerId id = eq.scheduleTimer(when + 1, [&order, i] {
+                    order.push_back(-i);
+                });
+                eq.cancelTimer(id);
+            }
+        }
+        eq.runAll();
+        return order;
+    };
+    EXPECT_EQ(run(true), run(false));
+}
+
+TEST(EventQueue, NoCompactionBelowFloor)
+{
+    // A handful of cancellations must not trigger rebuilds — the floor
+    // keeps small queues on the zero-overhead path.
+    EventQueue eq;
+    for (size_t i = 0; i < EventQueue::kCompactMinCancelled - 1; ++i) {
+        TimerId id = eq.scheduleTimer(100 + i, [] {});
+        eq.cancelTimer(id);
+    }
+    EXPECT_EQ(eq.compactions(), 0u);
+    eq.runAll();
+}
+
 TEST(EventQueue, ManyEventsStressOrdering)
 {
     EventQueue eq;
