@@ -46,7 +46,7 @@ Accelerator::transferCycles(double bytes) const
 
 void
 Accelerator::offload(double hostEquivalentCycles, double bytes,
-                     std::function<void()> &&onComplete,
+                     sim::InlineCallback &&onComplete,
                      bool transferPaidByHost)
 {
     require(hostEquivalentCycles >= 0, "Accelerator: negative work");

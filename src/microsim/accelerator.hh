@@ -19,7 +19,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 
 #include "faults/fault_plan.hh"
@@ -95,7 +94,7 @@ class Accelerator
      *                             transfer delay so L is charged once
      */
     void offload(double hostEquivalentCycles, double bytes,
-                 std::function<void()> &&onComplete,
+                 sim::InlineCallback &&onComplete,
                  bool transferPaidByHost = false);
 
     /** Clear statistics (used at the end of a warmup window). */
@@ -117,7 +116,7 @@ class Accelerator
         sim::Tick enqueued;
         double lateResponseCycles;
         bool dropResponse;
-        std::function<void()> onComplete;
+        sim::InlineCallback onComplete;
     };
 
     sim::EventQueue &eq_;

@@ -163,7 +163,7 @@ ServiceSim::onArrival()
 // --------------------------------------------------------------------
 
 void
-ServiceSim::makeReady(size_t tid, std::function<void()> &&resume)
+ServiceSim::makeReady(size_t tid, sim::InlineCallback &&resume)
 {
     ThreadCtx &ctx = threads_[tid];
     ctx.state = ThreadState::Ready;
@@ -190,7 +190,7 @@ ServiceSim::dispatch()
         ctx.core = 1;
         ctx.state = ThreadState::Running;
 
-        std::function<void()> resume = std::move(resume_[tid]);
+        sim::InlineCallback resume = std::move(resume_[tid]);
         ensure(static_cast<bool>(resume), "dispatch: missing continuation");
         double switch_in = ctx.needsSwitchIn
             ? cfg_.contextSwitchCycles + cfg_.cachePollutionCycles : 0.0;
@@ -254,7 +254,7 @@ ServiceSim::chargeStolen(double cycles)
 
 void
 ServiceSim::runOnCore(size_t tid, double cycles,
-                      std::function<void()> &&done, WorkTag tag)
+                      sim::InlineCallback &&done, WorkTag tag)
 {
     ThreadCtx &ctx = threads_[tid];
     ensure(ctx.state == ThreadState::Running && ctx.core >= 0,
@@ -582,7 +582,7 @@ ServiceSim::onAsyncResponse(size_t tid,
     if (ctx.blockedOnOutstanding &&
         ctx.outstanding < cfg_.maxOutstanding) {
         ctx.blockedOnOutstanding = false;
-        std::function<void()> resume = std::move(resume_[tid]);
+        sim::InlineCallback resume = std::move(resume_[tid]);
         makeReady(tid, std::move(resume));
     }
 }
@@ -595,7 +595,7 @@ void
 ServiceSim::dispatchResilient(size_t tid, const KernelInvocation &k,
                               bool transferPaidByHost, bool probe,
                               const std::shared_ptr<InFlight> &inflight,
-                              std::function<void(OffloadOutcome)> &&resolve)
+                              sim::InlineFunction<void(OffloadOutcome)> &&resolve)
 {
     if (!resilienceActive()) {
         // No deadline configured: the pre-fault code path — wait for
@@ -627,7 +627,7 @@ ServiceSim::issueAttempt(size_t tid, const KernelInvocation &k,
                          bool transferPaidByHost, std::uint32_t attempt,
                          bool probe,
                          const std::shared_ptr<InFlight> &inflight,
-                         std::function<void(OffloadOutcome)> &&resolve)
+                         sim::InlineFunction<void(OffloadOutcome)> &&resolve)
 {
     auto state = std::make_shared<AttemptState>();
     state->resolve = std::move(resolve);

@@ -259,7 +259,7 @@ class ServiceSim
 
     // --- scheduling ---
     /** Mark @p tid runnable; @p resume is the sink continuation. */
-    void makeReady(size_t tid, std::function<void()> &&resume);
+    void makeReady(size_t tid, sim::InlineCallback &&resume);
     void dispatch();
     void releaseCore(size_t tid);
     void yieldCore(size_t tid);
@@ -269,7 +269,7 @@ class ServiceSim
      * @p tag attributes the cycles in coreCyclesByTag.
      */
     void runOnCore(size_t tid, double cycles,
-                   std::function<void()> &&done,
+                   sim::InlineCallback &&done,
                    WorkTag tag = kUntagged);
 
     // --- request flow ---
@@ -304,7 +304,7 @@ class ServiceSim
     {
         bool settled = false;
         sim::TimerId timer = sim::kInvalidTimer;
-        std::function<void(OffloadOutcome)> resolve;
+        sim::InlineFunction<void(OffloadOutcome)> resolve;
     };
 
     bool resilienceActive() const { return cfg_.retry.active(); }
@@ -317,13 +317,13 @@ class ServiceSim
     void dispatchResilient(size_t tid, const KernelInvocation &k,
                            bool transferPaidByHost, bool probe,
                            const std::shared_ptr<InFlight> &inflight,
-                           std::function<void(OffloadOutcome)> &&resolve);
+                           sim::InlineFunction<void(OffloadOutcome)> &&resolve);
 
     void issueAttempt(size_t tid, const KernelInvocation &k,
                       bool transferPaidByHost, std::uint32_t attempt,
                       bool probe,
                       const std::shared_ptr<InFlight> &inflight,
-                      std::function<void(OffloadOutcome)> &&resolve);
+                      sim::InlineFunction<void(OffloadOutcome)> &&resolve);
 
     sim::Tick backoffTicks(std::uint32_t attempt) const;
 
@@ -350,7 +350,7 @@ class ServiceSim
     RateLimitedWarner fallbackWarner_{"offload fallback", 3};
 
     /** Per-thread resume continuation while blocked. */
-    std::vector<std::function<void()>> resume_;
+    std::vector<sim::InlineCallback> resume_;
 
     double chargeStolen(double cycles);
 };

@@ -335,7 +335,7 @@ AcceleratorTier::pickReplica(size_t exclude, bool *isProbe)
 
 void
 AcceleratorTier::offload(double hostEquivalentCycles, double bytes,
-                         std::function<void()> &&onComplete,
+                         sim::InlineCallback &&onComplete,
                          bool transferPaidByHost)
 {
     // Trivial tier: hand the offload straight to the single replica.

@@ -38,7 +38,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -227,7 +226,7 @@ class AcceleratorTier
      * single Accelerator).
      */
     void offload(double hostEquivalentCycles, double bytes,
-                 std::function<void()> &&onComplete,
+                 sim::InlineCallback &&onComplete,
                  bool transferPaidByHost = false);
 
     /** Interface transfer cycles (identical across replicas). */
@@ -292,7 +291,7 @@ class AcceleratorTier
         bool hedged = false;
         std::uint32_t failovers = 0;
         sim::TimerId hedgeTimer = sim::kInvalidTimer;
-        std::function<void()> onComplete;
+        sim::InlineCallback onComplete;
         std::vector<Attempt> attempts;
     };
 

@@ -8,14 +8,32 @@
  *
  * Determinism: events at equal ticks execute in (priority, insertion
  * sequence) order, so a seeded simulation always replays identically.
+ *
+ * Hot-path structure (see DESIGN.md, "Sim-core hot path"):
+ *
+ *  - Callbacks are `sim::InlineCallback` — move-only with 64 bytes of
+ *    inline storage; oversized captures spill into a thread-local
+ *    kernels::PoolAllocator, so steady-state scheduling performs no
+ *    global heap allocation.
+ *  - Near-future events (within kWheelHorizon ticks of now) live in a
+ *    calendar-queue timer wheel: O(1) insert into an unsorted slot,
+ *    sorted lazily when the cursor reaches it. Far-future events
+ *    overflow into the original binary heap. Pop takes the earlier of
+ *    the two fronts under the total (when, priority, sequence) order,
+ *    so execution order — and therefore every simulation result — is
+ *    bit-identical to the single-heap implementation (the property
+ *    suite cross-checks this against sim::ReferenceEventQueue).
+ *  - Timer bookkeeping uses FlatSet64 (open addressing, no per-insert
+ *    node allocation).
  */
 
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
+
+#include "sim/flat_set64.hh"
+#include "sim/inline_callback.hh"
 
 namespace accel::sim {
 
@@ -23,7 +41,7 @@ namespace accel::sim {
 using Tick = std::uint64_t;
 
 /** Scheduled work: lower priority values run first within a tick. */
-using Callback = std::function<void()>;
+using Callback = InlineCallback;
 
 /**
  * Handle to a cancellable timer. Valid ids are non-zero; kInvalidTimer
@@ -32,11 +50,11 @@ using Callback = std::function<void()>;
 using TimerId = std::uint64_t;
 constexpr TimerId kInvalidTimer = 0;
 
-/** Deterministic min-heap event queue. */
+/** Deterministic event queue (timer wheel + overflow min-heap). */
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue() : wheel_(kWheelSlots) {}
 
     /** Current simulated time. */
     Tick now() const { return now_; }
@@ -49,7 +67,10 @@ class EventQueue
      */
     void schedule(Tick when, Callback &&cb, int priority = 0);
 
-    /** Schedule @p cb @p delay cycles from now. */
+    /**
+     * Schedule @p cb @p delay cycles from now.
+     * @throws FatalError when now() + @p delay overflows Tick.
+     */
     void scheduleIn(Tick delay, Callback &&cb, int priority = 0);
 
     /**
@@ -60,12 +81,15 @@ class EventQueue
      */
     TimerId scheduleTimer(Tick when, Callback &&cb, int priority = 0);
 
-    /** Schedule a cancellable timer @p delay cycles from now. */
+    /**
+     * Schedule a cancellable timer @p delay cycles from now.
+     * @throws FatalError when now() + @p delay overflows Tick.
+     */
     TimerId scheduleTimerIn(Tick delay, Callback &&cb, int priority = 0);
 
     /**
      * Cancel a pending timer. A cancelled timer's callback never runs
-     * and its state is released when its slot drains from the heap.
+     * and its state is released when its slot drains from the queue.
      * @return true when @p id was live (scheduled, not yet fired or
      *         cancelled); false for fired, already-cancelled, invalid,
      *         or plain-schedule() ids.
@@ -75,32 +99,59 @@ class EventQueue
     /** Timers scheduled and neither fired nor cancelled yet. */
     size_t activeTimers() const { return liveTimers_.size(); }
 
-    /** True when no events remain. */
-    bool empty() const { return heap_.empty(); }
+    /** True when no events remain (cancelled slots count as events). */
+    bool empty() const { return heap_.empty() && wheelCount_ == 0; }
 
     /**
-     * Number of pending events. A cancelled timer still occupies its
-     * heap slot — and counts here — until its tick drains or slot
-     * compaction reclaims it (see compactions()).
+     * Number of queued event slots, cancelled timers included: a
+     * cancelled timer still occupies its slot — and counts here —
+     * until its tick drains or slot compaction reclaims it (see
+     * compactions()). Use pendingLive() for the number of events that
+     * will actually execute; polling pending() for progress or
+     * termination decisions overcounts under timer cancellation.
      */
-    size_t pending() const { return heap_.size(); }
+    size_t pending() const { return heap_.size() + wheelCount_; }
 
     /**
-     * Times the heap was rebuilt to shed cancelled-timer slots. The
-     * rebuild triggers when at least kCompactMinCancelled slots are
-     * cancelled and they make up half the heap, which keeps pending()
-     * at O(live events + kCompactMinCancelled) no matter how many
-     * timers were ever cancelled (hedged offloads cancel one timer per
-     * offload). Compaction never changes results: execution order is
+     * Events that will actually execute: pending() minus queued
+     * cancelled-timer slots. This is the count to poll for progress /
+     * termination decisions.
+     */
+    size_t pendingLive() const { return pending() - cancelledQueued_; }
+
+    /**
+     * Times the overflow heap was rebuilt to shed cancelled-timer
+     * slots. The rebuild triggers when at least kCompactMinCancelled
+     * heap slots are cancelled and they make up half the heap, which
+     * keeps pending() at O(live events + kCompactMinCancelled +
+     * one wheel rotation) no matter how many timers were ever
+     * cancelled (hedged offloads cancel one timer per offload). Wheel
+     * slots are never swept: a cancelled wheel entry drains with its
+     * slot within one rotation (kWheelHorizon ticks), so it cannot
+     * accumulate. Compaction never changes results: execution order is
      * the total (when, priority, sequence) order, which does not
      * depend on heap layout.
      */
     std::uint64_t compactions() const { return compactions_; }
 
-    /** Cancelled-slot floor below which compaction never triggers. */
+    /** Cancelled-heap-slot floor below which compaction never triggers. */
     static constexpr size_t kCompactMinCancelled = 64;
 
-    /** Reserve heap capacity for an expected number of pending events. */
+    /** Wheel slot width in ticks (one slot per kSlotWidth quotient). */
+    static constexpr Tick kSlotWidth = 64;
+
+    /** Number of wheel slots (power of two). */
+    static constexpr size_t kWheelSlots = 1024;
+
+    /**
+     * Events with when - now() below this horizon take the wheel path;
+     * events at or past it go to the overflow heap. (The exact rule is
+     * quotient-based: floor(when / kSlotWidth) must be within
+     * kWheelSlots of floor(now / kSlotWidth).)
+     */
+    static constexpr Tick kWheelHorizon = kSlotWidth * kWheelSlots;
+
+    /** Reserve overflow-heap capacity for expected pending events. */
     void reserve(size_t events) { heap_.reserve(events); }
 
     /** Total events executed so far. */
@@ -126,6 +177,11 @@ class EventQueue
     {
         Tick when;
         int priority;
+        // Lives in the padding after priority, so tagging timers costs
+        // no space. A queued timer whose sequence has left liveTimers_
+        // was cancelled; untagged events skip cancellation bookkeeping
+        // entirely on the pop path.
+        bool isTimer;
         std::uint64_t sequence;
         Callback callback;
     };
@@ -143,11 +199,41 @@ class EventQueue
         }
     };
 
+    static constexpr std::uint64_t kNoSortedSlot = ~std::uint64_t{0};
+
+    /** Where scheduleEvent placed an event, for timer bookkeeping. */
+    struct Placement
+    {
+        std::uint64_t sequence;
+        bool inHeap;
+    };
+
     /** Move the earliest event out of the heap (heap_ must be non-empty). */
     Event popEvent();
 
-    /** schedule() body that also reports the event's sequence number. */
-    std::uint64_t scheduleEvent(Tick when, Callback &&cb, int priority);
+    /** schedule() body that also reports sequence number and placement. */
+    Placement scheduleEvent(Tick when, Callback &&cb, int priority,
+                            bool isTimer);
+
+    /** now() + delay with an explicit overflow check (satellite fix). */
+    Tick deadlineFromNow(Tick delay, const char *who) const;
+
+    /**
+     * Earliest wheel event, or nullptr when the wheel is empty. Sorts
+     * the fronting slot lazily; afterwards cursorQuotient_ names that
+     * slot and its back() is the pointee.
+     */
+    Event *wheelFront();
+
+    /** Detach the event wheelFront() returned. */
+    Event popWheel();
+
+    /**
+     * Squeeze moved-from holes out of a partially drained sorted slot
+     * so it can be treated as unsorted again. Only needed on the rare
+     * mid-drain switch to another slot (an insert below the cursor).
+     */
+    void compactSortedSlot();
 
     /**
      * Pop-and-execute the earliest live event whose tick is <= @p limit,
@@ -156,17 +242,38 @@ class EventQueue
      */
     bool runOne(Tick limit);
 
-    /** Rebuild the heap without cancelled slots once they dominate. */
+    /** Rebuild the heap without cancelled slots once they dominate it. */
     void maybeCompact();
 
     // An explicit vector heap (std::push_heap/pop_heap with Later, so
     // front() is the earliest event) instead of std::priority_queue:
-    // priority_queue::top() is const and forces a copy of the Event —
-    // including its std::function and any captured shared_ptrs — on
+    // priority_queue::top() is const and forces a copy of the Event on
     // every pop, which is pure hot-path overhead in multi-million-event
     // runs. pop_heap moves the earliest event to the back, where it can
-    // be moved out.
+    // be moved out. Only far-future events (past the wheel horizon)
+    // land here.
     std::vector<Event> heap_;
+
+    // Calendar-queue wheel for near-future events. Slot index is
+    // floor(when / kSlotWidth) mod kWheelSlots; because every pending
+    // event satisfies now <= when < now + horizon (quotient-wise), the
+    // mapping quotient -> slot is injective over pending events, so a
+    // slot never mixes two quotients. Slots stay unsorted (and their
+    // events never move) until the cursor reaches them; the one
+    // draining slot (sortedSlotQuotient_) is ordered through
+    // drainOrder_, a vector of indices into the slot sorted descending
+    // under Later so back() names the earliest event. Sorting 4-byte
+    // indices instead of 96-byte events keeps the sort out of the
+    // relocation business; drained entries leave moved-from holes that
+    // are reclaimed when the slot empties (or compacted via scratch_
+    // on the rare switch to another slot mid-drain).
+    std::vector<std::vector<Event>> wheel_;
+    std::vector<std::uint32_t> drainOrder_;
+    std::vector<Event> scratch_;
+    size_t wheelCount_ = 0;
+    std::uint64_t cursorQuotient_ = 0;
+    std::uint64_t sortedSlotQuotient_ = kNoSortedSlot;
+
     Tick now_ = 0;
     // Sequence numbers double as TimerIds, so 0 is reserved as the
     // invalid handle. Starting at 1 preserves relative ordering.
@@ -174,13 +281,28 @@ class EventQueue
     std::uint64_t processed_ = 0;
     std::uint64_t compactions_ = 0;
 
-    // Cancellation bookkeeping. Both sets are bounded by the number of
-    // pending events: a live timer leaves liveTimers_ when it fires or
-    // is cancelled, and a cancelled entry leaves cancelled_ when its
-    // heap slot drains. Never iterated, so hash order cannot leak into
-    // results.
-    std::unordered_set<std::uint64_t> liveTimers_;
-    std::unordered_set<std::uint64_t> cancelled_;
+    // Cancellation bookkeeping. There is no cancelled-id set:
+    // cancelTimer erases the id from liveTimers_, and the pop path
+    // treats any Event tagged isTimer whose sequence is absent from
+    // liveTimers_ as cancelled. Both sets are bounded by the number of
+    // pending events and never iterated, so hash order cannot leak
+    // into results. Sequence numbers start at 1, so FlatSet64's
+    // reserved key 0 is never needed.
+    FlatSet64 liveTimers_;
+
+    // Timers currently resident in the overflow heap, so cancelTimer
+    // can tell heap cancellations (which need compaction — the slot
+    // would otherwise persist until its arbitrarily far tick) from
+    // wheel cancellations (which self-drain within one rotation).
+    // heapCancelled_ counts cancelled slots still in the heap; it
+    // resets on compaction and decrements when a cancelled slot drains
+    // off the heap naturally.
+    FlatSet64 heapTimers_;
+    size_t heapCancelled_ = 0;
+
+    // Cancelled slots still queued anywhere (wheel or heap), so
+    // pendingLive() stays O(1).
+    size_t cancelledQueued_ = 0;
 };
 
 } // namespace accel::sim

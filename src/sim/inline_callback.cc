@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Spill storage for oversized InlineFunction captures.
+ *
+ * Each thread owns a private kernels::PoolAllocator, so spilled
+ * captures recycle pool blocks instead of hitting the global heap on
+ * every construction. Thread-local (rather than a shared pool behind a
+ * mutex) because each simulation — EventQueue plus all of its callbacks
+ * — lives entirely on one worker thread; a lock here would serialize
+ * independent replica sims under ACCEL_JOBS > 1 for no benefit.
+ *
+ * Requests the pool cannot serve go to aligned global new/delete:
+ * alignment above 16 bytes (the pool only guarantees max_align_t) or
+ * sizes above PoolAllocator::kMaxBlockSize.
+ */
+
+#include "sim/inline_callback.hh"
+
+#include <cstdint>
+#include <new>
+
+#include "kernels/pool_allocator.hh"
+
+namespace accel::sim::detail {
+
+namespace {
+
+struct SpillCounters
+{
+    std::uint64_t allocations = 0;
+    std::uint64_t frees = 0;
+};
+
+kernels::PoolAllocator &
+pool()
+{
+    thread_local kernels::PoolAllocator tlsPool;
+    return tlsPool;
+}
+
+SpillCounters &
+counters()
+{
+    thread_local SpillCounters tlsCounters;
+    return tlsCounters;
+}
+
+/** Strongest alignment the pool guarantees for any block. */
+constexpr std::size_t kPoolAlign = alignof(std::max_align_t);
+
+bool
+poolServes(std::size_t bytes, std::size_t align)
+{
+    return bytes <= kernels::PoolAllocator::kMaxBlockSize &&
+           align <= kPoolAlign;
+}
+
+} // namespace
+
+void *
+spillAllocate(std::size_t bytes, std::size_t align)
+{
+    ++counters().allocations;
+    if (poolServes(bytes, align)) {
+        return pool().allocate(bytes);
+    }
+    return ::operator new(bytes, std::align_val_t(align));
+}
+
+void
+spillFree(void *ptr, std::size_t bytes, std::size_t align) noexcept
+{
+    ++counters().frees;
+    if (poolServes(bytes, align)) {
+        pool().sizedFree(ptr, bytes);
+        return;
+    }
+    ::operator delete(ptr, std::align_val_t(align));
+}
+
+std::uint64_t
+spillAllocations() noexcept
+{
+    return counters().allocations;
+}
+
+std::uint64_t
+spillLive() noexcept
+{
+    return counters().allocations - counters().frees;
+}
+
+} // namespace accel::sim::detail

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Move-only, small-buffer-optimized callable for the sim-core hot path.
+ *
+ * Every simulated event carries a callback; at fleet scale (millions of
+ * events per run) the `std::function` it used to carry costs one global
+ * heap allocation per event for any capture that is not trivially
+ * copyable — which in this codebase means essentially all of them
+ * (`shared_ptr` offload state, moved-in work items). InlineFunction
+ * removes that cost:
+ *
+ *  - Captures up to kInlineBytes (64) bytes with alignment at most
+ *    `alignof(std::max_align_t)` are stored inline in the object; move
+ *    relocates them with the callable's own move constructor.
+ *  - Oversized captures spill into a thread-local
+ *    `kernels::PoolAllocator` (see inline_callback.cc) instead of the
+ *    global heap, so steady-state scheduling performs zero global
+ *    allocations once the pool chunks are warm. Spills with alignment
+ *    above the pool's 16-byte guarantee, or larger than the pool's
+ *    block-size ceiling, fall back to aligned `operator new`.
+ *  - The type is move-only, so it accepts move-only captures (e.g.
+ *    lambdas that own a moved-in Pending item) that `std::function`
+ *    rejects outright.
+ *
+ * Call semantics mirror `std::function`: `operator()` is shallow-const
+ * (callable through a const InlineFunction, like a `std::function`
+ * member invoked from a non-mutable lambda), and invoking an empty
+ * object panics.
+ *
+ * Thread-safety: objects are not internally synchronized; a spilled
+ * callback must be destroyed on the thread that created it (the spill
+ * storage belongs to that thread's pool). EventQueue and the microsim
+ * honor this by construction — each simulation lives entirely on one
+ * worker thread.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace accel::sim {
+
+namespace detail {
+
+/**
+ * Spill-storage hooks (defined in inline_callback.cc). Storage comes
+ * from a thread-local kernels::PoolAllocator; requests the pool cannot
+ * serve (align > 16 or bytes > PoolAllocator::kMaxBlockSize) use
+ * aligned global new/delete. free() must receive the same (bytes,
+ * align) pair the allocation was made with, on the same thread.
+ */
+void *spillAllocate(std::size_t bytes, std::size_t align);
+void spillFree(void *ptr, std::size_t bytes, std::size_t align) noexcept;
+
+/** Spilled constructions on this thread since thread start (tests). */
+std::uint64_t spillAllocations() noexcept;
+
+/** Spills currently live on this thread (allocations minus frees). */
+std::uint64_t spillLive() noexcept;
+
+} // namespace detail
+
+template <typename Signature> class InlineFunction;
+
+/**
+ * Move-only callable wrapper with small-buffer optimization. See the
+ * file comment for storage and threading rules.
+ */
+template <typename R, typename... Args>
+class InlineFunction<R(Args...)>
+{
+  public:
+    /** Inline capture budget; larger callables spill into the pool. */
+    static constexpr std::size_t kInlineBytes = 64;
+
+    InlineFunction() noexcept = default;
+
+    InlineFunction(std::nullptr_t) noexcept {} // NOLINT: match std::function
+
+    template <typename F, typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InlineFunction> &&
+                  !std::is_same_v<D, std::nullptr_t> &&
+                  std::is_invocable_r_v<R, D &, Args...>>>
+    InlineFunction(F &&fn) // NOLINT: implicit, like std::function
+    {
+        construct<D>(std::forward<F>(fn));
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept : ops_(other.ops_)
+    {
+        if (ops_ != nullptr) {
+            ops_->relocate(storage_, other.storage_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            ops_ = other.ops_;
+            if (ops_ != nullptr) {
+                ops_->relocate(storage_, other.storage_);
+                other.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    template <typename F, typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InlineFunction> &&
+                  !std::is_same_v<D, std::nullptr_t> &&
+                  std::is_invocable_r_v<R, D &, Args...>>>
+    InlineFunction &
+    operator=(F &&fn)
+    {
+        InlineFunction replacement(std::forward<F>(fn));
+        *this = std::move(replacement);
+        return *this;
+    }
+
+    InlineFunction &
+    operator=(std::nullptr_t) noexcept
+    {
+        reset();
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /**
+     * Invoke the wrapped callable (shallow const, like std::function).
+     * Panics if empty.
+     */
+    R
+    operator()(Args... args) const
+    {
+        ensure(ops_ != nullptr,
+               "InlineFunction: invoking an empty callable");
+        return ops_->invoke(const_cast<unsigned char *>(storage_),
+                            std::forward<Args>(args)...);
+    }
+
+  private:
+    struct Ops
+    {
+        R (*invoke)(void *obj, Args &&...args);
+        /** Move *src's payload into dst's raw storage, destroy src's. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *obj) noexcept;
+    };
+
+    template <typename D>
+    static constexpr bool kFitsInline =
+        sizeof(D) <= kInlineBytes &&
+        alignof(D) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<D>;
+
+    template <typename D> struct InlineOps
+    {
+        static D *
+        self(void *obj)
+        {
+            return std::launder(reinterpret_cast<D *>(obj));
+        }
+
+        static R
+        invoke(void *obj, Args &&...args)
+        {
+            return (*self(obj))(std::forward<Args>(args)...);
+        }
+
+        static void
+        relocate(void *dst, void *src) noexcept
+        {
+            D *from = self(src);
+            ::new (dst) D(std::move(*from));
+            from->~D();
+        }
+
+        static void
+        destroy(void *obj) noexcept
+        {
+            self(obj)->~D();
+        }
+
+        static constexpr Ops kOps{&invoke, &relocate, &destroy};
+    };
+
+    template <typename D> struct SpillOps
+    {
+        static D *
+        self(void *obj)
+        {
+            return *std::launder(reinterpret_cast<D **>(obj));
+        }
+
+        static R
+        invoke(void *obj, Args &&...args)
+        {
+            return (*self(obj))(std::forward<Args>(args)...);
+        }
+
+        static void
+        relocate(void *dst, void *src) noexcept
+        {
+            // The payload stays put; only the pointer moves.
+            ::new (dst) D *(self(src));
+        }
+
+        static void
+        destroy(void *obj) noexcept
+        {
+            D *target = self(obj);
+            target->~D();
+            detail::spillFree(target, sizeof(D), alignof(D));
+        }
+
+        static constexpr Ops kOps{&invoke, &relocate, &destroy};
+    };
+
+    template <typename D, typename F>
+    void
+    construct(F &&fn)
+    {
+        if constexpr (kFitsInline<D>) {
+            ::new (static_cast<void *>(storage_)) D(std::forward<F>(fn));
+            ops_ = &InlineOps<D>::kOps;
+        } else {
+            void *mem = detail::spillAllocate(sizeof(D), alignof(D));
+            try {
+                ::new (mem) D(std::forward<F>(fn));
+            } catch (...) {
+                detail::spillFree(mem, sizeof(D), alignof(D));
+                throw;
+            }
+            ::new (static_cast<void *>(storage_))
+                D *(static_cast<D *>(mem));
+            ops_ = &SpillOps<D>::kOps;
+        }
+    }
+
+    void
+    reset() noexcept
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+    const Ops *ops_ = nullptr;
+    alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+};
+
+/** The event-callback type used throughout the simulator. */
+using InlineCallback = InlineFunction<void()>;
+
+} // namespace accel::sim

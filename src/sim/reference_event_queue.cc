@@ -1,0 +1,125 @@
+#include "sim/reference_event_queue.hh"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace accel::sim {
+
+std::uint64_t
+ReferenceEventQueue::scheduleEvent(Tick when, Callback &&cb, int priority)
+{
+    require(when >= now_,
+            "ReferenceEventQueue: scheduling into the past");
+    ensure(static_cast<bool>(cb), "ReferenceEventQueue: empty callback");
+    std::uint64_t seq = sequence_++;
+    heap_.push_back(Event{when, priority, seq, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return seq;
+}
+
+void
+ReferenceEventQueue::schedule(Tick when, Callback &&cb, int priority)
+{
+    scheduleEvent(when, std::move(cb), priority);
+}
+
+void
+ReferenceEventQueue::scheduleIn(Tick delay, Callback &&cb, int priority)
+{
+    schedule(now_ + delay, std::move(cb), priority);
+}
+
+TimerId
+ReferenceEventQueue::scheduleTimer(Tick when, Callback &&cb, int priority)
+{
+    std::uint64_t seq = scheduleEvent(when, std::move(cb), priority);
+    liveTimers_.insert(seq);
+    return seq;
+}
+
+TimerId
+ReferenceEventQueue::scheduleTimerIn(Tick delay, Callback &&cb,
+                                     int priority)
+{
+    return scheduleTimer(now_ + delay, std::move(cb), priority);
+}
+
+bool
+ReferenceEventQueue::cancelTimer(TimerId id)
+{
+    if (liveTimers_.erase(id) == 0)
+        return false;
+    cancelled_.insert(id);
+    maybeCompact();
+    return true;
+}
+
+void
+ReferenceEventQueue::maybeCompact()
+{
+    if (cancelled_.size() < kCompactMinCancelled ||
+        cancelled_.size() * 2 < heap_.size()) {
+        return;
+    }
+    auto dead = [this](const Event &ev) {
+        return cancelled_.count(ev.sequence) > 0;
+    };
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+    cancelled_.clear();
+    ++compactions_;
+}
+
+ReferenceEventQueue::Event
+ReferenceEventQueue::popEvent()
+{
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    return ev;
+}
+
+bool
+ReferenceEventQueue::runOne(Tick limit)
+{
+    while (!heap_.empty() && heap_.front().when <= limit) {
+        Event ev = popEvent();
+        if (!cancelled_.empty() && cancelled_.erase(ev.sequence) > 0)
+            continue;
+        if (!liveTimers_.empty())
+            liveTimers_.erase(ev.sequence);
+        now_ = ev.when;
+        ++processed_;
+        ev.callback();
+        return true;
+    }
+    return false;
+}
+
+bool
+ReferenceEventQueue::runNext()
+{
+    return runOne(std::numeric_limits<Tick>::max());
+}
+
+void
+ReferenceEventQueue::runUntil(Tick limit)
+{
+    while (runOne(limit)) {
+    }
+    if (now_ < limit)
+        now_ = limit;
+}
+
+void
+ReferenceEventQueue::runAll()
+{
+    while (runNext()) {
+    }
+}
+
+} // namespace accel::sim

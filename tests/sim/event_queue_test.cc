@@ -2,7 +2,10 @@
 
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+#include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -384,6 +387,112 @@ TEST(EventQueue, NoCompactionBelowFloor)
     }
     EXPECT_EQ(eq.compactions(), 0u);
     eq.runAll();
+}
+
+TEST(EventQueue, ScheduleInOverflowRejectedWithFields)
+{
+    // Regression: now_ + delay used to wrap silently in uint64
+    // arithmetic, either tripping the misleading "scheduling into the
+    // past" error or scheduling at a bogus near tick. It must fail
+    // with a message naming the overflowing fields.
+    EventQueue eq;
+    eq.schedule(1000, [] {});
+    eq.runAll();
+    const Tick kMax = std::numeric_limits<Tick>::max();
+    try {
+        eq.scheduleIn(kMax - eq.now() + 1, [] {});
+        FAIL() << "overflowing scheduleIn did not throw";
+    } catch (const FatalError &err) {
+        const std::string msg = err.what();
+        EXPECT_NE(msg.find("scheduleIn"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("overflows"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("now=1000"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("delay="), std::string::npos) << msg;
+    }
+    // The largest non-overflowing delay is fine.
+    EXPECT_NO_THROW(eq.scheduleIn(kMax - eq.now(), [] {}));
+}
+
+TEST(EventQueue, ScheduleTimerInOverflowRejectedWithFields)
+{
+    EventQueue eq;
+    eq.schedule(7, [] {});
+    eq.runAll();
+    const Tick kMax = std::numeric_limits<Tick>::max();
+    try {
+        eq.scheduleTimerIn(kMax, [] {});
+        FAIL() << "overflowing scheduleTimerIn did not throw";
+    } catch (const FatalError &err) {
+        const std::string msg = err.what();
+        EXPECT_NE(msg.find("scheduleTimerIn"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("now=7"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("delay="), std::string::npos) << msg;
+    }
+    // No timer was issued and no slot leaked by the failed call.
+    EXPECT_EQ(eq.activeTimers(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, PendingLiveExcludesCancelledSlots)
+{
+    // Regression: pending() counts cancelled slots (documented), and
+    // callers polling it for progress overcount; pendingLive() is the
+    // executable-event count.
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    TimerId a = eq.scheduleTimer(20, [] {});
+    TimerId b = eq.scheduleTimer(30, [] {});
+    EXPECT_EQ(eq.pending(), 3u);
+    EXPECT_EQ(eq.pendingLive(), 3u);
+
+    eq.cancelTimer(a);
+    EXPECT_EQ(eq.pending(), 3u); // slot still queued
+    EXPECT_EQ(eq.pendingLive(), 2u);
+
+    eq.cancelTimer(b);
+    EXPECT_EQ(eq.pendingLive(), 1u);
+
+    eq.runAll();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.pendingLive(), 0u);
+}
+
+TEST(EventQueue, PendingLiveExcludesCancelledHeapSlots)
+{
+    // Same accounting across the wheel horizon (overflow-heap path),
+    // including after a compaction reclaims the slots.
+    EventQueue eq;
+    const Tick kFar = EventQueue::kWheelHorizon * 4;
+    std::vector<TimerId> ids;
+    for (size_t i = 0; i < 3 * EventQueue::kCompactMinCancelled; ++i)
+        ids.push_back(eq.scheduleTimer(kFar + i, [] {}));
+    for (TimerId id : ids)
+        eq.cancelTimer(id);
+    EXPECT_EQ(eq.pendingLive(), 0u);
+    EXPECT_EQ(eq.pending() - eq.pendingLive(),
+              eq.pending()); // everything queued is cancelled
+    eq.runAll();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.pendingLive(), 0u);
+}
+
+TEST(EventQueue, WheelHorizonBoundaryOrdering)
+{
+    // Events straddling the wheel/heap boundary must still run in
+    // global timestamp order, including events that start beyond the
+    // horizon (heap) and are overtaken by the advancing clock.
+    EventQueue eq;
+    std::vector<Tick> order;
+    auto record = [&] { order.push_back(eq.now()); };
+    const Tick kH = EventQueue::kWheelHorizon;
+    for (Tick t : {kH - 1, kH, kH + 1, Tick{1}, kH * 2,
+                   kH - EventQueue::kSlotWidth})
+        eq.schedule(t, record);
+    eq.runAll();
+    std::vector<Tick> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(order, sorted);
+    EXPECT_EQ(order.size(), 6u);
 }
 
 TEST(EventQueue, ManyEventsStressOrdering)

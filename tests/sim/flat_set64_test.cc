@@ -1,0 +1,117 @@
+/** @file Tests for the flat timer-id set behind EventQueue bookkeeping. */
+
+#include "sim/flat_set64.hh"
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace accel::sim {
+namespace {
+
+TEST(FlatSet64, BasicMembership)
+{
+    FlatSet64 set;
+    EXPECT_TRUE(set.empty());
+    EXPECT_FALSE(set.contains(1));
+    EXPECT_EQ(set.erase(1), 0u);
+
+    EXPECT_TRUE(set.insert(1));
+    EXPECT_FALSE(set.insert(1)); // duplicate
+    EXPECT_TRUE(set.contains(1));
+    EXPECT_EQ(set.size(), 1u);
+
+    EXPECT_EQ(set.erase(1), 1u);
+    EXPECT_EQ(set.erase(1), 0u);
+    EXPECT_FALSE(set.contains(1));
+    EXPECT_TRUE(set.empty());
+}
+
+TEST(FlatSet64, KeyZeroRejected)
+{
+    FlatSet64 set;
+    EXPECT_THROW(set.insert(0), FatalError);
+    // Queries treat 0 as trivially absent instead of throwing: the
+    // queue probes with ids that may legitimately be kInvalidTimer.
+    EXPECT_FALSE(set.contains(0));
+    EXPECT_EQ(set.erase(0), 0u);
+}
+
+TEST(FlatSet64, ClearRetainsNothing)
+{
+    FlatSet64 set;
+    for (std::uint64_t k = 1; k <= 100; ++k)
+        set.insert(k);
+    set.clear();
+    EXPECT_TRUE(set.empty());
+    for (std::uint64_t k = 1; k <= 100; ++k)
+        EXPECT_FALSE(set.contains(k)) << k;
+    // Still usable after clear.
+    EXPECT_TRUE(set.insert(7));
+    EXPECT_TRUE(set.contains(7));
+}
+
+TEST(FlatSet64, SequentialIdsLikeTimerSequences)
+{
+    // The queue feeds monotonically increasing sequence numbers — the
+    // worst case for a weak hash. All inserts/erases must stay exact.
+    FlatSet64 set;
+    for (std::uint64_t k = 1; k <= 10'000; ++k)
+        ASSERT_TRUE(set.insert(k));
+    EXPECT_EQ(set.size(), 10'000u);
+    for (std::uint64_t k = 1; k <= 10'000; k += 2)
+        ASSERT_EQ(set.erase(k), 1u);
+    for (std::uint64_t k = 1; k <= 10'000; ++k)
+        ASSERT_EQ(set.contains(k), k % 2 == 0) << k;
+}
+
+TEST(FlatSet64, RandomizedCrossCheckAgainstUnorderedSet)
+{
+    // Property check: FlatSet64 must agree with std::unordered_set
+    // under a random schedule of inserts, erases (hit and miss), and
+    // membership probes — including backward-shift deletion chains.
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+        Rng rng(seed, /*stream=*/13);
+        FlatSet64 flat;
+        std::unordered_set<std::uint64_t> ref;
+        for (int step = 0; step < 20'000; ++step) {
+            // Small key range to force collisions and probe chains.
+            const std::uint64_t key = 1 + rng.next() % 512;
+            switch (rng.next() % 3) {
+            case 0:
+                ASSERT_EQ(flat.insert(key), ref.insert(key).second);
+                break;
+            case 1:
+                ASSERT_EQ(flat.erase(key), ref.erase(key));
+                break;
+            default:
+                ASSERT_EQ(flat.contains(key), ref.count(key) == 1);
+                break;
+            }
+            ASSERT_EQ(flat.size(), ref.size());
+        }
+        for (std::uint64_t key = 1; key <= 512; ++key)
+            ASSERT_EQ(flat.contains(key), ref.count(key) == 1) << key;
+    }
+}
+
+TEST(FlatSet64, SurvivesGrowthAcrossManyKeys)
+{
+    FlatSet64 set;
+    std::vector<std::uint64_t> keys;
+    Rng rng(2020, /*stream=*/17);
+    for (int i = 0; i < 5'000; ++i)
+        keys.push_back(rng.next64() | 1); // avoid the reserved 0
+    for (std::uint64_t k : keys)
+        set.insert(k);
+    for (std::uint64_t k : keys)
+        EXPECT_TRUE(set.contains(k));
+}
+
+} // namespace
+} // namespace accel::sim

@@ -1,0 +1,66 @@
+// Fixture: must fire fn-by-value exactly three times (the alias
+// declaration, the alias definition, and the InlineFunction
+// definition below); the const&/&& parameters, the local variable,
+// the member, and the alias declaration are negative controls.
+#include <utility>
+
+namespace sim {
+template <typename Sig> class InlineFunction;
+template <typename R, typename... Args>
+class InlineFunction<R(Args...)>
+{
+  public:
+    InlineFunction() = default;
+    template <typename F> InlineFunction(F &&) {}
+    R operator()(Args...) const { return R(); }
+};
+using InlineCallback = InlineFunction<void()>;
+} // namespace sim
+
+void runLater(sim::InlineCallback cb);
+
+namespace fixture {
+
+class Queue
+{
+  public:
+    // by-value alias parameter: must fire
+    void
+    post(sim::InlineCallback cb)
+    {
+        stored_ = std::move(cb);
+    }
+
+    // by-value templated parameter: must fire
+    void
+    postScored(sim::InlineFunction<void(int)> scorer)
+    {
+        scorer(1);
+    }
+
+    // sink parameter: must NOT fire
+    void
+    postSink(sim::InlineCallback &&cb)
+    {
+        stored_ = std::move(cb);
+    }
+
+    // borrow parameter: must NOT fire
+    void
+    postBorrow(const sim::InlineFunction<void()> &cb)
+    {
+        cb();
+    }
+
+  private:
+    sim::InlineCallback stored_; // member: must NOT fire
+};
+
+int
+localsAreFine()
+{
+    sim::InlineFunction<int()> f = []() { return 3; }; // must NOT fire
+    return f();
+}
+
+} // namespace fixture

@@ -26,7 +26,8 @@ EXPECTED = {
     "banned-random": {"src/model/bad_random.cc": 4},
     "banned-clock": {"src/model/bad_clock.cc": 4},
     "unordered-float-iter": {"src/stats/bad_unordered.cc": 2},
-    "fn-by-value": {"src/sim/bad_fn_value.cc": 2},
+    "fn-by-value": {"src/sim/bad_fn_value.cc": 2,
+                    "src/sim/bad_inline_value.cc": 3},
     "parfor-pushback": {"src/model/bad_parfor.cc": 2},
     "header-standalone": {"src/model/bad_header.hh": 1},
 }

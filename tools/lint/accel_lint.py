@@ -20,9 +20,11 @@ source-level discipline that claim rests on:
                      is implementation-defined, so such reductions are
                      not reproducible across platforms or libstdc++
                      versions.
-  fn-by-value        no by-value std::function parameters in function
-                     signatures; pass const& (borrow) or && (sink) so
-                     hot paths never pay a silent type-erased copy.
+  fn-by-value        no by-value callable parameters (std::function,
+                     sim::InlineFunction, sim::InlineCallback) in
+                     function signatures; pass const& (borrow) or &&
+                     (sink) so hot paths never pay a silent
+                     type-erased copy or move.
   parfor-pushback    no push_back/emplace_back inside parallelFor
                      bodies; parallel loop bodies must write to
                      pre-sized slots indexed by loop index, which is
@@ -344,7 +346,10 @@ def check_unordered_float_iter(path, clean, allowed, findings):
             suppressed=sup))
 
 
-FN_RE = re.compile(r"std\s*::\s*function\s*<")
+FN_RE = re.compile(
+    r"(?:std\s*::\s*function|(?:\bsim\s*::\s*)?\bInlineFunction)\s*<")
+# The void() alias has no template argument list of its own.
+INLINE_CB_RE = re.compile(r"(?:\bsim\s*::\s*)?\bInlineCallback\b")
 CONTROL_KEYWORDS = {"if", "for", "while", "switch", "return", "catch",
                     "sizeof", "decltype", "alignof", "noexcept"}
 
@@ -380,21 +385,30 @@ def enclosing_call_paren(clean, pos):
     return None
 
 
-def check_fn_by_value(path, clean, allowed, findings, ast_params=None):
+def fn_by_value_candidates(clean):
+    """Offsets of each by-value-prone callable type mention: yields
+    (start, end_of_type) for std::function<...>, InlineFunction<...>,
+    and the sim::InlineCallback alias (which has no argument list)."""
     for m in FN_RE.finditer(clean):
         lt = clean.index("<", m.end() - 1)
         close = match_balanced(clean, lt, "<", ">")
-        if close is None:
-            continue
+        if close is not None:
+            yield m.start(), close
+    for m in INLINE_CB_RE.finditer(clean):
+        yield m.start(), m.end()
+
+
+def check_fn_by_value(path, clean, allowed, findings, ast_params=None):
+    for start, close in fn_by_value_candidates(clean):
         rest = clean[close:]
         rm = re.match(r"\s*([&*]+)?\s*([A-Za-z_]\w*)?\s*([,)=])?", rest)
         if not rm or rm.group(1):
             continue  # reference/pointer: fine
         if not rm.group(2) or rm.group(3) is None:
             continue  # no declarator or not followed by , ) = — skip
-        if enclosing_call_paren(clean, m.start()) is None:
+        if enclosing_call_paren(clean, start) is None:
             continue  # local/member/alias declaration, not a parameter
-        lineno = line_of(clean, m.start())
+        lineno = line_of(clean, start)
         if ast_params is not None and lineno not in ast_params:
             continue  # libclang says no ParmVarDecl on this line
         rule = "fn-by-value"
@@ -402,8 +416,10 @@ def check_fn_by_value(path, clean, allowed, findings, ast_params=None):
                rule in allowed.get(lineno - 1, ()))
         findings.append(Finding(
             path, lineno, rule,
-            "by-value std::function parameter copies the type-erased "
-            "callable on every call; take const& (borrow) or && (sink)",
+            "by-value callable parameter (std::function / "
+            "sim::InlineFunction / sim::InlineCallback) pays a "
+            "type-erased copy or move on every call; take const& "
+            "(borrow) or && (sink)",
             suppressed=sup))
 
 
@@ -505,7 +521,9 @@ def libclang_param_lines(path, flags):
 
     def visit(node):
         if node.kind == cindex.CursorKind.PARM_DECL and \
-                "function<" in node.type.spelling and \
+                ("function<" in node.type.spelling or
+                 "InlineFunction<" in node.type.spelling or
+                 "InlineCallback" in node.type.spelling) and \
                 "&" not in node.type.spelling and \
                 node.location.file and \
                 os.path.samefile(str(node.location.file), path):
