@@ -378,7 +378,15 @@ main(int argc, char **argv)
                  << ", \"ejections\": " << rs.ejections
                  << ", \"readmissions\": " << rs.readmissions << "}";
         }
-        json << "\n  ],\n  \"pass\": " << (ok ? "true" : "false")
+        // Complete tier dump for the adjudicated runs: every counter
+        // the tier collected (failover exhaustion, readmission
+        // probes, useful/wasted cycles, per-replica device stats),
+        // not just the headline fields above.
+        json << "\n  ],\n  \"hedged_tier_detail\": "
+             << hedged.m.tier.summaryJson()
+             << ",\n  \"dead_tier_detail\": "
+             << dead_m.tier.summaryJson()
+             << ",\n  \"pass\": " << (ok ? "true" : "false")
              << "\n}\n";
         std::ofstream out(json_path);
         require(static_cast<bool>(out),

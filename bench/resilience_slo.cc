@@ -166,12 +166,15 @@ main(int argc, char **argv)
 
     bool first_row = true;
     double breaker_ratio_at_full_failure = 0.0;
+    const microsim::ServiceMetrics *breaker_detail = nullptr;
     for (const Cell &cell : cells) {
         const microsim::ServiceMetrics &m = cell.ab.resilient;
         double ratio = cell.ab.goodputRatio();
         std::uint64_t fallbacks = m.hostFallbacks + m.breakerFallbacks;
-        if (pols[cell.policy].breaker.enabled && cell.dropP == 1.0)
+        if (pols[cell.policy].breaker.enabled && cell.dropP == 1.0) {
             breaker_ratio_at_full_failure = ratio;
+            breaker_detail = &m;
+        }
         table.addRow({pols[cell.policy].name, fmtF(cell.dropP, 2),
                       fmtF(m.goodputQps(), 0), fmtF(ratio, 3),
                       fmtF(m.latencySample.p99(), 0),
@@ -211,7 +214,14 @@ main(int argc, char **argv)
     json << "\n  ],\n  \"breaker_ratio_at_full_failure\": "
          << fmtF(breaker_ratio_at_full_failure, 4)
          << ",\n  \"breaker_criterion_pass\": "
-         << (breaker_ok ? "true" : "false") << "\n}\n";
+         << (breaker_ok ? "true" : "false");
+    // Complete metrics dump for the adjudicated cell: every counter
+    // the run collected (degraded-mode, breaker, shedding, overhead
+    // accounting), not just the headline columns above.
+    if (breaker_detail != nullptr)
+        json << ",\n  \"breaker_cell_metrics\": "
+             << breaker_detail->summaryJson();
+    json << "\n}\n";
 
     std::cout << table.str() << "\ncsv:\n" << csv_text.str();
     std::cout << "\nbreaker check: goodput at 100% failure is "

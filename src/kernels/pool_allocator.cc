@@ -2,10 +2,23 @@
 
 #include <bit>
 #include <new>
+#include <sstream>
 
 #include "util/logging.hh"
 
 namespace accel::kernels {
+
+std::string
+PoolStats::summaryJson() const
+{
+    std::ostringstream os;
+    os << "{\"allocations\": " << allocations << ", \"frees\": "
+       << frees << ", \"sized_frees\": " << sizedFrees
+       << ", \"chunk_refills\": " << chunkRefills
+       << ", \"bytes_requested\": " << bytesRequested
+       << ", \"live_blocks\": " << liveBlocks << "}";
+    return os.str();
+}
 
 PoolAllocator::PoolAllocator()
 {

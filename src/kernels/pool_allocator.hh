@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 namespace accel::kernels {
@@ -30,6 +31,9 @@ struct PoolStats
     std::uint64_t chunkRefills = 0;
     std::uint64_t bytesRequested = 0;
     std::uint64_t liveBlocks = 0;
+
+    /** Every counter above as one JSON object (report surface). */
+    std::string summaryJson() const;
 };
 
 /**

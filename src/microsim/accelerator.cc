@@ -2,11 +2,30 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <utility>
 
+#include "util/json_fmt.hh"
 #include "util/logging.hh"
 
 namespace accel::microsim {
+
+std::string
+AcceleratorStats::summaryJson() const
+{
+    std::ostringstream os;
+    os << "{\"served\": " << served << ", \"busy_cycles\": "
+       << jsonNumber(busyCycles) << ", \"max_queue_depth\": "
+       << maxQueueDepth << ", \"queue_wait_cycles\": "
+       << queueWaitCycles.summaryJson() << ", \"service_cycles\": "
+       << serviceCycles.summaryJson() << ", \"transfer_cycles\": "
+       << transferCycles.summaryJson() << ", \"dropped_responses\": "
+       << droppedResponses << ", \"late_responses\": " << lateResponses
+       << ", \"spiked_transfers\": " << spikedTransfers
+       << ", \"lost_to_device_failure\": " << lostToDeviceFailure
+       << ", \"stall_deferrals\": " << stallDeferrals << "}";
+    return os.str();
+}
 
 void
 AcceleratorConfig::validate() const

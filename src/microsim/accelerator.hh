@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 
 #include "faults/fault_plan.hh"
 #include "sim/event_queue.hh"
@@ -65,6 +66,9 @@ struct AcceleratorStats
     std::uint64_t spikedTransfers = 0;   //!< transfer-latency spikes
     std::uint64_t lostToDeviceFailure = 0; //!< discarded by reset
     std::uint64_t stallDeferrals = 0;    //!< service starts deferred
+
+    /** Every counter above as one JSON object (report surface). */
+    std::string summaryJson() const;
 };
 
 /** The device: transfer -> queue -> serve -> completion callback. */

@@ -1,5 +1,8 @@
 #include "microsim/metrics.hh"
 
+#include <sstream>
+
+#include "util/json_fmt.hh"
 #include "util/logging.hh"
 
 namespace accel::microsim {
@@ -27,6 +30,59 @@ double
 ServiceMetrics::meanLatencyCycles() const
 {
     return latencyCycles.mean();
+}
+
+std::string
+ServiceMetrics::summaryJson() const
+{
+    std::ostringstream os;
+    os << "{\"measured_seconds\": " << jsonNumber(measuredSeconds)
+       << ", \"qps\": " << jsonNumber(qps()) << ", \"goodput_qps\": "
+       << jsonNumber(goodputQps())
+       << ", \"requests_completed\": " << requestsCompleted
+       << ", \"requests_arrived\": " << requestsArrived
+       << ", \"requests_degraded\": " << requestsDegraded
+       << ", \"requests_failed\": " << requestsFailed
+       << ", \"requests_shed\": " << requestsShed
+       << ", \"max_arrival_queue_depth\": " << maxArrivalQueueDepth
+       << ", \"latency_cycles\": " << latencyCycles.summaryJson()
+       << ", \"latency_sample\": " << latencySample.summaryJson()
+       << ", \"degraded_latency_cycles\": "
+       << degradedLatencyCycles.summaryJson()
+       << ", \"degraded_latency_sample\": "
+       << degradedLatencySample.summaryJson()
+       << ", \"end_to_end_latency_cycles\": "
+       << endToEndLatencyCycles.summaryJson()
+       << ", \"core_busy_cycles\": " << jsonNumber(coreBusyCycles)
+       << ", \"core_cycles_by_tag\": {";
+    bool first = true;
+    for (const auto &[tag, cycles] : coreCyclesByTag) {
+        os << (first ? "" : ", ") << "\"" << tag
+           << "\": " << jsonNumber(cycles);
+        first = false;
+    }
+    os << "}, \"core_held_idle_cycles\": "
+       << jsonNumber(coreHeldIdleCycles)
+       << ", \"dispatch_overhead_cycles\": "
+       << jsonNumber(dispatchOverheadCycles)
+       << ", \"switch_overhead_cycles\": "
+       << jsonNumber(switchOverheadCycles)
+       << ", \"offloads_issued\": " << offloadsIssued
+       << ", \"kernels_on_host\": " << kernelsOnHost
+       << ", \"offload_timeouts\": " << offloadTimeouts
+       << ", \"offload_retries\": " << offloadRetries
+       << ", \"host_fallbacks\": " << hostFallbacks
+       << ", \"breaker_fallbacks\": " << breakerFallbacks
+       << ", \"offloads_abandoned\": " << offloadsAbandoned
+       << ", \"late_completions_ignored\": " << lateCompletionsIgnored
+       << ", \"breaker_opens\": " << breakerOpens
+       << ", \"breaker_probes\": " << breakerProbes
+       << ", \"breaker_closes\": " << breakerCloses
+       << ", \"fallback_host_cycles\": "
+       << jsonNumber(fallbackHostCycles) << ", \"accelerator\": "
+       << accelerator.summaryJson() << ", \"tier\": "
+       << tier.summaryJson() << "}";
+    return os.str();
 }
 
 } // namespace accel::microsim

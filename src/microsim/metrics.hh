@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 
 #include "microsim/accelerator.hh"
 #include "microsim/tier.hh"
@@ -129,6 +130,18 @@ struct ServiceMetrics
 
     /** Mean request latency in cycles. */
     double meanLatencyCycles() const;
+
+    /**
+     * Every counter and distribution this struct collects — including
+     * the degraded-mode, breaker, shedding, and overhead accounting —
+     * as one JSON object, with the accelerator and tier summaries
+     * nested. This is the complete report surface: benches embed it in
+     * their JSON artifacts so no counter the simulation pays for is
+     * collected and then silently dropped (the analyzer's
+     * metrics-accounting rule enforces that every field is reachable
+     * from a report path).
+     */
+    std::string summaryJson() const;
 };
 
 } // namespace accel::microsim

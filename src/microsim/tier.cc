@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <utility>
 
 #include "model/config_frontend.hh"
+#include "util/json_fmt.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -155,6 +157,49 @@ TierStats::duplicateWorkFraction() const
     if (usefulServiceCycles <= 0.0)
         return 0.0;
     return wastedServiceCycles / usefulServiceCycles;
+}
+
+std::string
+TierReplicaStats::summaryJson() const
+{
+    std::ostringstream os;
+    os << "{\"dispatched\": " << dispatched << ", \"wins\": " << wins
+       << ", \"duplicates\": " << duplicates
+       << ", \"wasted_service_cycles\": "
+       << jsonNumber(wastedServiceCycles) << ", \"failures\": "
+       << failures << ", \"ejections\": " << ejections
+       << ", \"readmissions\": " << readmissions << "}";
+    return os.str();
+}
+
+std::string
+TierStats::summaryJson() const
+{
+    std::ostringstream os;
+    os << "{\"offloads\": " << offloads << ", \"hedges_issued\": "
+       << hedgesIssued << ", \"hedge_wins\": " << hedgeWins
+       << ", \"hedge_losses\": " << hedgeLosses
+       << ", \"duplicate_completions\": " << duplicateCompletions
+       << ", \"wasted_service_cycles\": "
+       << jsonNumber(wastedServiceCycles)
+       << ", \"useful_service_cycles\": "
+       << jsonNumber(usefulServiceCycles)
+       << ", \"duplicate_work_fraction\": "
+       << jsonNumber(duplicateWorkFraction()) << ", \"failovers\": "
+       << failovers << ", \"failovers_exhausted\": "
+       << failoversExhausted << ", \"watchdog_expiries\": "
+       << watchdogExpiries << ", \"ejections\": " << ejections
+       << ", \"readmission_probes\": " << readmissionProbes
+       << ", \"readmissions\": " << readmissions
+       << ", \"offload_latency_cycles\": "
+       << offloadLatencyCycles.summaryJson() << ", \"replicas\": [";
+    for (size_t r = 0; r < replicas.size(); ++r)
+        os << (r ? ", " : "") << replicas[r].summaryJson();
+    os << "], \"device_stats\": [";
+    for (size_t r = 0; r < deviceStats.size(); ++r)
+        os << (r ? ", " : "") << deviceStats[r].summaryJson();
+    os << "]}";
+    return os.str();
 }
 
 AcceleratorTier::AcceleratorTier(sim::EventQueue &eq,

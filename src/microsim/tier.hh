@@ -170,6 +170,9 @@ struct TierReplicaStats
     std::uint64_t failures = 0;   //!< watchdog expiries charged here
     std::uint64_t ejections = 0;  //!< incl. probe-failure re-ejections
     std::uint64_t readmissions = 0;
+
+    /** Every counter above as one JSON object (report surface). */
+    std::string summaryJson() const;
 };
 
 /** Observed tier behaviour over a run (all zero on a trivial tier). */
@@ -203,6 +206,14 @@ struct TierStats
      * useful service cycles (0 when nothing settled).
      */
     double duplicateWorkFraction() const;
+
+    /**
+     * Every tier counter, the offload-latency sample, and the
+     * per-replica breakdowns (incl. device stats) as one JSON object
+     * — the complete report surface, so no counter the tier collects
+     * is silently dropped on the floor.
+     */
+    std::string summaryJson() const;
 };
 
 /** The replicated tier: dispatch -> replica -> race -> settle. */

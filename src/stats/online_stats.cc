@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
+
+#include "util/json_fmt.hh"
 
 namespace accel {
 
@@ -48,6 +51,17 @@ double
 OnlineStats::stddev() const
 {
     return std::sqrt(variance());
+}
+
+std::string
+OnlineStats::summaryJson() const
+{
+    std::ostringstream os;
+    os << "{\"count\": " << count_ << ", \"mean\": "
+       << jsonNumber(mean()) << ", \"min\": "
+       << jsonNumber(count_ ? min_ : 0.0) << ", \"max\": "
+       << jsonNumber(count_ ? max_ : 0.0) << "}";
+    return os.str();
 }
 
 } // namespace accel

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 
 namespace accel {
 
@@ -46,6 +47,9 @@ class OnlineStats
 
     /** Largest observation; -inf when empty. */
     double max() const { return max_; }
+
+    /** {"count":..,"mean":..,"min":..,"max":..} (0s when empty). */
+    std::string summaryJson() const;
 
   private:
     std::uint64_t count_ = 0;

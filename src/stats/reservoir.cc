@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
+#include "util/json_fmt.hh"
 #include "util/logging.hh"
 
 namespace accel {
@@ -47,6 +49,18 @@ ReservoirSample::quantile(double p) const
     if (rank > 0)
         --rank;
     return sorted_[std::min(rank, sorted_.size() - 1)];
+}
+
+std::string
+ReservoirSample::summaryJson() const
+{
+    std::ostringstream os;
+    bool any = !values_.empty();
+    os << "{\"count\": " << seen_ << ", \"p50\": "
+       << jsonNumber(any ? p50() : 0.0) << ", \"p95\": "
+       << jsonNumber(any ? p95() : 0.0) << ", \"p99\": "
+       << jsonNumber(any ? p99() : 0.0) << "}";
+    return os.str();
 }
 
 } // namespace accel

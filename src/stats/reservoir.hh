@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/rng.hh"
@@ -48,6 +49,9 @@ class ReservoirSample
     double p50() const { return quantile(0.50); }
     double p95() const { return quantile(0.95); }
     double p99() const { return quantile(0.99); }
+
+    /** {"count":..,"p50":..,"p95":..,"p99":..} (0s when empty). */
+    std::string summaryJson() const;
 
   private:
     size_t capacity_;

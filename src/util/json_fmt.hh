@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Minimal JSON number/string formatting shared by the stats summary
+ * emitters (OnlineStats/ReservoirSample/ServiceMetrics/TierStats).
+ *
+ * Deliberately tiny: the benches hand-build their JSON reports with
+ * ostringstream, and the summary emitters need only two guarantees a
+ * bare `<<` does not give — non-finite doubles must not leak "inf"/
+ * "nan" tokens into the output (invalid JSON), and the format must be
+ * locale-independent and identical across runs so report files diff
+ * cleanly under the determinism parity suite.
+ */
+
+#pragma once
+
+#include <cmath>
+#include <locale>
+#include <sstream>
+#include <string>
+
+namespace accel {
+
+/** A double as a JSON-valid token; non-finite values render as 0. */
+inline std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    std::ostringstream os;
+    os.imbue(std::locale::classic());
+    os << v;
+    return os.str();
+}
+
+} // namespace accel

@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""Self-test for tools/analyze/accel_analyze.py.
+
+Runs the analyzer over the fixture corpus in
+tests/tools/fixtures/analyze (a fake repo root) and asserts that every
+rule fires exactly where the fixtures say it must, that allow()
+comments suppress, that --audit-suppressions catches a planted stale
+allow, that the baseline round-trips, that the SARIF report is
+well-formed, and that the regression roots pin the planted real-source
+defects (and their fixed forms stay clean).
+
+Usage: analyze_selftest.py <case>
+where <case> is a rule name, "suppression", "clean", "exit-code",
+"audit-stale", "regression-dangling", "regression-rng",
+"regression-validate", "baseline", or "sarif".
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ANALYZE = os.path.join(HERE, "..", "..", "tools", "analyze",
+                       "accel_analyze.py")
+FIXTURES = os.path.join(HERE, "fixtures", "analyze")
+STALE_ROOT = os.path.join(FIXTURES, "stale")
+REGRESSION = os.path.join(FIXTURES, "regression")
+
+# Expected *unsuppressed* findings per rule: file -> count. The fixture
+# headers pin the same numbers; keep them in sync.
+EXPECTED = {
+    "dangling-capture": {"src/sim/bad_dangling.cc": 3},
+    "rng-discipline": {"src/sim/bad_rng.cc": 5},
+    "validate-coverage": {"src/model/bad_validate.cc": 3},
+    "metrics-accounting": {"src/microsim/bad_metrics.cc": 3},
+}
+
+# Every bad fixture carries exactly one suppressed finding.
+SUPPRESSED = {
+    "src/sim/bad_dangling.cc": 1,
+    "src/sim/bad_rng.cc": 1,
+    "src/model/bad_validate.cc": 1,
+    "src/microsim/bad_metrics.cc": 1,
+}
+
+CLEAN_FILE = "src/model/clean_analyze.cc"
+
+# Regression roots: (root dir, rule, defect file, fixed file or None).
+REGRESSIONS = {
+    "regression-dangling": ("dangling", "dangling-capture",
+                            "src/microsim/service_defect.cc",
+                            "src/microsim/service_fixed.cc"),
+    "regression-rng": ("rng", "rng-discipline",
+                       "src/microsim/hedge_defect.cc",
+                       "src/microsim/hedge_fixed.cc"),
+    "regression-validate": ("validate", "validate-coverage",
+                            "src/model/plan_defect.cc", None),
+}
+
+
+def run_analyze(root, extra=None, paths=("src",)):
+    with tempfile.NamedTemporaryFile(suffix=".json",
+                                     delete=False) as tmp:
+        report_path = tmp.name
+    try:
+        argv = [sys.executable, ANALYZE, "--root", root,
+                "--frontend", "builtin", "--baseline", "none",
+                "--json", report_path] + list(extra or []) + list(paths)
+        proc = subprocess.run(argv, capture_output=True, text=True)
+        with open(report_path, encoding="utf-8") as f:
+            report = json.load(f)
+    finally:
+        os.unlink(report_path)
+    return proc, report
+
+
+def fail(msg, proc):
+    print("FAIL:", msg)
+    print("--- analyzer stdout ---")
+    print(proc.stdout)
+    print("--- analyzer stderr ---")
+    print(proc.stderr)
+    return 1
+
+
+def libclang_importable():
+    try:
+        import clang.cindex  # noqa: F401
+        return True
+    except Exception:
+        return False
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    case = sys.argv[1]
+
+    if case in EXPECTED:
+        proc, report = run_analyze(FIXTURES)
+        findings = report["findings"]
+        for path, want in EXPECTED[case].items():
+            got = sum(1 for f in findings
+                      if f["rule"] == case and f["file"] == path and
+                      not f["suppressed"])
+            if got != want:
+                return fail("rule %s: expected %d finding(s) in %s, "
+                            "got %d" % (case, want, path, got), proc)
+        stray = sum(1 for f in findings
+                    if f["rule"] == case and f["file"] == CLEAN_FILE)
+        if stray:
+            return fail("rule %s fired %d time(s) on the clean "
+                        "fixture" % (case, stray), proc)
+    elif case == "suppression":
+        proc, report = run_analyze(FIXTURES)
+        findings = report["findings"]
+        for path, want in SUPPRESSED.items():
+            got = sum(1 for f in findings
+                      if f["file"] == path and f["suppressed"])
+            if got != want:
+                return fail("%s: expected %d suppressed finding(s), "
+                            "got %d" % (path, want, got), proc)
+    elif case == "clean":
+        proc, report = run_analyze(FIXTURES)
+        stray = [f for f in report["findings"]
+                 if f["file"] == CLEAN_FILE]
+        if stray:
+            return fail("clean fixture produced findings: %r" % stray,
+                        proc)
+    elif case == "exit-code":
+        proc, _ = run_analyze(FIXTURES)
+        if proc.returncode != 1:
+            return fail("expected exit 1 with unsuppressed findings, "
+                        "got %d" % proc.returncode, proc)
+        clean_proc, _ = run_analyze(
+            FIXTURES, paths=(os.path.join("src", "model",
+                                          "clean_analyze.cc"),))
+        if clean_proc.returncode != 0:
+            return fail("expected exit 0 on the clean fixture, got %d"
+                        % clean_proc.returncode, clean_proc)
+        bad_rule = subprocess.run(
+            [sys.executable, ANALYZE, "--root", FIXTURES,
+             "--rules", "no-such-rule", "src"],
+            capture_output=True, text=True)
+        if bad_rule.returncode != 2:
+            return fail("expected exit 2 on an unknown rule, got %d"
+                        % bad_rule.returncode, bad_rule)
+        # --frontend libclang must hard-error (not silently degrade)
+        # when the clang bindings are missing.
+        hard = subprocess.run(
+            [sys.executable, ANALYZE, "--root", FIXTURES,
+             "--frontend", "libclang", "src"],
+            capture_output=True, text=True)
+        if libclang_importable():
+            if hard.returncode not in (0, 1):
+                return fail("libclang available: expected exit 0/1, "
+                            "got %d" % hard.returncode, hard)
+        else:
+            if hard.returncode != 2:
+                return fail("libclang missing: expected exit 2 from "
+                            "--frontend libclang, got %d"
+                            % hard.returncode, hard)
+            if "needs libclang" not in hard.stderr:
+                return fail("missing-libclang error must say 'needs "
+                            "libclang'", hard)
+    elif case == "audit-stale":
+        proc, report = run_analyze(STALE_ROOT,
+                                   extra=["--audit-suppressions"])
+        if proc.returncode != 1:
+            return fail("expected exit 1 from the stale audit, got %d"
+                        % proc.returncode, proc)
+        stale = report.get("stale", [])
+        if len(stale) != 1 or stale[0]["file"] != "src/stale.cc" or \
+                stale[0]["line"] != 18:
+            return fail("expected exactly one stale suppression at "
+                        "src/stale.cc:18, got %r" % stale, proc)
+        # The main corpus audit must be clean: every allow() there
+        # covers a live finding.
+        live_proc, live_report = run_analyze(
+            FIXTURES, extra=["--audit-suppressions"])
+        if live_proc.returncode != 0 or live_report.get("stale"):
+            return fail("main fixture corpus audit should be clean, "
+                        "exit %d, stale %r"
+                        % (live_proc.returncode,
+                           live_report.get("stale")), live_proc)
+    elif case in REGRESSIONS:
+        sub, rule, defect, fixed = REGRESSIONS[case]
+        proc, report = run_analyze(os.path.join(REGRESSION, sub))
+        findings = report["findings"]
+        hits = [f for f in findings if f["file"] == defect]
+        if len(hits) != 1 or hits[0]["rule"] != rule:
+            return fail("%s: expected exactly one %s finding in %s, "
+                        "got %r" % (case, rule, defect, hits), proc)
+        if fixed is not None:
+            leak = [f for f in findings if f["file"] == fixed]
+            if leak:
+                return fail("%s: fixed form %s produced findings: %r"
+                            % (case, fixed, leak), proc)
+    elif case == "baseline":
+        tmpdir = tempfile.mkdtemp()
+        baseline = os.path.join(tmpdir, "baseline.json")
+        try:
+            update = subprocess.run(
+                [sys.executable, ANALYZE, "--root", FIXTURES,
+                 "--frontend", "builtin", "--baseline", baseline,
+                 "--update-baseline", "src"],
+                capture_output=True, text=True)
+            if update.returncode != 0:
+                return fail("--update-baseline should exit 0, got %d"
+                            % update.returncode, update)
+            proc, report = run_analyze(
+                FIXTURES, extra=["--baseline", baseline])
+            if proc.returncode != 0:
+                return fail("baselined rerun should exit 0, got %d"
+                            % proc.returncode, proc)
+            live = [f for f in report["findings"]
+                    if not f["suppressed"] and not f["baselined"]]
+            if live:
+                return fail("baselined rerun left live findings: %r"
+                            % live, proc)
+            baselined = [f for f in report["findings"]
+                         if f["baselined"]]
+            if not baselined:
+                return fail("baselined rerun marked nothing as "
+                            "baselined", proc)
+        finally:
+            if os.path.exists(baseline):
+                os.unlink(baseline)
+            os.rmdir(tmpdir)
+    elif case == "sarif":
+        with tempfile.NamedTemporaryFile(suffix=".sarif",
+                                         delete=False) as tmp:
+            sarif_path = tmp.name
+        try:
+            proc, report = run_analyze(
+                FIXTURES, extra=["--sarif", sarif_path])
+            with open(sarif_path, encoding="utf-8") as f:
+                sarif = json.load(f)
+        finally:
+            os.unlink(sarif_path)
+        if sarif.get("version") != "2.1.0":
+            return fail("SARIF version must be 2.1.0, got %r"
+                        % sarif.get("version"), proc)
+        run = sarif["runs"][0]
+        if run["tool"]["driver"]["name"] != "accel-analyze":
+            return fail("SARIF driver name mismatch: %r"
+                        % run["tool"]["driver"]["name"], proc)
+        results = run["results"]
+        if len(results) != len(report["findings"]):
+            return fail("SARIF results (%d) != JSON findings (%d)"
+                        % (len(results), len(report["findings"])),
+                        proc)
+        suppressed = [r for r in results if r.get("suppressions")]
+        want = sum(1 for f in report["findings"] if f["suppressed"])
+        if len(suppressed) != want:
+            return fail("SARIF suppressions (%d) != suppressed "
+                        "findings (%d)" % (len(suppressed), want),
+                        proc)
+        rule_ids = {r["ruleId"] for r in results}
+        declared = {r["id"] for r in
+                    run["tool"]["driver"].get("rules", [])}
+        if not rule_ids <= declared:
+            return fail("SARIF results reference undeclared rules: %r"
+                        % (rule_ids - declared), proc)
+    else:
+        print("unknown case:", case)
+        return 2
+
+    print("PASS:", case)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+// Regression fixture: the planted dangling-capture defect, distilled
+// from the ServiceSim completion-callback shape. A request record is
+// built on the dispatch frame and captured by reference into the
+// deferred completion callback; by the time the event fires the frame
+// is gone. service_fixed.cc carries the corrected form.
+//
+// The analyze selftest pins: exactly 1 dangling-capture finding in
+// this file and 0 in service_fixed.cc.
+#include <cstdint>
+
+namespace sim {
+struct InlineCallback {
+};
+} // namespace sim
+
+struct EventQueue {
+    void scheduleIn(std::uint64_t delay, sim::InlineCallback &&cb);
+};
+
+struct Request {
+    std::uint64_t id = 0;
+    std::uint64_t arrival_cycle = 0;
+    std::uint64_t service_cycles = 0;
+};
+
+struct ServiceSim {
+    EventQueue eq_;
+    std::uint64_t completed_ = 0;
+    std::uint64_t latency_accum_ = 0;
+
+    void dispatch(std::uint64_t now, std::uint64_t id) {
+        Request req;
+        req.id = id;
+        req.arrival_cycle = now;
+        req.service_cycles = 120;
+        // DEFECT: req lives on this frame; the completion callback
+        // runs after dispatch() has returned.
+        eq_.scheduleIn(req.service_cycles, [&] {
+            ++completed_;
+            latency_accum_ += req.service_cycles;
+        });
+    }
+};

@@ -1,0 +1,40 @@
+// Regression fixture: the corrected form of service_defect.cc. The
+// request record is moved into the completion callback, so nothing on
+// the dispatch frame is referenced after it returns.
+//
+// The analyze selftest pins: 0 findings in this file.
+#include <cstdint>
+#include <utility>
+
+namespace sim {
+struct InlineCallback {
+};
+} // namespace sim
+
+struct EventQueue {
+    void scheduleIn(std::uint64_t delay, sim::InlineCallback &&cb);
+};
+
+struct Request {
+    std::uint64_t id = 0;
+    std::uint64_t arrival_cycle = 0;
+    std::uint64_t service_cycles = 0;
+};
+
+struct ServiceSimFixed {
+    EventQueue eq_;
+    std::uint64_t completed_ = 0;
+    std::uint64_t latency_accum_ = 0;
+
+    void dispatch(std::uint64_t now, std::uint64_t id) {
+        Request req;
+        req.id = id;
+        req.arrival_cycle = now;
+        req.service_cycles = 120;
+        // FIX: move the record into the callback's own storage.
+        eq_.scheduleIn(req.service_cycles, [this, r = std::move(req)] {
+            ++completed_;
+            latency_accum_ += r.service_cycles;
+        });
+    }
+};

@@ -1,0 +1,35 @@
+// Regression fixture: the planted rng-discipline defect, distilled
+// from the tier hedged-dispatch shape. The hedging decision lambda
+// captures the tier's Rng by value, so the deferred hedge replays the
+// same draws the primary path already consumed: a silent stream fork
+// that changes results when the hedge timing shifts. hedge_fixed.cc
+// carries the corrected form.
+//
+// The analyze selftest pins: exactly 1 rng-discipline finding in this
+// file and 0 in hedge_fixed.cc.
+#include <cstdint>
+
+namespace accel {
+struct Rng {
+    explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
+    double uniform();
+    bool chance(double p);
+};
+} // namespace accel
+
+template <typename F> void deferHedge(std::uint64_t delay, F &&f);
+void recordHedge(bool fired);
+
+struct HedgedTier {
+    accel::Rng rng_{7};
+    double hedge_p_ = 0.05;
+
+    void maybeHedge(std::uint64_t delay) {
+        accel::Rng rng = rng_;
+        // DEFECT: by-value capture forks the stream; the hedge replays
+        // draws the primary dispatch path already consumed.
+        deferHedge(delay, [rng, this]() mutable {
+            recordHedge(rng.chance(hedge_p_));
+        });
+    }
+};

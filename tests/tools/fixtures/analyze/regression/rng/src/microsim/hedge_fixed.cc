@@ -1,0 +1,33 @@
+// Regression fixture: the corrected form of hedge_defect.cc. The
+// hedge draw comes from a dedicated slot-seeded stream constructed for
+// this decision, so the primary stream is never forked.
+//
+// The analyze selftest pins: 0 findings in this file.
+#include <cstdint>
+
+namespace accel {
+struct Rng {
+    explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
+    double uniform();
+    bool chance(double p);
+};
+} // namespace accel
+
+std::uint64_t mix(std::uint64_t x);
+template <typename F> void deferHedge(std::uint64_t delay, F &&f);
+void recordHedge(bool fired);
+
+struct HedgedTierFixed {
+    std::uint64_t seed_ = 7;
+    std::uint64_t hedges_issued_ = 0;
+    double hedge_p_ = 0.05;
+
+    void maybeHedge(std::uint64_t delay) {
+        // FIX: a fresh stream keyed on (seed, decision index) keeps the
+        // draw deterministic without touching the primary stream.
+        accel::Rng hedge_rng(mix(seed_ ^ (hedges_issued_ + 1)));
+        ++hedges_issued_;
+        const bool fire = hedge_rng.chance(hedge_p_);
+        deferHedge(delay, [fire]() { recordHedge(fire); });
+    }
+};

@@ -1,0 +1,38 @@
+// Regression fixture: the planted validate-coverage defect, distilled
+// from the FaultPlan config shape. A new floating-point knob was added
+// to the struct and the parse path but never to validate(), so a NaN
+// or negative value flows straight into the simulation.
+//
+// The analyze selftest pins: exactly 1 validate-coverage finding in
+// this file, on spike_bias.
+#include <cstdint>
+
+void checkFinite(double v);
+void checkUnit(double v);
+
+struct FaultPlanCfg {
+    double mtbf_scale = 1.0;
+    double repair_scale = 1.0;
+    double spike_bias = 0.0; // DEFECT: parsed below, never validated
+    bool inject_spikes = false;
+
+    void validate() const;
+};
+
+void
+FaultPlanCfg::validate() const
+{
+    checkFinite(mtbf_scale);
+    checkFinite(repair_scale);
+}
+
+FaultPlanCfg
+faultPlanFromConfig(double mtbf, double repair, double bias)
+{
+    FaultPlanCfg c;
+    c.mtbf_scale = mtbf;
+    c.repair_scale = repair;
+    c.spike_bias = bias;
+    c.inject_spikes = bias != 0.0;
+    return c;
+}

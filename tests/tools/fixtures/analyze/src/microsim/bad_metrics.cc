@@ -1,0 +1,41 @@
+// Fixture: metrics-accounting fires and non-fires.
+//
+// The analyze selftest pins the counts below; keep them in sync:
+//   unsuppressed metrics-accounting fires: 3
+//   suppressed metrics-accounting fires:   1
+#include <cstdint>
+
+struct WidgetStats {
+    std::uint64_t produced = 0;   // written and reported: clean
+    std::uint64_t lostOnly = 0;   // FIRE: incremented, never reported
+    std::uint64_t ghostOnly = 0;  // FIRE: reported, never incremented
+    std::uint64_t deadWeight = 0; // FIRE: neither
+    std::uint64_t maxSeen = 0;    // self-update + real report: clean
+    std::uint64_t shared = 0;     // also a WidgetConfig field: the
+                                  // structural frontend cannot
+                                  // attribute accesses, so skipped
+    // accel-lint: allow(metrics-accounting) -- fixture: debug counter
+    std::uint64_t quietlyLost = 0;
+};
+
+// Non-metrics struct sharing a field name: makes `shared` ambiguous.
+struct WidgetConfig {
+    std::uint64_t shared = 0;
+};
+
+void
+collect(WidgetStats &s, std::uint64_t v)
+{
+    ++s.produced;
+    s.lostOnly += 2;
+    ++s.shared;
+    s.quietlyLost += v;
+    // Self-update: reading maxSeen here is not a report.
+    s.maxSeen = s.maxSeen > v ? s.maxSeen : v;
+}
+
+std::uint64_t
+report(const WidgetStats &s)
+{
+    return s.produced + s.ghostOnly + s.maxSeen;
+}

@@ -1,0 +1,68 @@
+// Fixture: validate-coverage fires and non-fires.
+//
+// The analyze selftest pins the counts below; keep them in sync:
+//   unsuppressed validate-coverage fires: 3
+//   suppressed validate-coverage fires:   1
+
+void check(double v);
+void checkFlag(bool v);
+
+struct SubCfg {
+    double p = 0.0;
+    void validate() const;
+};
+
+void
+SubCfg::validate() const
+{
+    check(p);
+}
+
+enum class Mode { Fast, Safe };
+
+struct BadConfig {
+    double rate = 1.0;   // validated and parsed: clean
+    double burst = 0.0;  // FIRE: never referenced in validate()
+    bool enabled = false; // bool exempt from validate(); FIRE on the
+                          // parse leg: badFromConfig cannot set it
+    Mode mode = Mode::Fast; // enum: exempt from validate(); parsed
+    SubCfg sub;          // FIRE: sub-validate() never invoked
+    // accel-lint: allow(validate-coverage) -- fixture: legacy knob
+    double legacyKnob = 0.0;
+
+    void validate() const;
+};
+
+void
+BadConfig::validate() const
+{
+    check(rate);
+}
+
+BadConfig
+badFromConfig(int raw)
+{
+    BadConfig c;
+    c.rate = raw * 1.0;
+    c.burst = raw * 2.0;
+    c.mode = raw > 0 ? Mode::Fast : Mode::Safe;
+    c.sub.p = raw * 3.0;
+    c.legacyKnob = raw * 4.0;
+    return c;
+}
+
+struct GoodConfig {
+    double window = 1.0;
+    SubCfg sub;
+    bool verbose = false;
+
+    void validate() const;
+};
+
+void
+GoodConfig::validate() const
+{
+    check(window);
+    sub.validate();
+    checkFlag(verbose);
+}

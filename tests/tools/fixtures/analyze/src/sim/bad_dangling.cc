@@ -1,0 +1,74 @@
+// Fixture: dangling-capture fires and non-fires.
+//
+// The analyze selftest pins the counts below; keep them in sync:
+//   unsuppressed dangling-capture fires: 3
+//   suppressed dangling-capture fires:   1
+#include <cstdint>
+
+namespace sim {
+struct InlineCallback {
+};
+} // namespace sim
+
+struct EventQueue {
+    void scheduleIn(int delay, sim::InlineCallback &&cb);
+    void run();
+};
+
+// Auto-discovered sink: declares an InlineCallback&& parameter.
+void dispatchResilient(int replica, sim::InlineCallback &&resume);
+
+template <typename F> void apply(F &&f);
+void forEach(int n, int step);
+
+struct Sim {
+    EventQueue eq_;
+    std::uint64_t pending_ = 0;
+
+    void refDefaultLeak() {
+        std::uint64_t local = 7;
+        // FIRE: [&] lambda referencing a frame local, deferred.
+        eq_.scheduleIn(10, [&] { pending_ += local; });
+    }
+
+    void explicitRefLeak() {
+        std::uint64_t acc = 0;
+        // FIRE: explicit by-reference capture into a discovered sink.
+        dispatchResilient(0, [&acc] { acc += 1; });
+    }
+
+    void timerLeak() {
+        int x = 1;
+        // FIRE: builtin schedule* sink name.
+        eq_.scheduleIn(3, [&] { pending_ += static_cast<unsigned>(x); });
+    }
+
+    void suppressedLeak() {
+        int y = 2;
+        eq_.scheduleIn(4, [&] { // accel-lint: allow(dangling-capture) -- fixture
+            pending_ += static_cast<unsigned>(y);
+        });
+    }
+
+    void valueCaptureOk() {
+        std::uint64_t n = 9;
+        // no fire: value + this captures outlive the frame.
+        eq_.scheduleIn(7, [this, n] { pending_ += n; });
+    }
+
+    void notASinkOk() {
+        std::uint64_t k = 3;
+        // no fire: apply() takes the callback by value and is not a
+        // schedule sink.
+        apply(sim::InlineCallback{});
+        forEach(static_cast<int>(k), 1);
+    }
+
+    void drivesLoopOk() {
+        int done = 0;
+        // no fire: this frame drives the event loop itself, so its
+        // locals outlive the scheduled event (the test/bench shape).
+        eq_.scheduleIn(5, [&] { ++done; });
+        eq_.run();
+    }
+};

@@ -1,0 +1,83 @@
+// Fixture: rng-discipline fires and non-fires.
+//
+// The analyze selftest pins the counts below; keep them in sync:
+//   unsuppressed rng-discipline fires: 5
+//   suppressed rng-discipline fires:   1
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <utility>
+
+namespace accel {
+struct Rng {
+    explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
+    double uniform();
+    std::uint64_t next64();
+    bool chance(double p);
+};
+template <typename F> void parallelFor(std::size_t n, F &&f);
+} // namespace accel
+
+std::uint64_t mix(std::uint64_t x);
+void sink(double v);
+void consume(std::uint64_t v);
+template <typename F> void keep(F &&f);
+
+void
+distributionDraw(std::uint64_t seed)
+{
+    // FIRE: std::*_distribution in determinism-scoped code.
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    sink(dist.a() + static_cast<double>(seed));
+}
+
+void
+sharedStreamInParallelFor(std::uint64_t seed)
+{
+    accel::Rng rng(seed);
+    accel::parallelFor(8, [&](std::size_t i) {
+        // FIRE: shared stream consumed in worker completion order.
+        sink(rng.uniform() + static_cast<double>(i));
+    });
+}
+
+double
+staticStream()
+{
+    static accel::Rng tls(42);
+    // FIRE: program-lifetime stream, call-order dependent.
+    return tls.uniform();
+}
+
+double
+suppressedStaticStream()
+{
+    static accel::Rng tls2(43);
+    return tls2.uniform(); // accel-lint: allow(rng-discipline) -- fixture
+}
+
+void
+valueCaptureFork(std::uint64_t seed)
+{
+    accel::Rng rng(seed);
+    // FIRE: by-value capture forks the stream (both replay the same
+    // draws).
+    keep([rng]() mutable { return rng.next64(); });
+    // FIRE: init-capture copy is the same fork.
+    keep([r = rng]() mutable { return r.next64(); });
+}
+
+void
+approvedPatternsOk(std::uint64_t seed, accel::Rng &caller_stream)
+{
+    // no fire: per-slot Rng constructed inside the parallelFor body.
+    accel::parallelFor(8, [seed](std::size_t i) {
+        accel::Rng rng(mix(seed ^ (i + 1)));
+        sink(rng.uniform());
+    });
+    // no fire: moving the generator in continues the stream uniquely.
+    accel::Rng rng(seed);
+    keep([r = std::move(rng)]() mutable { return r.next64(); });
+    // no fire: a caller-owned stream advanced through a reference.
+    consume(caller_stream.next64());
+}

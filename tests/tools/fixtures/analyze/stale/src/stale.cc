@@ -1,0 +1,26 @@
+// Fixture: --audit-suppressions must flag the stale allow below.
+//
+// The analyze selftest pins: 1 stale-suppression finding (line 18),
+// 0 stale findings for the live suppression (line 24).
+#include <cstdint>
+
+namespace sim {
+struct InlineCallback {
+};
+} // namespace sim
+
+struct EventQueue {
+    void scheduleIn(int delay, sim::InlineCallback &&cb);
+};
+
+struct Holder {
+    EventQueue eq_;
+    // accel-lint: allow(dangling-capture) -- STALE: nothing fires here
+    std::uint64_t count_ = 0;
+
+    void liveSuppression() {
+        int x = 1;
+        // accel-lint: allow(dangling-capture) -- live: covers the fire below
+        eq_.scheduleIn(2, [&] { count_ += static_cast<unsigned>(x); });
+    }
+};

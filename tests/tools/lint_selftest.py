@@ -8,7 +8,8 @@ that justified allow() comments suppress, and that the exit status
 reflects unsuppressed findings.
 
 Usage: lint_selftest.py <case>
-where <case> is a rule name, "suppression", "clean", or "exit-code".
+where <case> is a rule name, "suppression", "clean", "exit-code",
+"audit-stale", or "sarif".
 """
 
 import json
@@ -122,6 +123,64 @@ def main():
         if clean_proc.returncode != 0:
             return fail("expected exit 0 on the clean fixture, got %d"
                         % clean_proc.returncode, clean_proc)
+    elif case == "audit-stale":
+        with tempfile.NamedTemporaryFile(suffix=".json",
+                                         delete=False) as tmp:
+            report_path = tmp.name
+        try:
+            audit = subprocess.run(
+                [sys.executable, LINT, "--root", FIXTURES,
+                 "--no-libclang", "--audit-suppressions",
+                 "--json", report_path, "src"],
+                capture_output=True, text=True)
+            with open(report_path, encoding="utf-8") as f:
+                audit_report = json.load(f)
+        finally:
+            os.unlink(report_path)
+        if audit.returncode != 1:
+            return fail("expected exit 1 from the stale audit, got %d"
+                        % audit.returncode, audit)
+        stale = audit_report.get("stale", [])
+        if len(stale) != 1 or \
+                stale[0]["file"] != "src/model/stale_allow.cc" or \
+                stale[0]["line"] != 5:
+            return fail("expected exactly one stale suppression at "
+                        "src/model/stale_allow.cc:5, got %r" % stale,
+                        audit)
+    elif case == "sarif":
+        with tempfile.NamedTemporaryFile(suffix=".sarif",
+                                         delete=False) as tmp:
+            sarif_path = tmp.name
+        try:
+            sarif_proc = subprocess.run(
+                [sys.executable, LINT, "--root", FIXTURES,
+                 "--no-libclang", "--sarif", sarif_path, "src"],
+                capture_output=True, text=True)
+            with open(sarif_path, encoding="utf-8") as f:
+                sarif = json.load(f)
+        finally:
+            os.unlink(sarif_path)
+        if sarif.get("version") != "2.1.0":
+            return fail("SARIF version must be 2.1.0, got %r"
+                        % sarif.get("version"), sarif_proc)
+        run = sarif["runs"][0]
+        if run["tool"]["driver"]["name"] != "accel-lint":
+            return fail("SARIF driver name mismatch: %r"
+                        % run["tool"]["driver"]["name"], sarif_proc)
+        results = run["results"]
+        if len(results) != len(findings):
+            return fail("SARIF results (%d) != JSON findings (%d)"
+                        % (len(results), len(findings)), sarif_proc)
+        keys = [(f["file"], f["line"], f["rule"]) for f in findings]
+        if len(keys) != len(set(keys)):
+            return fail("JSON findings contain (file, line, rule) "
+                        "duplicates after dedupe", proc)
+        suppressed = [r for r in results if r.get("suppressions")]
+        want = sum(1 for f in findings if f["suppressed"])
+        if len(suppressed) != want:
+            return fail("SARIF suppressions (%d) != suppressed "
+                        "findings (%d)" % (len(suppressed), want),
+                        sarif_proc)
     else:
         print("unknown case:", case)
         return 2

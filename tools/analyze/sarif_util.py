@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Shared SARIF 2.1.0 emission and merge/dedupe for the accel static
+analysis tools (tools/lint/accel_lint.py and
+tools/analyze/accel_analyze.py).
+
+Both tools emit one SARIF run each; CI merges them into a single
+code-scanning upload with `python3 sarif_util.py merge out.sarif
+in1.sarif in2.sarif ...`, deduplicating overlapping findings by
+(file, line, rule) — the two tools deliberately overlap on a few rules
+(e.g. token-level banned-random vs AST-level rng-discipline can fire on
+the same line) and one annotation per line per rule is enough.
+"""
+
+import json
+import sys
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def make_sarif(tool_name, tool_version, rule_descriptions, findings,
+               base_uri=None):
+    """Build a SARIF log dict.
+
+    rule_descriptions: {rule_id: one-line description}
+    findings: iterable of dicts with keys file, line, rule, message and
+    optionally suppressed (bool) / baselined (bool).
+    """
+    rules = [
+        {
+            "id": rid,
+            "shortDescription": {"text": desc},
+        }
+        for rid, desc in sorted(rule_descriptions.items())
+    ]
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f["rule"],
+            "level": "error",
+            "message": {"text": f["message"]},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f["file"],
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": max(1, int(f["line"]))},
+                    }
+                }
+            ],
+        }
+        suppressions = []
+        if f.get("suppressed"):
+            suppressions.append({
+                "kind": "inSource",
+                "justification": "accel-lint: allow() comment",
+            })
+        if f.get("baselined"):
+            suppressions.append({
+                "kind": "external",
+                "justification": "baseline file entry",
+            })
+        if suppressions:
+            result["suppressions"] = suppressions
+        results.append(result)
+
+    run = {
+        "tool": {
+            "driver": {
+                "name": tool_name,
+                "version": tool_version,
+                "informationUri":
+                    "https://github.com/accelerometer-reproduction",
+                "rules": rules,
+            }
+        },
+        "columnKind": "utf16CodeUnits",
+        "results": results,
+    }
+    if base_uri:
+        run["originalUriBaseIds"] = {
+            "SRCROOT": {"uri": "file://" + base_uri.rstrip("/") + "/"}
+        }
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }
+
+
+def write_sarif(path, sarif):
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(sarif, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def _result_key(result):
+    loc = (result.get("locations") or [{}])[0]
+    phys = loc.get("physicalLocation", {})
+    uri = phys.get("artifactLocation", {}).get("uri", "")
+    line = phys.get("region", {}).get("startLine", 0)
+    return (uri, line, result.get("ruleId", ""))
+
+
+def merge_sarif(logs):
+    """Merge SARIF logs into one log, one run per tool, dropping
+    results that duplicate an earlier (file, line, rule) triple —
+    across tools, so overlapping lint/analyze findings annotate once."""
+    seen = set()
+    runs = []
+    for log in logs:
+        for run in log.get("runs", []):
+            kept = []
+            for result in run.get("results", []):
+                key = _result_key(result)
+                if key in seen:
+                    continue
+                seen.add(key)
+                kept.append(result)
+            merged_run = dict(run)
+            merged_run["results"] = kept
+            runs.append(merged_run)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": runs,
+    }
+
+
+def main(argv):
+    if len(argv) < 3 or argv[0] != "merge":
+        print("usage: sarif_util.py merge <out.sarif> <in.sarif>...",
+              file=sys.stderr)
+        return 2
+    out_path, in_paths = argv[1], argv[2:]
+    logs = []
+    for path in in_paths:
+        with open(path, encoding="utf-8") as f:
+            logs.append(json.load(f))
+    merged = merge_sarif(logs)
+    write_sarif(out_path, merged)
+    total = sum(len(r.get("results", [])) for r in merged["runs"])
+    print("sarif_util: merged %d file(s) -> %s (%d result(s) after "
+          "dedupe)" % (len(in_paths), out_path, total))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

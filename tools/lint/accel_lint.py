@@ -111,6 +111,32 @@ CLOCK_PATTERNS = (
 
 SUPPRESS_RE = re.compile(r"//\s*accel-lint:\s*allow\(([\w\-, ]+)\)")
 
+TOOL_NAME = "accel-lint"
+TOOL_VERSION = "1.1"
+
+RULE_DESCRIPTIONS = {
+    "banned-random": "ambient randomness outside util/rng.hh breaks "
+                     "seed-purity",
+    "banned-clock": "wall-clock reads in simulation code bypass the "
+                    "event clock",
+    "unordered-float-iter": "hash-order iteration feeding a float "
+                            "accumulation is not reproducible",
+    "fn-by-value": "by-value callable parameters pay a type-erased "
+                   "copy on every call",
+    "parfor-pushback": "push_back in a parallelFor body orders "
+                       "results by completion, not index",
+    "header-standalone": "every header under src/ must compile on "
+                         "its own",
+}
+
+
+def _load_sarif_util():
+    """The SARIF emitter is shared with tools/analyze."""
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "analyze"))
+    import sarif_util
+    return sarif_util
+
 
 class Finding:
     def __init__(self, path, line, rule, message, suppressed=False):
@@ -539,6 +565,57 @@ def libclang_param_lines(path, flags):
 
 
 # ---------------------------------------------------------------------
+# Suppression audit (shared semantics with accel_analyze)
+# ---------------------------------------------------------------------
+
+def audit_suppressions(root, files, findings, tool_rules):
+    """Stale allow() comments: a suppression naming one of this tool's
+    rules where that rule produced no finding on any covered line.
+    Foreign rule names (accel_analyze's) are ignored. An allow() in a
+    header's first 15 lines also covers the header-standalone finding
+    pinned to line 1."""
+    fired = {}  # (rel, line) -> set of rules (suppressed or not)
+    for f in findings:
+        fired.setdefault((f.path, f.line), set()).add(f.rule)
+    stale = []
+    for path in files:
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        lines = text.splitlines()
+        is_header = rel.endswith((".hh", ".hpp", ".h"))
+        for lineno, line in enumerate(lines, start=1):
+            m = SUPPRESS_RE.search(line)
+            if not m:
+                continue
+            rules = {r.strip() for r in m.group(1).split(",")
+                     if r.strip()} & set(tool_rules)
+            if not rules:
+                continue
+            covered = {lineno, lineno + 1}
+            if line.strip().startswith("//"):
+                nxt = lineno
+                while nxt < len(lines) and \
+                        lines[nxt].strip().startswith("//"):
+                    nxt += 1
+                covered.add(nxt + 1)
+            for rule in sorted(rules):
+                rule_covered = set(covered)
+                if rule == "header-standalone" and is_header and \
+                        lineno <= 15:
+                    rule_covered.add(1)
+                if any(rule in fired.get((rel, ln), ())
+                       for ln in rule_covered):
+                    continue
+                stale.append(Finding(
+                    rel, lineno, "stale-suppression",
+                    "allow(%s) no longer matches any %s finding on "
+                    "this line; remove the suppression" %
+                    (rule, rule)))
+    return stale
+
+
+# ---------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------
 
@@ -607,8 +684,13 @@ def main(argv):
                          "this script)")
     ap.add_argument("--json", dest="json_out", default=None,
                     help="write a machine-readable report here")
+    ap.add_argument("--sarif", dest="sarif_out", default=None,
+                    help="write a SARIF 2.1.0 report here")
     ap.add_argument("--rules", default=",".join(ALL_RULES),
                     help="comma-separated rule subset to run")
+    ap.add_argument("--audit-suppressions", action="store_true",
+                    help="report stale allow() comments for this "
+                         "tool's rules instead of failing on findings")
     ap.add_argument("--list-rules", action="store_true")
     ap.add_argument("--no-libclang", action="store_true",
                     help="skip the libclang refinement even when the "
@@ -661,6 +743,38 @@ def main(argv):
                                 args.jobs, findings)
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    # Dedupe overlapping findings: distinct token patterns for one rule
+    # can fire on the same line (e.g. two clock reads in one statement);
+    # one annotation per (file, line, rule) is enough. A suppressed
+    # duplicate never shadows an unsuppressed one (sort puts renders in
+    # a stable order; suppression state is per-line anyway).
+    seen = set()
+    deduped = []
+    for f in findings:
+        key = (f.path, f.line, f.rule)
+        if key in seen:
+            continue
+        seen.add(key)
+        deduped.append(f)
+    findings = deduped
+
+    if args.audit_suppressions:
+        stale = audit_suppressions(root, files, findings, ALL_RULES)
+        stale.sort(key=lambda f: (f.path, f.line))
+        for f in stale:
+            print(f.render())
+        print("accel-lint: suppression audit: %d file(s), "
+              "%d stale suppression(s)" % (len(files), len(stale)))
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as f:
+                json.dump({
+                    "version": 1,
+                    "mode": "audit-suppressions",
+                    "stale": [s.as_dict() for s in stale],
+                }, f, indent=2)
+                f.write("\n")
+        return 1 if stale else 0
+
     active = [f for f in findings if not f.suppressed]
 
     for f in findings:
@@ -680,6 +794,13 @@ def main(argv):
         with open(args.json_out, "w", encoding="utf-8") as f:
             json.dump(report, f, indent=2)
             f.write("\n")
+
+    if args.sarif_out:
+        sarif_util = _load_sarif_util()
+        sarif = sarif_util.make_sarif(
+            TOOL_NAME, TOOL_VERSION, RULE_DESCRIPTIONS,
+            [f.as_dict() for f in findings], base_uri=root)
+        sarif_util.write_sarif(args.sarif_out, sarif)
 
     return 1 if active else 0
 
