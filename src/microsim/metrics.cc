@@ -44,6 +44,7 @@ ServiceMetrics::summaryJson() const
        << ", \"requests_degraded\": " << requestsDegraded
        << ", \"requests_failed\": " << requestsFailed
        << ", \"requests_shed\": " << requestsShed
+       << ", \"requests_shed_overload\": " << requestsShedOverload
        << ", \"max_arrival_queue_depth\": " << maxArrivalQueueDepth
        << ", \"latency_cycles\": " << latencyCycles.summaryJson()
        << ", \"latency_sample\": " << latencySample.summaryJson()
@@ -81,7 +82,8 @@ ServiceMetrics::summaryJson() const
        << ", \"fallback_host_cycles\": "
        << jsonNumber(fallbackHostCycles) << ", \"accelerator\": "
        << accelerator.summaryJson() << ", \"tier\": "
-       << tier.summaryJson() << "}";
+       << tier.summaryJson() << ", \"autoscaler\": "
+       << autoscaler.summaryJson() << "}";
     return os.str();
 }
 

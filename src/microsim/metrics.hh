@@ -10,6 +10,7 @@
 #include <string>
 
 #include "microsim/accelerator.hh"
+#include "microsim/autoscaler.hh"
 #include "microsim/tier.hh"
 #include "stats/online_stats.hh"
 #include "stats/reservoir.hh"
@@ -47,6 +48,16 @@ struct ServiceMetrics
      *  queue (load shedding). Shed arrivals count in requestsArrived
      *  (offered load) but never reach a thread. */
     std::uint64_t requestsShed = 0;
+
+    /**
+     * Open-loop mode: arrivals rejected by the *adaptive* brown-out
+     * admission gate specifically (the gate had tightened below the
+     * static maxArrivalQueue bound when the arrival was turned away).
+     * Subset of requestsShed — kept separate so overload-driven
+     * degradation is attributed honestly, not folded into ordinary
+     * static-bound shedding.
+     */
+    std::uint64_t requestsShedOverload = 0;
 
     /** Open-loop mode: peak admission-queue depth observed. */
     std::uint64_t maxArrivalQueueDepth = 0;
@@ -117,6 +128,13 @@ struct ServiceMetrics
      * All zero when the run used a trivial (single-device) tier.
      */
     TierStats tier;
+
+    /**
+     * SLO control-loop behaviour: scaling actions, breach windows, and
+     * brown-out gate activity. All zero when the run did not enable
+     * the autoscaler.
+     */
+    AutoscalerStats autoscaler;
 
     /** Completed requests per simulated second. */
     double qps() const;

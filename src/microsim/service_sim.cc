@@ -68,6 +68,20 @@ ServiceConfig::validate() const
             "ServiceConfig.maxOutstanding must be >= 1");
     require(std::isfinite(openArrivalsPerSec) && openArrivalsPerSec >= 0,
             "ServiceConfig.openArrivalsPerSec must be finite and >= 0");
+    if (!arrivalProgram.empty())
+        arrivalProgram.validate();
+    require(!(openArrivalsPerSec > 0 && !arrivalProgram.empty()),
+            "ServiceConfig.arrivalProgram and openArrivalsPerSec are "
+            "mutually exclusive (a constant program expresses the "
+            "latter exactly)");
+    autoscaler.validate();
+    require(!autoscaler.enabled ||
+                openArrivalsPerSec > 0 || !arrivalProgram.empty(),
+            "ServiceConfig.autoscaler needs open-loop arrivals (the "
+            "closed loop has no offered load to defend an SLO against)");
+    require(!autoscaler.brownout || maxArrivalQueue > 0,
+            "ServiceConfig.autoscaler brown-out gate needs "
+            "maxArrivalQueue > 0 to tighten within");
     retry.validate();
     breaker.validate();
     require(!breaker.enabled || retry.active(),
@@ -109,9 +123,22 @@ ServiceSim::ServiceSim(const ServiceConfig &service,
     threads_.resize(cfg_.threads);
     resume_.resize(cfg_.threads);
     freeCores_ = cfg_.cores;
+    cyclesPerSecond_ = cfg_.clockGHz * 1e9;
     if (cfg_.openArrivalsPerSec > 0) {
-        cyclesPerArrival_ =
-            cfg_.clockGHz * 1e9 / cfg_.openArrivalsPerSec;
+        cyclesPerArrival_ = cyclesPerSecond_ / cfg_.openArrivalsPerSec;
+        openLoop_ = true;
+    } else if (!cfg_.arrivalProgram.empty()) {
+        // Constant programs take the legacy single-draw path so they
+        // replay bit-for-bit as openArrivalsPerSec; varying programs
+        // generate candidates at the peak rate and thin them.
+        peakArrivalsPerSec_ = cfg_.arrivalProgram.peakRate();
+        cyclesPerArrival_ = cyclesPerSecond_ / peakArrivalsPerSec_;
+        thinning_ = !cfg_.arrivalProgram.isConstant();
+        openLoop_ = true;
+    }
+    if (cfg_.autoscaler.enabled) {
+        autoscaler_ = std::make_unique<Autoscaler>(
+            eq_, accel_, cfg_.autoscaler, cfg_.maxArrivalQueue);
     }
 }
 
@@ -133,15 +160,48 @@ ServiceSim::onArrival()
 {
     if (eq_.now() < endTick_)
         scheduleNextArrival();
+    if (thinning_) {
+        // Lewis-Shedler thinning: this event is a peak-rate candidate;
+        // it becomes a real arrival with probability rate(t)/peak. A
+        // rejected candidate never happened (no counters move).
+        double t = static_cast<double>(eq_.now()) / cyclesPerSecond_;
+        double accept =
+            cfg_.arrivalProgram.rateAt(t) / peakArrivalsPerSec_;
+        if (!arrivalRng_.chance(accept))
+            return;
+    }
+    admitArrival();
+}
+
+void
+ServiceSim::admitArrival()
+{
     if (measuring_)
         ++metrics_.requestsArrived;
+    bool shed = false;
+    bool overload = false;
+    std::uint64_t gate = autoscaler_ ? autoscaler_->admissionLimit() : 0;
     if (cfg_.maxArrivalQueue > 0 &&
         arrivals_.size() >= cfg_.maxArrivalQueue) {
         // Load shedding: the bounded admission queue is full, so the
         // arrival is rejected instead of queued. This is what keeps a
         // saturated open-loop run in constant memory.
-        if (measuring_)
+        shed = true;
+    } else if (gate > 0 && arrivals_.size() >= gate) {
+        // Brown-out: the adaptive gate has tightened below the static
+        // bound, shedding early so admitted requests keep a bounded
+        // queue — attributed separately as overload degradation.
+        shed = true;
+        overload = true;
+    }
+    if (shed) {
+        if (measuring_) {
             ++metrics_.requestsShed;
+            if (overload)
+                ++metrics_.requestsShedOverload;
+        }
+        if (autoscaler_)
+            autoscaler_->noteShed();
         return;
     }
     arrivals_.push_back(PendingArrival{source_.next(), eq_.now()});
@@ -149,6 +209,8 @@ ServiceSim::onArrival()
         metrics_.maxArrivalQueueDepth = std::max<std::uint64_t>(
             metrics_.maxArrivalQueueDepth, arrivals_.size());
     }
+    if (autoscaler_)
+        autoscaler_->noteQueueDepth(arrivals_.size());
     if (!idleThreads_.empty()) {
         size_t tid = idleThreads_.back();
         idleThreads_.pop_back();
@@ -288,7 +350,7 @@ ServiceSim::startNextRequest(size_t tid)
         return;
     }
     sim::Tick started = eq_.now();
-    if (cfg_.openArrivalsPerSec > 0) {
+    if (openLoop_) {
         if (arrivals_.empty()) {
             // Nothing to do: park until an arrival wakes us.
             ctx.state = ThreadState::Idle;
@@ -414,6 +476,13 @@ ServiceSim::maybeCompleteRequest(const std::shared_ptr<InFlight> &inflight,
         (remoteExcluded || inflight->pendingKernels == 0);
     if (service_done && !inflight->counted) {
         inflight->counted = true;
+        // The control loop sees every completion, warmup included:
+        // scaling decisions are live from tick 0, only the *report*
+        // window is gated on measuring_.
+        if (autoscaler_) {
+            autoscaler_->observeLatency(
+                static_cast<double>(eq_.now() - inflight->start));
+        }
         if (measuring_) {
             ++metrics_.requestsCompleted;
             double latency =
@@ -797,11 +866,15 @@ ServiceSim::run(double measureSeconds, double warmupSeconds)
             fresh.measuredSeconds = metrics_.measuredSeconds;
             metrics_ = fresh;
             accel_.resetStats();
+            if (autoscaler_)
+                autoscaler_->resetStats();
             measuring_ = true;
         }, /*priority=*/-100);
     }
 
-    if (cfg_.openArrivalsPerSec > 0)
+    if (autoscaler_)
+        autoscaler_->start(endTick_);
+    if (openLoop_)
         scheduleNextArrival();
     for (size_t tid = 0; tid < threads_.size(); ++tid)
         makeReady(tid, [this, tid]() { startNextRequest(tid); });
@@ -811,6 +884,8 @@ ServiceSim::run(double measureSeconds, double warmupSeconds)
     fallbackWarner_.flushSummary();
     metrics_.accelerator = accel_.aggregateDeviceStats();
     metrics_.tier = accel_.snapshot();
+    if (autoscaler_)
+        metrics_.autoscaler = autoscaler_->stats();
     return metrics_;
 }
 

@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "microsim/accelerator.hh"
+#include "microsim/arrival_program.hh"
+#include "microsim/autoscaler.hh"
 #include "microsim/metrics.hh"
 #include "microsim/request_gen.hh"
 #include "microsim/tier.hh"
@@ -154,6 +156,25 @@ struct ServiceConfig
      */
     double openArrivalsPerSec = 0.0;
 
+    /**
+     * Time-varying open-loop arrivals: a seeded non-homogeneous
+     * Poisson process whose rate follows this program (day traces,
+     * flash crowds, multi-tenant mixes — see arrival_program.hh).
+     * Mutually exclusive with openArrivalsPerSec; a *constant* program
+     * replays bit-for-bit as the equivalent openArrivalsPerSec run,
+     * while a varying one uses Lewis-Shedler thinning (candidates at
+     * the peak rate, one extra accept draw per candidate).
+     */
+    ArrivalProgram arrivalProgram;
+
+    /**
+     * SLO-driven control loop over the replica tier plus the optional
+     * brown-out admission gate (default: disabled). Requires open-loop
+     * arrivals; the brown-out gate additionally requires
+     * maxArrivalQueue > 0 to tighten within.
+     */
+    AutoscalerConfig autoscaler;
+
     /** @throws FatalError on inconsistent settings. */
     void validate() const;
 };
@@ -244,10 +265,20 @@ class ServiceSim
     std::deque<PendingArrival> arrivals_;
     std::vector<size_t> idleThreads_;
     Rng arrivalRng_;
-    double cyclesPerArrival_ = 0.0;
+    double cyclesPerArrival_ = 0.0; //!< mean candidate gap (peak rate)
+    bool openLoop_ = false;
+    /** Non-constant program: thin peak-rate candidates by rate(t)/peak. */
+    bool thinning_ = false;
+    double peakArrivalsPerSec_ = 0.0;
+    double cyclesPerSecond_ = 0.0;
+
+    /** SLO control loop; null unless cfg_.autoscaler.enabled. */
+    std::unique_ptr<Autoscaler> autoscaler_;
 
     void scheduleNextArrival();
     void onArrival();
+    /** One accepted arrival: admission check, enqueue, thread wake. */
+    void admitArrival();
 
     // --- response-pickup accounting pool (see DESIGN.md) ---
     double pendingStolenCycles_ = 0.0;

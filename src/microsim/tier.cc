@@ -191,6 +191,11 @@ TierStats::summaryJson() const
        << watchdogExpiries << ", \"ejections\": " << ejections
        << ", \"readmission_probes\": " << readmissionProbes
        << ", \"readmissions\": " << readmissions
+       << ", \"activations\": " << activations
+       << ", \"drains_started\": " << drainsStarted
+       << ", \"drains_completed\": " << drainsCompleted
+       << ", \"provisioned_replica_cycles\": "
+       << jsonNumber(provisionedReplicaCycles)
        << ", \"offload_latency_cycles\": "
        << offloadLatencyCycles.summaryJson() << ", \"replicas\": [";
     for (size_t r = 0; r < replicas.size(); ++r)
@@ -230,6 +235,7 @@ AcceleratorTier::AcceleratorTier(sim::EventQueue &eq,
     health_.resize(cfg_.replicas);
     outstanding_.assign(cfg_.replicas, 0);
     stats_.replicas.resize(cfg_.replicas);
+    capacityOriginTick_ = eq_.now();
 }
 
 double
@@ -252,12 +258,19 @@ AcceleratorTier::resetStats()
         r->resetStats();
     stats_ = TierStats{};
     stats_.replicas.resize(replicas_.size());
+    // Restart the capacity integral at the reset tick so warmup
+    // replica-hours are not billed to the measurement window.
+    capacityAccumCycles_ = 0.0;
+    capacityOriginTick_ = eq_.now();
 }
 
 TierStats
 AcceleratorTier::snapshot() const
 {
     TierStats out = stats_;
+    out.provisionedReplicaCycles = capacityAccumCycles_ +
+        static_cast<double>(provisionedReplicaCount()) *
+            static_cast<double>(eq_.now() - capacityOriginTick_);
     out.deviceStats.reserve(replicas_.size());
     for (const auto &r : replicas_)
         out.deviceStats.push_back(r->stats());
@@ -297,6 +310,136 @@ AcceleratorTier::replicaEjected(size_t index) const
     return health_[index].state == ReplicaState::Ejected;
 }
 
+bool
+AcceleratorTier::replicaDraining(size_t index) const
+{
+    ensure(index < health_.size(), "AcceleratorTier: replica index");
+    return health_[index].state == ReplicaState::Draining;
+}
+
+bool
+AcceleratorTier::replicaStandby(size_t index) const
+{
+    ensure(index < health_.size(), "AcceleratorTier: replica index");
+    return health_[index].state == ReplicaState::Standby;
+}
+
+std::uint32_t
+AcceleratorTier::provisionedReplicaCount() const
+{
+    std::uint32_t n = 0;
+    for (const ReplicaHealth &h : health_) {
+        if (h.state != ReplicaState::Standby)
+            ++n;
+    }
+    return n;
+}
+
+std::uint32_t
+AcceleratorTier::activeReplicaCount() const
+{
+    std::uint32_t n = 0;
+    for (const ReplicaHealth &h : health_) {
+        if (h.state != ReplicaState::Standby &&
+            h.state != ReplicaState::Draining)
+            ++n;
+    }
+    return n;
+}
+
+void
+AcceleratorTier::accrueCapacity()
+{
+    capacityAccumCycles_ +=
+        static_cast<double>(provisionedReplicaCount()) *
+        static_cast<double>(eq_.now() - capacityOriginTick_);
+    capacityOriginTick_ = eq_.now();
+}
+
+void
+AcceleratorTier::finalizeDrain(size_t replica)
+{
+    ensure(outstanding_[replica] == 0,
+           "finalizeDrain: replica still has in-flight attempts");
+    // Accrue before the provisioned count drops: the drain interval
+    // itself is billed capacity.
+    accrueCapacity();
+    ReplicaHealth &h = health_[replica];
+    h.state = ReplicaState::Standby;
+    h.consecutiveFailures = 0;
+    h.probeInFlight = false;
+    ++stats_.drainsCompleted;
+}
+
+void
+AcceleratorTier::setActiveReplicas(std::uint32_t target)
+{
+    require(!trivial_,
+            "AcceleratorTier::setActiveReplicas: trivial (single-"
+            "device) tier has no capacity to scale");
+    require(target >= 1 && target <= replicas_.size(),
+            "AcceleratorTier::setActiveReplicas: target must be in "
+            "[1, replicas]");
+
+    std::uint32_t active = activeReplicaCount();
+    if (target > active) {
+        std::uint32_t need = target - active;
+        // Draining replicas first: they are warm and still provisioned,
+        // so un-draining is free. Then standby replicas in index order,
+        // with health reset as on readmission.
+        for (size_t r = 0; r < health_.size() && need > 0; ++r) {
+            if (health_[r].state != ReplicaState::Draining)
+                continue;
+            health_[r].state = ReplicaState::Healthy;
+            health_[r].consecutiveFailures = 0;
+            ++stats_.activations;
+            --need;
+        }
+        for (size_t r = 0; r < health_.size() && need > 0; ++r) {
+            if (health_[r].state != ReplicaState::Standby)
+                continue;
+            accrueCapacity(); // provisioned count grows at this tick
+            health_[r].state = ReplicaState::Healthy;
+            health_[r].consecutiveFailures = 0;
+            health_[r].probeInFlight = false;
+            ++stats_.activations;
+            --need;
+        }
+        ensure(need == 0,
+               "setActiveReplicas: not enough parked replicas");
+        return;
+    }
+
+    // Shrink: drain (active - target) victims. Ejected replicas go
+    // first — they contribute nothing but still bill capacity — then
+    // probing, then healthy, highest index first (deterministic).
+    std::uint32_t excess = active - target;
+    auto drainOne = [this](size_t r) {
+        ++stats_.drainsStarted;
+        if (outstanding_[r] == 0) {
+            // Nothing in flight: park immediately. A pending
+            // readmission timer finds the state not Ejected and
+            // leaves it parked.
+            health_[r].state = ReplicaState::Draining;
+            finalizeDrain(r);
+        } else {
+            health_[r].state = ReplicaState::Draining;
+        }
+    };
+    for (ReplicaState victims : {ReplicaState::Ejected,
+                                 ReplicaState::Probing,
+                                 ReplicaState::Healthy}) {
+        for (size_t i = health_.size(); i > 0 && excess > 0; --i) {
+            size_t r = i - 1;
+            if (health_[r].state != victims)
+                continue;
+            drainOne(r);
+            --excess;
+        }
+    }
+    ensure(excess == 0, "setActiveReplicas: shrink bookkeeping");
+}
+
 std::uint64_t
 AcceleratorTier::outstanding(size_t index) const
 {
@@ -323,9 +466,11 @@ AcceleratorTier::pickReplica(size_t exclude, bool *isProbe)
 
     // Candidates: healthy replicas (Probing ones are only eligible for
     // their probe; Ejected ones are skipped). If ejection emptied the
-    // pool, fall back to every replica rather than deadlocking — a
-    // fully-ejected tier still makes forward progress and the
-    // watchdogs keep charging failures.
+    // pool, fall back to every provisioned replica rather than
+    // deadlocking — a fully-ejected tier still makes forward progress
+    // and the watchdogs keep charging failures. Draining and standby
+    // replicas are never candidates, even then: scaled-down capacity
+    // must not absorb new work, or drains would never settle.
     std::vector<size_t> candidates;
     candidates.reserve(health_.size());
     for (size_t r = 0; r < health_.size(); ++r) {
@@ -336,8 +481,11 @@ AcceleratorTier::pickReplica(size_t exclude, bool *isProbe)
     }
     if (candidates.empty()) {
         for (size_t r = 0; r < health_.size(); ++r) {
-            if (r != exclude)
-                candidates.push_back(r);
+            if (r == exclude ||
+                health_[r].state == ReplicaState::Draining ||
+                health_[r].state == ReplicaState::Standby)
+                continue;
+            candidates.push_back(r);
         }
     }
     if (candidates.empty())
@@ -487,6 +635,9 @@ AcceleratorTier::onCompletion(const std::shared_ptr<OffloadState> &state,
             attempt.watchdog = sim::kInvalidTimer;
         }
         recordSuccess(replica);
+        if (health_[replica].state == ReplicaState::Draining &&
+            outstanding_[replica] == 0)
+            finalizeDrain(replica);
     }
     // A completion that limps in after its watchdog expired is still
     // work the device did, but the tier already judged the attempt
@@ -541,6 +692,9 @@ AcceleratorTier::onWatchdog(const std::shared_ptr<OffloadState> &state,
     ++stats_.watchdogExpiries;
     ++stats_.replicas[replica].failures;
     recordFailure(replica);
+    if (health_[replica].state == ReplicaState::Draining &&
+        outstanding_[replica] == 0)
+        finalizeDrain(replica);
 
     if (state->settled)
         return; // another arm already answered
@@ -579,6 +733,12 @@ void
 AcceleratorTier::recordFailure(size_t replica)
 {
     ReplicaHealth &h = health_[replica];
+    if (h.state == ReplicaState::Draining ||
+        h.state == ReplicaState::Standby) {
+        // A scale-down victim is leaving anyway; ejecting it would
+        // arm a readmission timer that fights the drain.
+        return;
+    }
     if (h.state == ReplicaState::Probing) {
         // The probe itself failed: straight back to Ejected.
         h.probeInFlight = false;
@@ -604,9 +764,10 @@ AcceleratorTier::ejectReplica(size_t replica)
     auto delay = static_cast<sim::Tick>(
         std::llround(cfg_.readmitAfterCycles));
     eq_.scheduleTimerIn(delay, [this, replica]() {
-        // Still ejected? Offer one probe. (A concurrent readmission
-        // path doesn't exist — only this timer leaves Ejected — but
-        // the guard keeps the transition idempotent.)
+        // Still ejected? Offer one probe. The guard also lets a
+        // scale-down win the race: a drained (or since-reactivated)
+        // replica is no longer Ejected when this fires, so a stale
+        // readmission cannot resurrect parked capacity.
         if (health_[replica].state == ReplicaState::Ejected)
             health_[replica].state = ReplicaState::Probing;
     });

@@ -24,6 +24,14 @@
  *    replica (up to maxFailovers times), so a brown-out or hard-failed
  *    replica degrades the tier instead of stalling its offloads — no
  *    host fallback required.
+ *  - **Dynamic capacity**: setActiveReplicas() grows or shrinks the
+ *    live replica set at runtime (the Autoscaler's actuator).
+ *    Scale-down drains: a victim stops taking dispatches immediately
+ *    but stays provisioned until its in-flight and hedged attempts
+ *    settle, then parks in Standby; ejected victims are preferred
+ *    since they contribute no capacity anyway. The provisioned-replica
+ *    integral in TierStats is the replica-hours bill an autoscaler is
+ *    judged on.
  *
  * Determinism: dispatch draws (power-of-two-choices) are slot-indexed
  * by dispatch sequence number, fault draws are slot-indexed per
@@ -192,6 +200,20 @@ struct TierStats
     std::uint64_t readmissionProbes = 0;
     std::uint64_t readmissions = 0;
 
+    // --- dynamic capacity (autoscaling; all zero on a static tier) ---
+    std::uint64_t activations = 0;     //!< standby/draining -> active
+    std::uint64_t drainsStarted = 0;   //!< scale-down victims picked
+    std::uint64_t drainsCompleted = 0; //!< drained to standby
+
+    /**
+     * Integral of provisioned (non-standby) replicas over simulated
+     * cycles — the "replica-hours" an autoscaled tier consumed.
+     * Draining replicas still count: capacity is paid for until the
+     * drain settles. Finalized by snapshot(); resetStats() restarts
+     * the integral at the reset tick.
+     */
+    double provisionedReplicaCycles = 0.0;
+
     /** Tier-level offload latency (dispatch -> first completion). */
     ReservoirSample offloadLatencyCycles;
 
@@ -267,11 +289,46 @@ class AcceleratorTier
     /** True when replica @p index is currently ejected. */
     bool replicaEjected(size_t index) const;
 
+    /** True when replica @p index is draining toward standby. */
+    bool replicaDraining(size_t index) const;
+
+    /** True when replica @p index is parked in standby. */
+    bool replicaStandby(size_t index) const;
+
     /** In-flight attempts currently charged to replica @p index. */
     std::uint64_t outstanding(size_t index) const;
 
+    /**
+     * Resize the live capacity to @p target replicas (the autoscaler's
+     * actuator). Growing reactivates draining replicas first (they are
+     * warm), then standby replicas in index order, with health state
+     * reset as on readmission. Shrinking drains victims — ejected
+     * replicas first (they contribute nothing), then the highest
+     * indexes — to Standby once their in-flight and hedged attempts
+     * settle; until then they stay provisioned (and billed) but take
+     * no new dispatches. Standby replicas are never dispatch
+     * candidates, never probed, and never counted as capacity.
+     *
+     * @throws FatalError when target is 0, exceeds the constructed
+     *         replica count, or the tier is trivial (single device).
+     */
+    void setActiveReplicas(std::uint32_t target);
+
+    /** Replicas currently provisioned (active or draining). */
+    std::uint32_t provisionedReplicaCount() const;
+
+    /** Replicas currently accepting dispatch (not standby/draining). */
+    std::uint32_t activeReplicaCount() const;
+
   private:
-    enum class ReplicaState { Healthy, Ejected, Probing };
+    enum class ReplicaState
+    {
+        Healthy,
+        Ejected,
+        Probing,
+        Draining, //!< scale-down victim waiting for in-flight work
+        Standby,  //!< descheduled: no dispatch, no probes, no billing
+    };
 
     struct ReplicaHealth
     {
@@ -319,6 +376,12 @@ class AcceleratorTier
     std::uint64_t dispatchIndex_ = 0; //!< slot index for p2c draws
     TierStats stats_;
 
+    // Lazily-integrated capacity: accumulated provisioned-replica
+    // cycles up to capacityOriginTick_, extended on every provisioned
+    // count change and finalized by snapshot().
+    double capacityAccumCycles_ = 0.0;
+    sim::Tick capacityOriginTick_ = 0;
+
     /**
      * Pick a replica for the next attempt: a probing replica waiting
      * for its probe wins, then the policy chooses among healthy
@@ -339,6 +402,12 @@ class AcceleratorTier
     void recordSuccess(size_t replica);
     void recordFailure(size_t replica);
     void ejectReplica(size_t replica);
+
+    /** Extend the capacity integral up to the current tick. */
+    void accrueCapacity();
+
+    /** Draining replica @p replica hit zero outstanding: park it. */
+    void finalizeDrain(size_t replica);
 };
 
 } // namespace accel::microsim

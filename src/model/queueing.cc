@@ -61,6 +61,25 @@ mmkWaitCycles(double serviceCycles, double offloadsPerSec, double clockHz,
            (static_cast<double>(servers) - a);
 }
 
+unsigned
+minServersForWait(double serviceCycles, double offloadsPerSec,
+                  double clockHz, double waitBudgetCycles,
+                  unsigned maxServers)
+{
+    require(maxServers >= 1, "minServersForWait: maxServers must be >= 1");
+    require(waitBudgetCycles >= 0,
+            "minServersForWait: negative wait budget");
+    double a = utilization(serviceCycles, offloadsPerSec, clockHz);
+    for (unsigned k = 1; k <= maxServers; ++k) {
+        if (a >= static_cast<double>(k))
+            continue; // unstable at this k; keep growing
+        if (mmkWaitCycles(serviceCycles, offloadsPerSec, clockHz, k) <=
+            waitBudgetCycles)
+            return k;
+    }
+    fatal("minServersForWait: no k <= maxServers meets the wait budget");
+}
+
 double
 meanQueueCycles(const std::vector<double> &sampledDelays)
 {

@@ -81,4 +81,23 @@ double mmkWaitCycles(double serviceCycles, double offloadsPerSec,
  */
 double meanQueueCycles(const std::vector<double> &sampledDelays);
 
+/**
+ * Smallest replica count k whose M/M/k mean queue wait is at or below
+ * @p waitBudgetCycles at the given offered load — the static
+ * provisioning answer an SLO-driven autoscaler is compared against
+ * (provision for the peak once, versus track demand).
+ *
+ * @param serviceCycles    mean per-replica service time, cycles
+ * @param offloadsPerSec   offered load across the tier, offloads/s
+ * @param clockHz          cycles per second
+ * @param waitBudgetCycles mean-wait budget in cycles (>= 0)
+ * @param maxServers       search cap; k <= maxServers
+ *
+ * @throws FatalError when inputs are out of domain or no k within the
+ *         cap stabilises the queue and meets the budget.
+ */
+unsigned minServersForWait(double serviceCycles, double offloadsPerSec,
+                           double clockHz, double waitBudgetCycles,
+                           unsigned maxServers = 1024);
+
 } // namespace accel::model

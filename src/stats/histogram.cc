@@ -48,6 +48,43 @@ Histogram::addWeighted(double value, double weight)
     stats_.add(value);
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    require(edges_ == other.edges_,
+            "Histogram::merge: bucket edges differ");
+    for (size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    stats_.merge(other.stats_);
+    prefixDirty_ = true;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    require(q >= 0.0 && q <= 1.0,
+            "Histogram::quantile: q must be in [0, 1]");
+    if (total_ == 0.0)
+        return 0.0;
+    double target = q * total_;
+    double below = 0.0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        if (below + counts_[i] >= target || i + 1 == counts_.size()) {
+            if (i + 1 >= edges_.size())
+                return edges_.back(); // overflow: lower bound
+            double lo = edges_[i];
+            double hi = edges_[i + 1];
+            if (counts_[i] <= 0.0)
+                return lo;
+            double frac = (target - below) / counts_[i];
+            return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+        }
+        below += counts_[i];
+    }
+    return edges_.back();
+}
+
 double
 Histogram::bucketWeight(size_t i) const
 {

@@ -39,6 +39,23 @@ class Histogram
     /** Record @p weight observations of @p value. */
     void addWeighted(double value, double weight);
 
+    /**
+     * Fold @p other into this histogram: bucket weights add, summary
+     * statistics merge. Both histograms must share identical edges.
+     * This is how windowed SLO sampling aggregates control windows
+     * into a run-level distribution without double-counting: each
+     * window is recorded once, merged once, then discarded.
+     */
+    void merge(const Histogram &other);
+
+    /**
+     * Quantile estimate by linear interpolation inside the bucket
+     * where the cumulative weight crosses @p q (in [0, 1]). Weight in
+     * the overflow bucket pins the estimate to its lower edge (the
+     * estimate is then a lower bound). 0 when the histogram is empty.
+     */
+    double quantile(double q) const;
+
     /** Total recorded weight. */
     double total() const { return total_; }
 

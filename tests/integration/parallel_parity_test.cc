@@ -19,6 +19,7 @@
 
 #include "faults/fault_plan.hh"
 #include "microsim/ab_test.hh"
+#include "microsim/arrival_program.hh"
 #include "model/fleet.hh"
 #include "model/sensitivity.hh"
 #include "model/sweep.hh"
@@ -233,6 +234,37 @@ TEST(ParallelParity, TierAbBitIdentical)
             r.measuredSpeedup());
     });
     setLogLevel(prev);
+}
+
+TEST(ParallelParity, ConstantArrivalProgramMatchesLegacyOpenLoop)
+{
+    // A constant ArrivalProgram takes the legacy single-draw arrival
+    // path, so spelling the offered load either way must replay
+    // bit-identically — and stay bit-identical at any worker count.
+    auto runWith = [](bool program) {
+        microsim::AbExperiment e = abExperiment();
+        if (program) {
+            e.service.arrivalProgram =
+                microsim::ArrivalProgram::constant(120000);
+        } else {
+            e.service.openArrivalsPerSec = 120000;
+        }
+        microsim::AbResult r = microsim::runAbTest(e);
+        auto flat = [](const microsim::ServiceMetrics &m) {
+            return std::make_tuple(m.requestsArrived,
+                                   m.requestsCompleted, m.qps(),
+                                   m.meanLatencyCycles(),
+                                   m.latencySample.p99());
+        };
+        return std::make_pair(flat(r.baseline), flat(r.treatment));
+    };
+    expectParity([&] {
+        auto legacy = runWith(false);
+        auto viaProgram = runWith(true);
+        EXPECT_TRUE(legacy == viaProgram)
+            << "constant program diverged from openArrivalsPerSec";
+        return std::make_pair(legacy, viaProgram);
+    });
 }
 
 TEST(ParallelParity, WorkerExceptionPropagatesFromSweep)

@@ -1,5 +1,8 @@
 /** @file Tests for the open-loop (Poisson arrivals) simulator mode. */
 
+#include <string>
+#include <tuple>
+
 #include <gtest/gtest.h>
 
 #include "microsim/service_sim.hh"
@@ -196,6 +199,85 @@ TEST(OpenLoop, RejectsNegativeRate)
     ServiceConfig cfg = config(0);
     cfg.openArrivalsPerSec = -1;
     EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(OpenLoop, ConstantProgramReplaysLegacyPathBitIdentical)
+{
+    auto run = [](bool program) {
+        ServiceConfig cfg = config(program ? 0 : 120000);
+        if (program)
+            cfg.arrivalProgram = ArrivalProgram::constant(120000);
+        ServiceSim sim(cfg, AcceleratorConfig{}, workload(), 21);
+        ServiceMetrics m = sim.run(0.05, 0.01);
+        return std::make_tuple(m.requestsArrived, m.requestsCompleted,
+                               m.meanLatencyCycles(),
+                               m.latencySample.p99());
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+TEST(OpenLoop, DayTraceThroughputTracksMeanRate)
+{
+    // Two 50 ms steps at 0.5x and 1.5x of 100k/s (period 100 ms): the
+    // thinned arrival stream must deliver the trace's mean rate over
+    // whole periods, not the peak it generates candidates at.
+    ServiceConfig cfg = config(0);
+    cfg.arrivalProgram =
+        ArrivalProgram::dayTrace(100000, {0.5, 1.5}, 0.05);
+    ServiceSim sim(cfg, AcceleratorConfig{}, workload(), 22);
+    ServiceMetrics m = sim.run(0.2, 0.1); // measure = 2 full periods
+    EXPECT_NEAR(m.qps(), 100000, 5000);
+    EXPECT_EQ(m.requestsShed, 0u);
+}
+
+TEST(OpenLoop, FlashCrowdArrivesOnlyDuringSurge)
+{
+    // All offered load sits inside a 20 ms surge window; the thinning
+    // gate must reject every candidate outside it.
+    ServiceConfig cfg = config(0);
+    cfg.arrivalProgram =
+        ArrivalProgram::flashCrowd(150000, 0.05, 0.005, 0.02);
+    ServiceSim sim(cfg, AcceleratorConfig{}, workload(), 23);
+    ServiceMetrics m = sim.run(0.15, 0.0);
+    // Surge area: two 5 ms ramps (avg half rate) + 20 ms hold.
+    double expected = 150000 * (0.005 + 0.02);
+    EXPECT_NEAR(static_cast<double>(m.requestsArrived), expected,
+                0.1 * expected);
+    EXPECT_EQ(m.requestsArrived, m.requestsCompleted + m.requestsShed);
+}
+
+TEST(OpenLoop, BrownoutGateAttributesOverloadSheds)
+{
+    // 2x overload with the adaptive gate enabled on a fixed-capacity
+    // service (min == max == 1 replica): the gate tightens below the
+    // static bound, and every shed it causes is attributed to the
+    // overload counter — a subset of total sheds.
+    ServiceConfig cfg = config(400000);
+    cfg.maxArrivalQueue = 64;
+    cfg.autoscaler.enabled = true;
+    cfg.autoscaler.intervalCycles = 1'000'000; // 1 ms control ticks
+    cfg.autoscaler.sloLatencyCycles = 20000;
+    cfg.autoscaler.brownout = true;
+    cfg.autoscaler.brownoutFloor = 4;
+    ServiceSim sim(cfg, AcceleratorConfig{}, workload(), 24);
+    // No warmup: the gate tightens in the first few control windows,
+    // and a warmup-boundary stats reset would hide those events.
+    ServiceMetrics m = sim.run(0.1, 0.0);
+    EXPECT_GT(m.requestsShedOverload, 0u);
+    EXPECT_LE(m.requestsShedOverload, m.requestsShed);
+    EXPECT_GT(m.autoscaler.admissionTightenings, 0u);
+    EXPECT_GT(m.autoscaler.breachWindows, 0u);
+    // The static bound caps the backlog before the first control tick
+    // can react; the gate then tightens within it, never above it.
+    EXPECT_LE(m.maxArrivalQueueDepth, 64u);
+    // Completions still run at capacity: degradation, not collapse.
+    EXPECT_NEAR(m.qps(), 200000, 10000);
+    // The control loop's view reaches the report.
+    EXPECT_GT(m.autoscaler.controlWindows, 0u);
+    EXPECT_NE(m.summaryJson().find("\"autoscaler\""),
+              std::string::npos);
+    EXPECT_NE(m.summaryJson().find("\"requests_shed_overload\""),
+              std::string::npos);
 }
 
 } // namespace

@@ -511,5 +511,211 @@ TEST(AcceleratorTier, TierFromConfigDefaultsToTrivial)
         FatalError);
 }
 
+// --------------------------------------------------------------------
+// Dynamic capacity: setActiveReplicas / drain / standby lifecycle
+// --------------------------------------------------------------------
+
+TEST(AcceleratorTier, SetActiveReplicasValidation)
+{
+    sim::EventQueue eq;
+    TierConfig two;
+    two.replicas = 2;
+    AcceleratorTier t(eq, device(), two);
+    EXPECT_THROW(t.setActiveReplicas(0), FatalError);
+    EXPECT_THROW(t.setActiveReplicas(3), FatalError);
+
+    AcceleratorTier trivial(eq, device(), TierConfig{});
+    EXPECT_THROW(trivial.setActiveReplicas(1), FatalError);
+}
+
+TEST(AcceleratorTier, ScaleDownDrainsInFlightOffloads)
+{
+    // The victim has an offload in flight when it is descheduled: it
+    // must stay provisioned (Draining) until the completion lands,
+    // deliver that completion, then park in Standby — and never take a
+    // new dispatch while draining.
+    TierConfig tier;
+    tier.replicas = 2;
+    tier.policy = DispatchPolicy::LeastOutstanding;
+
+    sim::EventQueue eq;
+    AcceleratorTier t(eq, device(), tier);
+    int completions = 0;
+    t.offload(400, 100, [&] { ++completions; }); // -> r0
+    t.offload(400, 100, [&] { ++completions; }); // -> r1
+
+    eq.schedule(50, [&] { // both offloads complete at tick 160
+        t.setActiveReplicas(1);
+        EXPECT_TRUE(t.replicaDraining(1));
+        EXPECT_FALSE(t.replicaStandby(1));
+        EXPECT_EQ(t.provisionedReplicaCount(), 2u);
+        EXPECT_EQ(t.activeReplicaCount(), 1u);
+        // New work while r1 drains must route to r0 despite its load.
+        t.offload(400, 100, [&] { ++completions; });
+        EXPECT_EQ(t.outstanding(0), 2u);
+        EXPECT_EQ(t.outstanding(1), 1u);
+    });
+    eq.runAll();
+
+    EXPECT_EQ(completions, 3); // the drained replica still answered
+    EXPECT_FALSE(t.replicaDraining(1));
+    EXPECT_TRUE(t.replicaStandby(1));
+    EXPECT_EQ(t.provisionedReplicaCount(), 1u);
+    EXPECT_EQ(t.stats().drainsStarted, 1u);
+    EXPECT_EQ(t.stats().drainsCompleted, 1u);
+    EXPECT_EQ(eq.activeTimers(), 0u);
+}
+
+TEST(AcceleratorTier, ScaleDownSettlesRacingHedge)
+{
+    // A hedge lands on the victim while it drains: the hedge attempt
+    // must settle (and may win) before the replica parks; the drain
+    // completes cleanly with no timers left behind.
+    TierConfig tier;
+    tier.replicas = 2;
+    tier.hedge.enabled = true;
+    tier.hedge.delayCycles = 100;
+    tier.replicaFaultPlans = {latePlan(10000), nullptr};
+
+    sim::EventQueue eq;
+    AcceleratorTier t(eq, device(), tier);
+    int completions = 0;
+    t.offload(400, 100, [&] { ++completions; }); // slow primary on r0
+    // t=100: hedge issues to r1. t=150: r1 becomes the scale-down
+    // victim with the hedge attempt still in flight.
+    eq.schedule(150, [&] {
+        t.setActiveReplicas(1);
+        EXPECT_TRUE(t.replicaDraining(1));
+        EXPECT_EQ(t.outstanding(1), 1u);
+    });
+    eq.runAll();
+
+    EXPECT_EQ(completions, 1);
+    EXPECT_EQ(t.stats().hedgesIssued, 1u);
+    EXPECT_EQ(t.stats().hedgeWins, 1u); // r0's answer limped in late
+    EXPECT_TRUE(t.replicaStandby(1));
+    EXPECT_EQ(t.stats().drainsCompleted, 1u);
+    EXPECT_EQ(eq.activeTimers(), 0u);
+}
+
+TEST(AcceleratorTier, ScaleDownWinsRaceWithPendingReadmission)
+{
+    // r1 is ejected with its readmission timer pending when the
+    // autoscaler drains it. The stale timer must not resurrect the
+    // parked replica as Probing — scaled-down capacity stays down.
+    TierConfig tier;
+    tier.replicas = 2;
+    tier.policy = DispatchPolicy::RoundRobin;
+    tier.healthTimeoutCycles = 1000;
+    tier.ejectAfterFailures = 2;
+    tier.readmitAfterCycles = 5000;
+    tier.replicaFaultPlans = {nullptr, deadPlan(0)};
+
+    sim::EventQueue eq;
+    AcceleratorTier t(eq, device(), tier);
+    int completions = 0;
+    auto issue = [&](sim::Tick when, int n) {
+        eq.schedule(when, [&t, &completions, n] {
+            for (int i = 0; i < n; ++i)
+                t.offload(400, 100, [&completions] { ++completions; });
+        });
+    };
+    issue(0, 2);    // r1 watchdog failure 1 at tick 1000
+    issue(2000, 2); // failure 2 at 3000 -> ejected, readmit at 8000
+    eq.schedule(4000, [&] {
+        ASSERT_TRUE(t.replicaEjected(1));
+        t.setActiveReplicas(1); // ejected victim drains instantly
+        EXPECT_TRUE(t.replicaStandby(1));
+    });
+    issue(9000, 1); // after the stale readmit timer fired
+    eq.runAll();
+
+    // The readmit timer found r1 no longer Ejected and left it parked:
+    // no probe was ever offered, no readmission happened.
+    EXPECT_TRUE(t.replicaStandby(1));
+    EXPECT_EQ(t.stats().readmissionProbes, 0u);
+    EXPECT_EQ(t.stats().readmissions, 0u);
+    EXPECT_EQ(t.stats().drainsCompleted, 1u);
+    EXPECT_EQ(completions, 5); // failover kept every offload alive
+}
+
+TEST(AcceleratorTier, ScaleUpReactivatesStandbyWithFreshHealth)
+{
+    // Park r1 via a drain, then grow again: the replica returns as a
+    // dispatch candidate with reset health, and the round trip is
+    // visible in the activation/drain counters.
+    TierConfig tier;
+    tier.replicas = 2;
+    tier.policy = DispatchPolicy::LeastOutstanding;
+
+    sim::EventQueue eq;
+    AcceleratorTier t(eq, device(), tier);
+    t.setActiveReplicas(1);
+    EXPECT_TRUE(t.replicaStandby(1));
+    EXPECT_EQ(t.activeReplicaCount(), 1u);
+    t.setActiveReplicas(2);
+    EXPECT_FALSE(t.replicaStandby(1));
+    EXPECT_EQ(t.activeReplicaCount(), 2u);
+    EXPECT_EQ(t.stats().activations, 1u);
+
+    int completions = 0;
+    t.offload(400, 100, [&] { ++completions; });
+    t.offload(400, 100, [&] { ++completions; });
+    EXPECT_EQ(t.outstanding(1), 1u); // reactivated and dispatchable
+    eq.runAll();
+    EXPECT_EQ(completions, 2);
+}
+
+TEST(AcceleratorTier, GrowReactivatesDrainingVictimInPlace)
+{
+    // Scale down with work in flight, then scale back up before the
+    // drain settles: the draining replica is reactivated where it
+    // stands (it is warm), not parked and re-woken.
+    TierConfig tier;
+    tier.replicas = 2;
+    tier.policy = DispatchPolicy::LeastOutstanding;
+
+    sim::EventQueue eq;
+    AcceleratorTier t(eq, device(), tier);
+    int completions = 0;
+    t.offload(400, 100, [&] { ++completions; });
+    t.offload(400, 100, [&] { ++completions; });
+    eq.schedule(50, [&] {
+        t.setActiveReplicas(1);
+        EXPECT_TRUE(t.replicaDraining(1));
+        t.setActiveReplicas(2);
+        EXPECT_FALSE(t.replicaDraining(1));
+        EXPECT_FALSE(t.replicaStandby(1));
+    });
+    eq.runAll();
+    EXPECT_EQ(completions, 2);
+    EXPECT_EQ(t.stats().drainsStarted, 1u);
+    EXPECT_EQ(t.stats().drainsCompleted, 0u); // reactivated mid-drain
+    EXPECT_EQ(t.stats().activations, 1u);
+}
+
+TEST(AcceleratorTier, ProvisionedReplicaCyclesBillsDrainsNotStandby)
+{
+    // 2 replicas for 1000 cycles, then r1 parks (idle, instant drain):
+    // the integral is 2*1000 + 1*rest — standby is free, and the
+    // accounting is finalized by snapshot() at read time.
+    TierConfig tier;
+    tier.replicas = 2;
+
+    sim::EventQueue eq;
+    AcceleratorTier t(eq, device(), tier);
+    eq.schedule(1000, [&] { t.setActiveReplicas(1); });
+    eq.schedule(3000, [] {});
+    eq.runAll();
+    EXPECT_DOUBLE_EQ(t.snapshot().provisionedReplicaCycles,
+                     2.0 * 1000 + 1.0 * 2000);
+
+    // resetStats restarts the integral at the reset tick.
+    t.resetStats();
+    eq.schedule(5000, [] {});
+    eq.runAll();
+    EXPECT_DOUBLE_EQ(t.snapshot().provisionedReplicaCycles, 1.0 * 2000);
+}
+
 } // namespace
 } // namespace accel::microsim

@@ -106,6 +106,43 @@ TEST(Queueing, MmkDomainChecks)
     EXPECT_DOUBLE_EQ(mmkWaitCycles(1000, 0, 2e9, 3), 0.0);
 }
 
+TEST(Queueing, MinServersForWaitFindsSmallestFeasibleK)
+{
+    // 1000-cycle service at 1.5M/s on 1 GHz: a = 1.5, so k = 2 is the
+    // first stable pool. Whether it also meets the budget depends on
+    // the budget: the returned k must satisfy it and k - 1 must not
+    // (either unstable or over budget).
+    const double s = 1000, lam = 1.5e6, hz = 1e9;
+    unsigned tight = minServersForWait(s, lam, hz, 10.0);
+    EXPECT_GT(tight, 2u);
+    EXPECT_LE(mmkWaitCycles(s, lam, hz, tight), 10.0);
+    EXPECT_GT(mmkWaitCycles(s, lam, hz, tight - 1), 10.0);
+    // A generous budget is met by the first stable k.
+    unsigned loose = minServersForWait(s, lam, hz, 1e9);
+    EXPECT_EQ(loose, 2u);
+    // Monotone: tighter budgets never need fewer servers.
+    EXPECT_GE(minServersForWait(s, lam, hz, 1.0), tight);
+}
+
+TEST(Queueing, MinServersForWaitZeroLoadNeedsOneServer)
+{
+    EXPECT_EQ(minServersForWait(1000, 0, 1e9, 5.0), 1u);
+}
+
+TEST(Queueing, MinServersForWaitDomainChecks)
+{
+    // Infeasible within maxServers: k is capped at 4 but a = 1.5 needs
+    // more than 4 servers to hit a near-zero wait budget.
+    EXPECT_THROW(minServersForWait(1000, 1.5e6, 1e9, 1e-9, 4),
+                 FatalError);
+    // Zero service time waits zero cycles on any single server.
+    EXPECT_EQ(minServersForWait(0, 1e6, 1e9, 10.0), 1u);
+    EXPECT_THROW(minServersForWait(-1, 1e6, 1e9, 10.0), FatalError);
+    EXPECT_THROW(minServersForWait(1000, -1, 1e9, 10.0), FatalError);
+    EXPECT_THROW(minServersForWait(1000, 1e6, 0, 10.0), FatalError);
+    EXPECT_THROW(minServersForWait(1000, 1e6, 1e9, -1.0), FatalError);
+}
+
 TEST(Queueing, MeanFromSamples)
 {
     EXPECT_DOUBLE_EQ(meanQueueCycles({10, 20, 30}), 20.0);

@@ -149,5 +149,102 @@ TEST(Histogram, CumulativeCacheInvalidatedByAdds)
     EXPECT_DOUBLE_EQ(h.cumulativeFraction(h.bucketCount() - 1), 1.0);
 }
 
+TEST(Histogram, MergeSumsBucketsAndStats)
+{
+    Histogram a = Histogram::makePow2(4, 16);
+    Histogram b = Histogram::makePow2(4, 16);
+    a.add(2);
+    a.add(10);
+    b.add(2);
+    b.add(100);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.total(), 4.0);
+    EXPECT_DOUBLE_EQ(a.bucketWeight(0), 2.0);
+    EXPECT_DOUBLE_EQ(a.bucketWeight(2), 1.0);
+    EXPECT_DOUBLE_EQ(a.bucketWeight(3), 1.0);
+    // Raw-value stats merge too (Chan), so no double counting and no
+    // lost mass: mean of {2, 10, 2, 100}.
+    EXPECT_DOUBLE_EQ(a.stats().mean(), 28.5);
+    EXPECT_EQ(a.stats().count(), 4u);
+}
+
+TEST(Histogram, MergeMatchesSingleStreamBitForBit)
+{
+    // Windowed aggregation (the autoscaler's use): splitting a stream
+    // across windows and merging must equal adding every value to one
+    // histogram directly.
+    Histogram whole = Histogram::makePow2(4, 4096);
+    Histogram merged = Histogram::makePow2(4, 4096);
+    Rng rng(77);
+    for (int w = 0; w < 10; ++w) {
+        Histogram window = Histogram::makePow2(4, 4096);
+        for (int i = 0; i < 200; ++i) {
+            double v = rng.uniform(0, 5000);
+            whole.add(v);
+            window.add(v);
+        }
+        merged.merge(window);
+    }
+    EXPECT_DOUBLE_EQ(merged.total(), whole.total());
+    for (size_t i = 0; i < whole.bucketCount(); ++i)
+        EXPECT_DOUBLE_EQ(merged.bucketWeight(i), whole.bucketWeight(i));
+    EXPECT_DOUBLE_EQ(merged.quantile(0.99), whole.quantile(0.99));
+}
+
+TEST(Histogram, MergeInvalidatesCumulativeCache)
+{
+    Histogram a = Histogram::makePow2(4, 16);
+    Histogram b = Histogram::makePow2(4, 16);
+    a.add(2);
+    EXPECT_DOUBLE_EQ(a.cumulativeFraction(0), 1.0); // cache built
+    b.add(100);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.cumulativeFraction(0), 0.5);
+}
+
+TEST(Histogram, MergeRejectsMismatchedEdges)
+{
+    Histogram a = Histogram::makePow2(4, 16);
+    Histogram b = Histogram::makePow2(4, 32);
+    EXPECT_THROW(a.merge(b), FatalError);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket)
+{
+    Histogram h(std::vector<double>{0.0, 10.0, 20.0});
+    for (int i = 0; i < 10; ++i)
+        h.add(5.0); // all mass in [0, 10)
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.1), 1.0);
+}
+
+TEST(Histogram, QuantileSpansBuckets)
+{
+    Histogram h(std::vector<double>{0.0, 10.0, 20.0});
+    for (int i = 0; i < 9; ++i)
+        h.add(5.0);
+    h.add(15.0);
+    // p90 target lands exactly at the first bucket's upper edge.
+    EXPECT_DOUBLE_EQ(h.quantile(0.9), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.95), 15.0);
+}
+
+TEST(Histogram, QuantileOverflowPinsToLastEdge)
+{
+    Histogram h(std::vector<double>{0.0, 10.0});
+    h.add(1e9); // overflow bucket
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 10.0);
+}
+
+TEST(Histogram, QuantileEmptyAndDomain)
+{
+    Histogram h = Histogram::makePow2(4, 16);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+    h.add(5);
+    EXPECT_THROW(h.quantile(-0.1), FatalError);
+    EXPECT_THROW(h.quantile(1.1), FatalError);
+}
+
 } // namespace
 } // namespace accel
