@@ -31,6 +31,7 @@
 
 #include "bench_common.hh"
 #include "microsim/arrival_program.hh"
+#include "microsim/service_spec.hh"
 #include "microsim/service_sim.hh"
 #include "microsim/tier.hh"
 #include "model/queueing.hh"
@@ -272,8 +273,12 @@ main(int argc, char **argv)
         stationary,
     };
     arms = bench::shardConfigs(arms, [&](Arm arm) {
-        microsim::ServiceSim sim(arm.svc, arm.dev, arm.tier, arm.work,
-                                 seed);
+        microsim::ServiceSim sim(microsim::ServiceSpec(arm.name)
+                                     .service(arm.svc)
+                                     .accelerator(arm.dev)
+                                     .tier(arm.tier)
+                                     .workload(arm.work)
+                                     .seed(seed));
         arm.m = sim.run(arm.measureSeconds, arm.warmupSeconds);
         return arm;
     });

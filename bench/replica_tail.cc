@@ -29,6 +29,7 @@
 
 #include "bench_common.hh"
 #include "faults/fault_plan.hh"
+#include "microsim/service_spec.hh"
 #include "microsim/service_sim.hh"
 #include "microsim/tier.hh"
 
@@ -131,7 +132,12 @@ enableHealth(microsim::TierConfig &tier)
 microsim::ServiceMetrics
 runTier(const microsim::TierConfig &tier, std::uint64_t seed)
 {
-    microsim::ServiceSim sim(service(), device(), tier, workload(), seed);
+    microsim::ServiceSim sim(microsim::ServiceSpec("replica-tail")
+                                 .service(service())
+                                 .accelerator(device())
+                                 .tier(tier)
+                                 .workload(workload())
+                                 .seed(seed));
     return sim.run(/*measureSeconds=*/0.05, /*warmupSeconds=*/0.01);
 }
 

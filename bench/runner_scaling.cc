@@ -10,6 +10,7 @@
 #include <chrono>
 
 #include "bench_common.hh"
+#include "microsim/service_spec.hh"
 #include "microsim/service_sim.hh"
 
 using namespace accel;
@@ -47,7 +48,11 @@ runOne(const Experiment &e)
     microsim::AcceleratorConfig dev;
     dev.speedupFactor = 5;
     dev.fixedLatencyCycles = 50;
-    microsim::ServiceSim sim(cfg, dev, w, e.seed);
+    microsim::ServiceSim sim(microsim::ServiceSpec("runner-scaling")
+                                 .service(cfg)
+                                 .accelerator(dev)
+                                 .workload(w)
+                                 .seed(e.seed));
     return sim.run(0.25, 0.05);
 }
 

@@ -9,6 +9,7 @@
  */
 
 #include "bench_common.hh"
+#include "microsim/service_spec.hh"
 #include "microsim/service_sim.hh"
 
 using namespace accel;
@@ -43,7 +44,11 @@ run(double load, bool accelerated)
     microsim::AcceleratorConfig dev;
     dev.speedupFactor = 5;
     dev.fixedLatencyCycles = 50;
-    microsim::ServiceSim sim(cfg, dev, workload(), 2020);
+    microsim::ServiceSim sim(microsim::ServiceSpec("slo-curves")
+                                 .service(cfg)
+                                 .accelerator(dev)
+                                 .workload(workload())
+                                 .seed(2020));
     return sim.run(0.2, 0.05);
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "microsim/arrival_program.hh"
+#include "microsim/service_spec.hh"
 #include "microsim/service_sim.hh"
 #include "microsim/tier.hh"
 #include "model/queueing.hh"
@@ -158,7 +159,12 @@ main()
             svc.autoscaler.brownout = true;
             svc.autoscaler.brownoutFloor = 32;
         }
-        microsim::ServiceSim sim(svc, dev, tier, work, /*seed=*/2020);
+        microsim::ServiceSim sim(microsim::ServiceSpec("capacity-day")
+                                     .service(svc)
+                                     .accelerator(dev)
+                                     .tier(tier)
+                                     .workload(work)
+                                     .seed(2020));
         return sim.run(/*measureSeconds=*/0.4, /*warmupSeconds=*/0.05);
     };
     microsim::ServiceMetrics fixed = runDay(false);

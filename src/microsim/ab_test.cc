@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "microsim/service_spec.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
@@ -38,8 +39,12 @@ runAbTest(const AbExperiment &experiment)
         // pool shape is kept identical; only the acceleration flag
         // differs.
         cfg.accelerated = (arm == 1);
-        ServiceSim sim(cfg, experiment.accelerator, experiment.tier,
-                       experiment.workload, experiment.seed);
+        ServiceSim sim(ServiceSpec(arm == 0 ? "baseline" : "treatment")
+                           .service(cfg)
+                           .accelerator(experiment.accelerator)
+                           .tier(experiment.tier)
+                           .workload(experiment.workload)
+                           .seed(experiment.seed));
         ServiceMetrics metrics = sim.run(experiment.measureSeconds,
                                          experiment.warmupSeconds);
         (arm == 0 ? result.baseline : result.treatment) =
@@ -76,8 +81,12 @@ runResilienceAbTest(const AbExperiment &experiment)
             acc.faultPlan.reset();
             tier = TierConfig();
         }
-        ServiceSim sim(svc, acc, tier, experiment.workload,
-                       experiment.seed);
+        ServiceSim sim(ServiceSpec(arm == 0 ? "host-only" : "resilient")
+                           .service(svc)
+                           .accelerator(acc)
+                           .tier(tier)
+                           .workload(experiment.workload)
+                           .seed(experiment.seed));
         ServiceMetrics metrics = sim.run(experiment.measureSeconds,
                                          experiment.warmupSeconds);
         (arm == 0 ? result.hostOnly : result.resilient) =

@@ -1,0 +1,682 @@
+#include "microsim/service_graph.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/json_fmt.hh"
+#include "util/logging.hh"
+
+namespace accel::microsim {
+
+// --------------------------------------------------------------------
+// Edge configuration
+// --------------------------------------------------------------------
+
+const char *
+toString(CallStyle style)
+{
+    switch (style) {
+      case CallStyle::Sync:
+        return "sync";
+      case CallStyle::Async:
+        return "async";
+    }
+    panic("toString: unreachable CallStyle");
+}
+
+CallStyle
+callStyleFromString(const std::string &name)
+{
+    if (name == "sync")
+        return CallStyle::Sync;
+    if (name == "async")
+        return CallStyle::Async;
+    fatal("unknown call style '" + name + "' (want sync | async)");
+}
+
+void
+EdgeConfig::validate() const
+{
+    require(!caller.empty(), "EdgeConfig.caller must name a service");
+    require(!callee.empty(), "EdgeConfig.callee must name a service");
+    require(fanout >= 1, "EdgeConfig.fanout must be >= 1");
+    require(std::isfinite(latencyCycles) && latencyCycles >= 0,
+            "EdgeConfig.latencyCycles must be finite and >= 0");
+    require(std::isfinite(latencyJitterCycles) && latencyJitterCycles >= 0,
+            "EdgeConfig.latencyJitterCycles must be finite and >= 0");
+}
+
+// --------------------------------------------------------------------
+// Metrics
+// --------------------------------------------------------------------
+
+std::string
+EdgeStats::summaryJson() const
+{
+    std::ostringstream os;
+    os << "{\"caller\": \"" << caller << "\", \"callee\": \"" << callee
+       << "\", \"calls_issued\": " << callsIssued
+       << ", \"calls_completed\": " << callsCompleted
+       << ", \"calls_shed\": " << callsShed
+       << ", \"failures_propagated\": " << failuresPropagated
+       << ", \"rtt_cycles\": " << rttCycles.summaryJson() << "}";
+    return os.str();
+}
+
+std::string
+GraphNodeMetrics::summaryJson() const
+{
+    std::ostringstream os;
+    os << "{\"node\": \"" << node
+       << "\", \"subtrees_started\": " << subtreesStarted
+       << ", \"subtrees_completed\": " << subtreesCompleted
+       << ", \"subtrees_failed\": " << subtreesFailed
+       << ", \"subtree_latency_cycles\": "
+       << subtreeLatencyCycles.summaryJson()
+       << ", \"service\": " << service.summaryJson() << "}";
+    return os.str();
+}
+
+std::string
+SharedTierMetrics::summaryJson() const
+{
+    std::ostringstream os;
+    os << "{\"tier_name\": \"" << tierName
+       << "\", \"aggregate_device\": " << aggregateDevice.summaryJson()
+       << ", \"tier\": " << tierStats.summaryJson() << "}";
+    return os.str();
+}
+
+double
+GraphMetrics::rootQps() const
+{
+    if (graphMeasuredSeconds <= 0)
+        return 0.0;
+    return static_cast<double>(rootsCompleted) / graphMeasuredSeconds;
+}
+
+double
+GraphMetrics::rootGoodputQps() const
+{
+    if (graphMeasuredSeconds <= 0)
+        return 0.0;
+    ensure(rootsFailed <= rootsCompleted,
+           "GraphMetrics: failed > completed roots");
+    return static_cast<double>(rootsCompleted - rootsFailed) /
+           graphMeasuredSeconds;
+}
+
+const GraphNodeMetrics &
+GraphMetrics::node(const std::string &name) const
+{
+    for (const GraphNodeMetrics &nm : nodes) {
+        if (nm.node == name)
+            return nm;
+    }
+    fatal("GraphMetrics: no node named '" + name + "'");
+}
+
+std::string
+GraphMetrics::summaryJson() const
+{
+    std::ostringstream os;
+    os << "{\"graph_measured_seconds\": "
+       << jsonNumber(graphMeasuredSeconds)
+       << ", \"root_qps\": " << jsonNumber(rootQps())
+       << ", \"root_goodput_qps\": " << jsonNumber(rootGoodputQps())
+       << ", \"roots_started\": " << rootsStarted
+       << ", \"roots_completed\": " << rootsCompleted
+       << ", \"roots_failed\": " << rootsFailed
+       << ", \"root_latency_cycles\": " << rootLatencyCycles.summaryJson()
+       << ", \"graph_requests_arrived\": " << graphRequestsArrived
+       << ", \"graph_requests_completed\": " << graphRequestsCompleted
+       << ", \"graph_requests_shed\": " << graphRequestsShed
+       << ", \"graph_requests_failed\": " << graphRequestsFailed
+       << ", \"nodes\": [";
+    for (size_t i = 0; i < nodes.size(); ++i)
+        os << (i == 0 ? "" : ", ") << nodes[i].summaryJson();
+    os << "], \"edges\": [";
+    for (size_t i = 0; i < edges.size(); ++i)
+        os << (i == 0 ? "" : ", ") << edges[i].summaryJson();
+    os << "], \"shared_tiers\": [";
+    for (size_t i = 0; i < sharedTiers.size(); ++i)
+        os << (i == 0 ? "" : ", ") << sharedTiers[i].summaryJson();
+    os << "]}";
+    return os.str();
+}
+
+// --------------------------------------------------------------------
+// Assembly
+// --------------------------------------------------------------------
+
+ServiceGraph::ServiceGraph(std::uint64_t seed) : seed_(seed) {}
+
+ServiceGraph &
+ServiceGraph::addService(const ServiceSpec &spec)
+{
+    specs_.push_back(spec);
+    return *this;
+}
+
+ServiceGraph &
+ServiceGraph::addSharedTier(const std::string &tierName,
+                            const AcceleratorConfig &device,
+                            const TierConfig &tier)
+{
+    sharedTierDefs_.push_back(SharedTierDef{tierName, device, tier});
+    return *this;
+}
+
+ServiceGraph &
+ServiceGraph::addEdge(const EdgeConfig &edge)
+{
+    edges_.push_back(edge);
+    return *this;
+}
+
+std::uint32_t
+ServiceGraph::nodeIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < specs_.size(); ++i) {
+        if (specs_[i].name() == name)
+            return static_cast<std::uint32_t>(i);
+    }
+    fatal("ServiceGraph: no service named '" + name + "'");
+}
+
+bool
+ServiceGraph::hasInEdge(std::uint32_t node) const
+{
+    const std::string &name = specs_[node].name();
+    return std::any_of(edges_.begin(), edges_.end(),
+                       [&name](const EdgeConfig &e) {
+                           return e.callee == name;
+                       });
+}
+
+namespace {
+
+/** Collect one throwing check as an error line (prefix stripped). */
+template <typename Fn>
+void
+collect(std::vector<std::string> &out, const std::string &where, Fn &&check)
+{
+    try {
+        check();
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        const std::string prefix = "fatal: ";
+        if (msg.rfind(prefix, 0) == 0)
+            msg.erase(0, prefix.size());
+        out.push_back(where + msg);
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+ServiceGraph::errors() const
+{
+    std::vector<std::string> out;
+    if (specs_.empty())
+        out.push_back("graph has no services");
+
+    // Node names must be unique: they are the edge address space.
+    for (size_t i = 0; i < specs_.size(); ++i) {
+        if (specs_[i].name().empty())
+            out.push_back("service " + std::to_string(i) +
+                          " has an empty name");
+        for (size_t j = i + 1; j < specs_.size(); ++j) {
+            if (specs_[i].name() == specs_[j].name())
+                out.push_back("duplicate service name '" +
+                              specs_[i].name() + "'");
+        }
+    }
+
+    for (const ServiceSpec &spec : specs_) {
+        for (const std::string &err : spec.errors())
+            out.push_back("node '" + spec.name() + "': " + err);
+    }
+
+    // All nodes share one tick clock; mixed frequencies would make the
+    // shared queue's ticks mean different wall times per node.
+    for (const ServiceSpec &spec : specs_) {
+        if (spec.service().clockGHz != specs_.front().service().clockGHz)
+            out.push_back("node '" + spec.name() + "': clockGHz " +
+                          std::to_string(spec.service().clockGHz) +
+                          " differs from '" + specs_.front().name() +
+                          "' (" +
+                          std::to_string(
+                              specs_.front().service().clockGHz) +
+                          "); the shared clock needs one frequency");
+    }
+
+    // Shared tiers: unique names, valid configs, every definition used,
+    // every reference resolved, and no hedging into Sync-design nodes
+    // (the same cross-check ServiceSpec applies to its own tier).
+    for (size_t i = 0; i < sharedTierDefs_.size(); ++i) {
+        const SharedTierDef &def = sharedTierDefs_[i];
+        if (def.name.empty())
+            out.push_back("shared tier " + std::to_string(i) +
+                          " has an empty name");
+        for (size_t j = i + 1; j < sharedTierDefs_.size(); ++j) {
+            if (def.name == sharedTierDefs_[j].name)
+                out.push_back("duplicate shared tier name '" + def.name +
+                              "'");
+        }
+        collect(out, "shared tier '" + def.name + "': ",
+                [&def] { def.device.validate(); });
+        collect(out, "shared tier '" + def.name + "': ",
+                [&def] { def.config.validate(); });
+        bool used = false;
+        for (const ServiceSpec &spec : specs_) {
+            if (spec.sharedTierName() != def.name)
+                continue;
+            used = true;
+            if (def.config.hedge.enabled &&
+                spec.service().design == model::ThreadingDesign::Sync) {
+                out.push_back(
+                    "node '" + spec.name() + "': shared tier '" +
+                    def.name +
+                    "' hedges, but the node runs the Sync design (the "
+                    "blocked driver waits on its single offload)");
+            }
+        }
+        if (!used)
+            out.push_back("shared tier '" + def.name +
+                          "' is not referenced by any service");
+    }
+    for (const ServiceSpec &spec : specs_) {
+        if (spec.sharedTierName().empty())
+            continue;
+        bool found = false;
+        for (const SharedTierDef &def : sharedTierDefs_) {
+            if (def.name == spec.sharedTierName())
+                found = true;
+        }
+        if (!found)
+            out.push_back("node '" + spec.name() +
+                          "': names unknown shared tier '" +
+                          spec.sharedTierName() + "'");
+    }
+
+    // Edges: valid shapes, known endpoints, no self-calls.
+    for (const EdgeConfig &edge : edges_) {
+        const std::string where =
+            "edge " + edge.caller + " -> " + edge.callee + ": ";
+        collect(out, where, [&edge] { edge.validate(); });
+        bool endpoints = true;
+        for (const std::string &end : {edge.caller, edge.callee}) {
+            bool found = false;
+            for (const ServiceSpec &spec : specs_) {
+                if (spec.name() == end)
+                    found = true;
+            }
+            if (!end.empty() && !found) {
+                out.push_back(where + "no service named '" + end + "'");
+                endpoints = false;
+            }
+        }
+        if (endpoints && !edge.caller.empty() &&
+            edge.caller == edge.callee)
+            out.push_back(where + "a service cannot call itself");
+    }
+
+    // The graph must be a DAG: a cycle would recurse forever (every
+    // completion at a node on the cycle re-injects into the cycle).
+    bool resolvable = true;
+    for (const EdgeConfig &edge : edges_) {
+        for (const std::string &end : {edge.caller, edge.callee}) {
+            bool found = false;
+            for (const ServiceSpec &spec : specs_) {
+                if (spec.name() == end)
+                    found = true;
+            }
+            if (!found)
+                resolvable = false;
+        }
+    }
+    if (resolvable && !specs_.empty()) {
+        // Iterative DFS three-colouring over node indices.
+        std::vector<std::vector<std::uint32_t>> adj(specs_.size());
+        for (const EdgeConfig &edge : edges_) {
+            if (edge.caller != edge.callee)
+                adj[nodeIndex(edge.caller)].push_back(
+                    nodeIndex(edge.callee));
+        }
+        std::vector<int> colour(specs_.size(), 0); // 0 white 1 grey 2 black
+        for (std::uint32_t root = 0; root < specs_.size(); ++root) {
+            if (colour[root] != 0)
+                continue;
+            std::vector<std::pair<std::uint32_t, size_t>> stack;
+            stack.emplace_back(root, 0);
+            colour[root] = 1;
+            while (!stack.empty()) {
+                auto &[n, next] = stack.back();
+                if (next < adj[n].size()) {
+                    std::uint32_t m = adj[n][next++];
+                    if (colour[m] == 1) {
+                        out.push_back("cycle through '" +
+                                      specs_[m].name() +
+                                      "': the graph must be a DAG");
+                        colour[m] = 2;
+                    } else if (colour[m] == 0) {
+                        colour[m] = 1;
+                        stack.emplace_back(m, 0);
+                    }
+                } else {
+                    colour[n] = 2;
+                    stack.pop_back();
+                }
+            }
+        }
+    }
+    return out;
+}
+
+void
+ServiceGraph::validate() const
+{
+    std::vector<std::string> errs = errors(); // walks specs_ and edges_
+    if (errs.empty())
+        return;
+    std::string msg = "ServiceGraph (" + std::to_string(specs_.size()) +
+        " services, " + std::to_string(edges_.size()) + " edges):";
+    for (const std::string &e : errs)
+        msg += "\n  - " + e;
+    fatal(msg);
+}
+
+// --------------------------------------------------------------------
+// Run
+// --------------------------------------------------------------------
+
+void
+ServiceGraph::initWindowStats()
+{
+    GraphMetrics fresh;
+    fresh.graphMeasuredSeconds = metrics_.graphMeasuredSeconds;
+    fresh.nodes.reserve(specs_.size());
+    for (const ServiceSpec &spec : specs_) {
+        GraphNodeMetrics nm;
+        nm.node = spec.name();
+        fresh.nodes.push_back(std::move(nm));
+    }
+    fresh.edges.reserve(edges_.size());
+    for (const EdgeConfig &edge : edges_) {
+        EdgeStats es;
+        es.caller = edge.caller;
+        es.callee = edge.callee;
+        fresh.edges.push_back(std::move(es));
+    }
+    metrics_ = std::move(fresh);
+}
+
+GraphMetrics
+ServiceGraph::run(double measureSeconds, double warmupSeconds)
+{
+    require(measureSeconds > 0,
+            "ServiceGraph::run: window must be positive");
+    require(warmupSeconds >= 0, "ServiceGraph::run: negative warmup");
+    ensure(!ran_, "ServiceGraph::run: single-use object");
+    ran_ = true;
+    validate();
+
+    eq_ = std::make_unique<sim::EventQueue>();
+
+    sharedTiers_.reserve(sharedTierDefs_.size());
+    for (const SharedTierDef &def : sharedTierDefs_) {
+        sharedTiers_.push_back(std::make_unique<AcceleratorTier>(
+            *eq_, def.device, def.config));
+    }
+
+    sims_.reserve(specs_.size());
+    outEdges_.assign(specs_.size(), {});
+    calleeIdx_.clear();
+    calleeIdx_.reserve(edges_.size());
+    for (size_t e = 0; e < edges_.size(); ++e) {
+        outEdges_[nodeIndex(edges_[e].caller)].push_back(e);
+        calleeIdx_.push_back(nodeIndex(edges_[e].callee));
+        // One seeded stream per edge keeps jitter draws independent of
+        // node count and of the other edges' traffic.
+        edgeRngs_.emplace_back(seed_ ^ 0x6772617068ULL,
+                               0xed6e0000ULL + e);
+    }
+
+    for (size_t i = 0; i < specs_.size(); ++i) {
+        AcceleratorTier *shared = nullptr;
+        for (size_t t = 0; t < sharedTierDefs_.size(); ++t) {
+            if (sharedTierDefs_[t].name == specs_[i].sharedTierName())
+                shared = sharedTiers_[t].get();
+        }
+        sims_.push_back(std::make_unique<ServiceSim>(
+            specs_[i], *eq_, shared,
+            hasInEdge(static_cast<std::uint32_t>(i))));
+        std::uint32_t node = static_cast<std::uint32_t>(i);
+        sims_[i]->setCompletionHook(
+            [this, node](std::uint64_t token, sim::Tick arrivedAt,
+                         bool failed) {
+                onNodeCompletion(node, token, arrivedAt, failed);
+            });
+    }
+
+    metrics_.graphMeasuredSeconds = measureSeconds;
+    initWindowStats();
+    measuring_ = warmupSeconds == 0;
+
+    // Node windows first: a single-node graph then replays the exact
+    // standalone event sequence, with the graph's own warmup flip
+    // appended after every node's (same tick and priority, later
+    // insertion order).
+    for (const std::unique_ptr<ServiceSim> &sim : sims_)
+        sim->beginWindow(measureSeconds, warmupSeconds);
+    sim::Tick end_tick = sims_.front()->windowEndTick();
+
+    if (!measuring_) {
+        double cycles_per_second =
+            specs_.front().service().clockGHz * 1e9;
+        sim::Tick warmup_tick =
+            static_cast<sim::Tick>(warmupSeconds * cycles_per_second);
+        eq_->schedule(warmup_tick, [this]() {
+            initWindowStats();
+            // Shared tiers reset here, once — the nodes each skipped
+            // their own tier reset for exactly this reason.
+            for (const std::unique_ptr<AcceleratorTier> &tier :
+                 sharedTiers_)
+                tier->resetStats();
+            measuring_ = true;
+        }, /*priority=*/-100);
+    }
+
+    eq_->runUntil(end_tick);
+
+    for (size_t i = 0; i < sims_.size(); ++i) {
+        metrics_.nodes[i].service = sims_[i]->collectMetrics();
+        const ServiceMetrics &sm = metrics_.nodes[i].service;
+        metrics_.graphRequestsArrived += sm.requestsArrived;
+        metrics_.graphRequestsCompleted += sm.requestsCompleted;
+        metrics_.graphRequestsShed += sm.requestsShed;
+        metrics_.graphRequestsFailed += sm.requestsFailed;
+    }
+    metrics_.sharedTiers.reserve(sharedTierDefs_.size());
+    for (size_t t = 0; t < sharedTierDefs_.size(); ++t) {
+        SharedTierMetrics st;
+        st.tierName = sharedTierDefs_[t].name;
+        st.aggregateDevice = sharedTiers_[t]->aggregateDeviceStats();
+        st.tierStats = sharedTiers_[t]->snapshot();
+        metrics_.sharedTiers.push_back(std::move(st));
+    }
+    return metrics_;
+}
+
+// --------------------------------------------------------------------
+// Call flow
+// --------------------------------------------------------------------
+
+void
+ServiceGraph::onNodeCompletion(std::uint32_t node, std::uint64_t token,
+                               sim::Tick arrivedAt, bool failed)
+{
+    if (token == 0) {
+        // A locally-originated request: it roots a fresh subtree.
+        std::uint64_t tok = nextToken_++;
+        Call c;
+        c.node = node;
+        c.arrivedAt = arrivedAt;
+        c.issuedAt = arrivedAt;
+        c.serviceDone = true;
+        c.failed = failed;
+        calls_.emplace(tok, c);
+        if (measuring_) {
+            ++metrics_.rootsStarted;
+            ++metrics_.nodes[node].subtreesStarted;
+        }
+        issueCalls(tok);
+        maybeFinishCall(tok);
+        return;
+    }
+    auto it = calls_.find(token);
+    ensure(it != calls_.end(),
+           "ServiceGraph: completion for an unknown call token");
+    Call &c = it->second;
+    ensure(c.node == node, "ServiceGraph: call completed on wrong node");
+    c.serviceDone = true;
+    if (failed)
+        c.failed = true;
+    if (measuring_)
+        ++metrics_.nodes[node].subtreesStarted;
+    issueCalls(token);
+    maybeFinishCall(token);
+}
+
+void
+ServiceGraph::issueCalls(std::uint64_t token)
+{
+    Call &c = calls_.at(token);
+    for (size_t e : outEdges_[c.node]) {
+        const EdgeConfig &edge = edges_[e];
+        for (std::uint32_t k = 0; k < edge.fanout; ++k) {
+            if (measuring_)
+                ++metrics_.edges[e].callsIssued;
+            if (edge.style == CallStyle::Sync)
+                ++c.pendingChildren;
+            sim::Tick issued = eq_->now();
+            eq_->scheduleIn(drawEdgeLatency(e),
+                            [this, e, token, issued]() {
+                                deliverCall(e, token, issued);
+                            });
+        }
+    }
+}
+
+void
+ServiceGraph::deliverCall(std::size_t edge, std::uint64_t parentToken,
+                          sim::Tick issuedAt)
+{
+    std::uint32_t callee = calleeIdx_[edge];
+    std::uint64_t tok = nextToken_++;
+    if (sims_[callee]->injectArrival(tok)) {
+        Call c;
+        c.node = callee;
+        c.arrivedAt = eq_->now();
+        c.issuedAt = issuedAt;
+        c.parentToken = parentToken;
+        c.viaEdge = static_cast<std::int32_t>(edge);
+        calls_.emplace(tok, c);
+        return;
+    }
+    // Shed at the callee's admission queue: the call never ran. A sync
+    // caller learns immediately (degenerate "rejection response") and
+    // the failure joins into its subtree.
+    if (measuring_)
+        ++metrics_.edges[edge].callsShed;
+    if (edges_[edge].style == CallStyle::Sync)
+        settleChild(parentToken, /*childFailed=*/true);
+}
+
+void
+ServiceGraph::maybeFinishCall(std::uint64_t token)
+{
+    auto it = calls_.find(token);
+    ensure(it != calls_.end(), "maybeFinishCall: unknown token");
+    Call &c = it->second;
+    if (!c.serviceDone || c.pendingChildren > 0)
+        return;
+    sim::Tick now = eq_->now();
+    if (measuring_) {
+        GraphNodeMetrics &nm = metrics_.nodes[c.node];
+        ++nm.subtreesCompleted;
+        if (c.failed)
+            ++nm.subtreesFailed;
+        nm.subtreeLatencyCycles.add(
+            static_cast<double>(now - c.arrivedAt));
+    }
+    if (c.viaEdge < 0) {
+        if (measuring_) {
+            ++metrics_.rootsCompleted;
+            if (c.failed)
+                ++metrics_.rootsFailed;
+            metrics_.rootLatencyCycles.add(
+                static_cast<double>(now - c.arrivedAt));
+        }
+        calls_.erase(it);
+        return;
+    }
+    size_t e = static_cast<size_t>(c.viaEdge);
+    std::uint64_t parent = c.parentToken;
+    bool failed = c.failed;
+    sim::Tick issued = c.issuedAt;
+    calls_.erase(it);
+    if (edges_[e].style == CallStyle::Async) {
+        // Fire-and-forget: the caller joined long ago; just close the
+        // edge's books. Failures are counted, never propagated.
+        if (measuring_) {
+            EdgeStats &es = metrics_.edges[e];
+            ++es.callsCompleted;
+            if (failed)
+                ++es.failuresPropagated;
+            es.rttCycles.add(static_cast<double>(now - issued));
+        }
+        return;
+    }
+    // Sync: the response pays the return hop, then joins at the caller.
+    eq_->scheduleIn(drawEdgeLatency(e),
+                    [this, e, parent, failed, issued]() {
+                        if (measuring_) {
+                            EdgeStats &es = metrics_.edges[e];
+                            ++es.callsCompleted;
+                            if (failed)
+                                ++es.failuresPropagated;
+                            es.rttCycles.add(static_cast<double>(
+                                eq_->now() - issued));
+                        }
+                        settleChild(parent, failed);
+                    });
+}
+
+void
+ServiceGraph::settleChild(std::uint64_t parentToken, bool childFailed)
+{
+    auto it = calls_.find(parentToken);
+    ensure(it != calls_.end(), "settleChild: unknown parent call");
+    Call &p = it->second;
+    ensure(p.pendingChildren > 0, "settleChild: no pending children");
+    --p.pendingChildren;
+    if (childFailed)
+        p.failed = true;
+    maybeFinishCall(parentToken);
+}
+
+sim::Tick
+ServiceGraph::drawEdgeLatency(std::size_t edge)
+{
+    const EdgeConfig &cfg = edges_[edge];
+    double lat = cfg.latencyCycles;
+    if (cfg.latencyJitterCycles > 0)
+        lat += edgeRngs_[edge].exponential(cfg.latencyJitterCycles);
+    return std::max<sim::Tick>(
+        1, static_cast<sim::Tick>(std::llround(lat)));
+}
+
+} // namespace accel::microsim

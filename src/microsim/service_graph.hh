@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Multi-service RPC fan-out simulation on one shared clock.
+ *
+ * A ServiceGraph wires N ServiceSim instances (built from ServiceSpecs)
+ * with directed RPC edges. When a request finishes its service-local
+ * work at a node, the node issues one call per out-edge fan-out slot:
+ * the call traverses a per-edge network latency (fixed plus optional
+ * exponential jitter), arrives at the callee through its normal
+ * admission path (so bounded queues shed RPCs exactly like local
+ * arrivals), and recursively fans out from there. Sync edges join: the
+ * caller's subtree is complete only when its own work and every sync
+ * child subtree (plus the return hop) have finished, which is what
+ * makes tail latency grow with fan-out depth (DeathStarBench's
+ * observation). Async edges are fire-and-forget: they load the callee
+ * but never extend the caller's critical path.
+ *
+ * Nodes may contend for graph-owned shared AcceleratorTiers
+ * (addSharedTier + ServiceSpec::sharedTier), modelling the
+ * shared-offload-engine deployment of the paper's fleet analysis:
+ * one tier's queue absorbs offloads from every subscribed service.
+ *
+ * Worker threads never block on downstream RPCs — fan-out happens at
+ * service completion (continuation-passing), so a node's concurrency
+ * limits apply to its own work only, while the *latency* of sync
+ * children lands on the caller's subtree path. GraphMetrics therefore
+ * decomposes: per-node service-local latency (ServiceMetrics), per-edge
+ * RTT (out hop + child subtree + return hop), and per-node subtree
+ * latency whose root-node flavour is the end-to-end figure.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "microsim/service_spec.hh"
+#include "stats/reservoir.hh"
+
+namespace accel::microsim {
+
+/** How a caller relates to one edge's RPCs. */
+enum class CallStyle
+{
+    Sync, //!< caller's subtree joins on the child (and its return hop)
+    Async //!< fire-and-forget: loads the callee, no join, no propagation
+};
+
+const char *toString(CallStyle style);
+CallStyle callStyleFromString(const std::string &name);
+
+/** One directed RPC edge: caller fans out to callee. */
+struct EdgeConfig
+{
+    std::string caller;
+    std::string callee;
+
+    /** Calls issued per completed caller request. */
+    std::uint32_t fanout = 1;
+
+    CallStyle style = CallStyle::Sync;
+
+    /** Fixed network/serialization delay per hop, in caller cycles. */
+    double latencyCycles = 0.0;
+
+    /** Mean of an exponential jitter added per hop (0 = deterministic). */
+    double latencyJitterCycles = 0.0;
+
+    /** @throws FatalError on out-of-domain values (names the field). */
+    void validate() const;
+};
+
+/** Per-edge call accounting over the measurement window. */
+struct EdgeStats
+{
+    std::string caller;
+    std::string callee;
+
+    std::uint64_t callsIssued = 0;
+    /** Subtree completions reported back across this edge. */
+    std::uint64_t callsCompleted = 0;
+    /** Calls rejected at the callee's admission queue. */
+    std::uint64_t callsShed = 0;
+    /** Completed child subtrees that carried a failure. */
+    std::uint64_t failuresPropagated = 0;
+
+    /** Edge RTT: out hop + child subtree (+ return hop when sync). */
+    ReservoirSample rttCycles;
+
+    std::string summaryJson() const;
+};
+
+/** One node's roll-up: its ServiceMetrics plus subtree accounting. */
+struct GraphNodeMetrics
+{
+    std::string node;
+
+    /** The node's own simulator metrics (service-local view). */
+    ServiceMetrics service;
+
+    /** Subtrees whose service-local phase completed at this node. */
+    std::uint64_t subtreesStarted = 0;
+    /** Subtrees fully joined (own work + every sync child). */
+    std::uint64_t subtreesCompleted = 0;
+    /** Joined subtrees that carried a failure. */
+    std::uint64_t subtreesFailed = 0;
+
+    /** Arrival at this node -> subtree join (includes sync children). */
+    ReservoirSample subtreeLatencyCycles;
+
+    std::string summaryJson() const;
+};
+
+/** One graph-owned tier's cross-service contention figures. */
+struct SharedTierMetrics
+{
+    std::string tierName;
+
+    /** Cross-replica device aggregate (all subscribed services). */
+    AcceleratorStats aggregateDevice;
+
+    /** Tier dispatch/hedge/health counters and replica breakdowns. */
+    TierStats tierStats;
+
+    std::string summaryJson() const;
+};
+
+/** Everything a graph run measures. */
+struct GraphMetrics
+{
+    double graphMeasuredSeconds = 0.0;
+
+    /** Locally-originated requests whose fan-out began in the window. */
+    std::uint64_t rootsStarted = 0;
+    /** Root subtrees fully joined: the end-to-end unit of work. */
+    std::uint64_t rootsCompleted = 0;
+    /** Joined root subtrees that carried a failure anywhere below. */
+    std::uint64_t rootsFailed = 0;
+
+    /** Root arrival -> root subtree join (end-to-end latency). */
+    ReservoirSample rootLatencyCycles;
+
+    // Graph-level roll-ups of the node ServiceMetrics (offered load,
+    // completions, shedding, and failures across every service).
+    std::uint64_t graphRequestsArrived = 0;
+    std::uint64_t graphRequestsCompleted = 0;
+    std::uint64_t graphRequestsShed = 0;
+    std::uint64_t graphRequestsFailed = 0;
+
+    std::vector<GraphNodeMetrics> nodes;
+    std::vector<EdgeStats> edges;
+    std::vector<SharedTierMetrics> sharedTiers;
+
+    /** Joined root subtrees per simulated second. */
+    double rootQps() const;
+
+    /** Root joins that carried no failure, per simulated second. */
+    double rootGoodputQps() const;
+
+    /** Node roll-up by name. @throws FatalError on an unknown name. */
+    const GraphNodeMetrics &node(const std::string &name) const;
+
+    /** The complete report surface (benches embed it verbatim). */
+    std::string summaryJson() const;
+};
+
+/**
+ * N services, one clock, directed RPC edges, optional shared tiers.
+ *
+ *     ServiceGraph g(seed);
+ *     g.addService(ServiceSpec("web")...)
+ *      .addService(ServiceSpec("ads")...)
+ *      .addEdge({.caller = "web", .callee = "ads", .fanout = 2});
+ *     GraphMetrics m = g.run(1.0);
+ *
+ * Like ServiceSim, a graph is a single-use object: assemble, run once,
+ * read the metrics.
+ */
+class ServiceGraph
+{
+  public:
+    /** @param seed drives the per-edge latency-jitter RNG streams. */
+    explicit ServiceGraph(std::uint64_t seed = 1);
+
+    /** Add one node. The spec's name() must be unique in the graph. */
+    ServiceGraph &addService(const ServiceSpec &spec);
+
+    /**
+     * Register a graph-owned accelerator tier that services opting in
+     * via ServiceSpec::sharedTier(tierName) contend for.
+     */
+    ServiceGraph &addSharedTier(const std::string &tierName,
+                                const AcceleratorConfig &device,
+                                const TierConfig &tier);
+
+    /** Add one directed edge; both endpoints must be added services. */
+    ServiceGraph &addEdge(const EdgeConfig &edge);
+
+    /**
+     * Every assembly problem at once, each prefixed with the node or
+     * edge it concerns: per-node ServiceSpec::errors(), duplicate or
+     * unknown names, self-edges, cycles (the graph must be a DAG),
+     * mixed clocks, hedged shared tiers feeding Sync-design nodes, and
+     * unused shared tiers. Empty when the graph is runnable.
+     */
+    std::vector<std::string> errors() const;
+
+    /** @throws FatalError listing every errors() entry at once. */
+    void validate() const;
+
+    /**
+     * Build the simulators, run warmup + measurement on the shared
+     * clock, and return the roll-up. Single use.
+     */
+    GraphMetrics run(double measureSeconds, double warmupSeconds = 0.1);
+
+  private:
+    struct SharedTierDef
+    {
+        std::string name;
+        AcceleratorConfig device;
+        TierConfig config;
+    };
+
+    /**
+     * One in-flight subtree: a root request or one RPC call, keyed by
+     * its token. Erased at join (or at async completion).
+     */
+    struct Call
+    {
+        std::uint32_t node = 0;      //!< executing node index
+        sim::Tick arrivedAt = 0;     //!< arrival at that node
+        sim::Tick issuedAt = 0;      //!< caller-side issue tick (RTT)
+        std::uint64_t parentToken = 0;
+        std::int32_t viaEdge = -1;   //!< delivering edge; -1 = root
+        bool serviceDone = false;
+        bool failed = false;
+        std::uint32_t pendingChildren = 0; //!< outstanding sync joins
+    };
+
+    std::uint32_t nodeIndex(const std::string &name) const;
+    bool hasInEdge(std::uint32_t node) const;
+
+    void initWindowStats();
+    void onNodeCompletion(std::uint32_t node, std::uint64_t token,
+                          sim::Tick arrivedAt, bool failed);
+    void issueCalls(std::uint64_t token);
+    void deliverCall(std::size_t edge, std::uint64_t parentToken,
+                     sim::Tick issuedAt);
+    void maybeFinishCall(std::uint64_t token);
+    void settleChild(std::uint64_t parentToken, bool childFailed);
+    sim::Tick drawEdgeLatency(std::size_t edge);
+
+    std::uint64_t seed_;
+    std::vector<ServiceSpec> specs_;
+    std::vector<EdgeConfig> edges_;
+    std::vector<SharedTierDef> sharedTierDefs_;
+
+    // --- run state (built by run()) ---
+    std::unique_ptr<sim::EventQueue> eq_;
+    std::vector<std::unique_ptr<AcceleratorTier>> sharedTiers_;
+    std::vector<std::unique_ptr<ServiceSim>> sims_;
+    std::vector<std::vector<std::size_t>> outEdges_;
+    std::vector<std::uint32_t> calleeIdx_;
+    std::vector<Rng> edgeRngs_;
+    /** Token -> in-flight subtree; lookup/erase only, never iterated. */
+    std::unordered_map<std::uint64_t, Call> calls_;
+    std::uint64_t nextToken_ = 1;
+    bool measuring_ = false;
+    bool ran_ = false;
+    GraphMetrics metrics_;
+};
+
+} // namespace accel::microsim

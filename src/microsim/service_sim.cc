@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "microsim/service_spec.hh"
 #include "util/logging.hh"
 
 namespace accel::microsim {
@@ -99,10 +100,31 @@ ServiceConfig::validate() const
     }
 }
 
+namespace {
+
+/** Aggregate validation must run before any member construction. */
+const ServiceSpec &
+validated(const ServiceSpec &spec)
+{
+    spec.validate();
+    return spec;
+}
+
+} // namespace
+
+// The old constructor pair survives as shims so out-of-tree callers
+// keep compiling (with a deprecation warning). Each delegates through
+// a temporary ServiceSpec — not through the other shim, which would
+// trip -Wdeprecated-declarations inside this file.
 ServiceSim::ServiceSim(const ServiceConfig &service,
                        const AcceleratorConfig &accel,
                        const WorkloadSpec &workload, std::uint64_t seed)
-    : ServiceSim(service, accel, TierConfig{}, workload, seed)
+    : ServiceSim(ServiceSpec()
+                     .service(service)
+                     .accelerator(accel)
+                     .workload(workload)
+                     .seed(seed),
+                 nullptr, nullptr, false)
 {
 }
 
@@ -110,16 +132,43 @@ ServiceSim::ServiceSim(const ServiceConfig &service,
                        const AcceleratorConfig &accel,
                        const TierConfig &tier, const WorkloadSpec &workload,
                        std::uint64_t seed)
-    : cfg_(service),
-      accel_(eq_, accel, tier),
-      source_(workload, seed),
-      arrivalRng_(seed ^ 0xa771a15ULL, 0x6f70656e6c6f6fULL)
+    : ServiceSim(ServiceSpec()
+                     .service(service)
+                     .accelerator(accel)
+                     .tier(tier)
+                     .workload(workload)
+                     .seed(seed),
+                 nullptr, nullptr, false)
 {
-    cfg_.validate();
-    require(!(tier.hedge.enabled && cfg_.design == ThreadingDesign::Sync),
-            "ServiceSim: hedged offloads cannot help the Sync design "
-            "(the blocked driver waits on its single offload); use an "
-            "async design or Sync-OS, or disable tier_hedge_delay");
+}
+
+ServiceSim::ServiceSim(const ServiceSpec &spec)
+    : ServiceSim(spec, nullptr, nullptr, false)
+{
+}
+
+ServiceSim::ServiceSim(const ServiceSpec &spec, sim::EventQueue &eq,
+                       AcceleratorTier *sharedTier, bool serverMode)
+    : ServiceSim(spec, &eq, sharedTier, serverMode)
+{
+}
+
+ServiceSim::ServiceSim(const ServiceSpec &spec, sim::EventQueue *eq,
+                       AcceleratorTier *sharedTier, bool serverMode)
+    : cfg_(validated(spec).service()),
+      ownedEq_(eq != nullptr ? nullptr
+                             : std::make_unique<sim::EventQueue>()),
+      eq_(eq != nullptr ? *eq : *ownedEq_),
+      ownedAccel_(sharedTier != nullptr
+                      ? nullptr
+                      : std::make_unique<AcceleratorTier>(
+                            eq_, spec.accelerator(), spec.tier())),
+      accel_(sharedTier != nullptr ? *sharedTier : *ownedAccel_),
+      sharedTier_(sharedTier != nullptr),
+      serverMode_(serverMode),
+      source_(spec.workload(), spec.seed()),
+      arrivalRng_(spec.seed() ^ 0xa771a15ULL, 0x6f70656e6c6f6fULL)
+{
     threads_.resize(cfg_.threads);
     resume_.resize(cfg_.threads);
     freeCores_ = cfg_.cores;
@@ -134,6 +183,12 @@ ServiceSim::ServiceSim(const ServiceConfig &service,
         peakArrivalsPerSec_ = cfg_.arrivalProgram.peakRate();
         cyclesPerArrival_ = cyclesPerSecond_ / peakArrivalsPerSec_;
         thinning_ = !cfg_.arrivalProgram.isConstant();
+        openLoop_ = true;
+    }
+    if (serverMode_) {
+        // Graph node with in-edges: park idle threads and wait for
+        // injected RPC arrivals (with no local source of its own,
+        // cyclesPerArrival_ stays 0 and no arrival event is scheduled).
         openLoop_ = true;
     }
     if (cfg_.autoscaler.enabled) {
@@ -170,11 +225,20 @@ ServiceSim::onArrival()
         if (!arrivalRng_.chance(accept))
             return;
     }
-    admitArrival();
+    admitArrival(/*token=*/0);
 }
 
-void
-ServiceSim::admitArrival()
+bool
+ServiceSim::injectArrival(std::uint64_t token)
+{
+    require(token != 0,
+            "ServiceSim::injectArrival: token 0 is reserved for "
+            "locally-generated arrivals");
+    return admitArrival(token);
+}
+
+bool
+ServiceSim::admitArrival(std::uint64_t token)
 {
     if (measuring_)
         ++metrics_.requestsArrived;
@@ -202,9 +266,9 @@ ServiceSim::admitArrival()
         }
         if (autoscaler_)
             autoscaler_->noteShed();
-        return;
+        return false;
     }
-    arrivals_.push_back(PendingArrival{source_.next(), eq_.now()});
+    arrivals_.push_back(PendingArrival{source_.next(), eq_.now(), token});
     if (measuring_) {
         metrics_.maxArrivalQueueDepth = std::max<std::uint64_t>(
             metrics_.maxArrivalQueueDepth, arrivals_.size());
@@ -218,6 +282,7 @@ ServiceSim::admitArrival()
                "onArrival: woken thread not idle");
         makeReady(tid, [this, tid]() { startNextRequest(tid); });
     }
+    return true;
 }
 
 // --------------------------------------------------------------------
@@ -350,6 +415,7 @@ ServiceSim::startNextRequest(size_t tid)
         return;
     }
     sim::Tick started = eq_.now();
+    std::uint64_t token = 0;
     if (openLoop_) {
         if (arrivals_.empty()) {
             // Nothing to do: park until an arrival wakes us.
@@ -366,6 +432,7 @@ ServiceSim::startNextRequest(size_t tid)
         ctx.req = std::move(next.req);
         // Latency is measured from arrival, so queueing time counts.
         started = next.arrived;
+        token = next.token;
     } else {
         ctx.req = source_.next();
     }
@@ -373,6 +440,7 @@ ServiceSim::startNextRequest(size_t tid)
     ctx.segmentIdx = 0;
     ctx.inflight = std::make_shared<InFlight>();
     ctx.inflight->start = started;
+    ctx.inflight->token = token;
     maybeNext(tid);
 }
 
@@ -496,6 +564,13 @@ ServiceSim::maybeCompleteRequest(const std::shared_ptr<InFlight> &inflight,
             }
             if (inflight->failed)
                 ++metrics_.requestsFailed;
+        }
+        // Like the autoscaler feed, the graph hook sees every
+        // completion (warmup included); the graph gates its own
+        // measurement window.
+        if (completionHook_) {
+            completionHook_(inflight->token, inflight->start,
+                            inflight->failed);
         }
     }
     if (inflight->hostDone && inflight->pendingKernels == 0 &&
@@ -843,18 +918,23 @@ ServiceSim::breakerRecord(bool success, bool probe)
 // Run loop
 // --------------------------------------------------------------------
 
-ServiceMetrics
-ServiceSim::run(double measureSeconds, double warmupSeconds)
+void
+ServiceSim::setCompletionHook(CompletionHook &&hook)
+{
+    completionHook_ = std::move(hook);
+}
+
+void
+ServiceSim::beginWindow(double measureSeconds, double warmupSeconds)
 {
     require(measureSeconds > 0, "ServiceSim::run: window must be positive");
     require(warmupSeconds >= 0, "ServiceSim::run: negative warmup");
     ensure(endTick_ == 0, "ServiceSim::run: single-use object");
 
-    double cycles_per_second = cfg_.clockGHz * 1e9;
     sim::Tick warmup_tick =
-        static_cast<sim::Tick>(warmupSeconds * cycles_per_second);
+        static_cast<sim::Tick>(warmupSeconds * cyclesPerSecond_);
     endTick_ = warmup_tick +
-        static_cast<sim::Tick>(measureSeconds * cycles_per_second);
+        static_cast<sim::Tick>(measureSeconds * cyclesPerSecond_);
 
     metrics_ = ServiceMetrics();
     metrics_.measuredSeconds = measureSeconds;
@@ -865,7 +945,10 @@ ServiceSim::run(double measureSeconds, double warmupSeconds)
             ServiceMetrics fresh;
             fresh.measuredSeconds = metrics_.measuredSeconds;
             metrics_ = fresh;
-            accel_.resetStats();
+            // A graph-shared tier is reset by the graph, once — not
+            // once per contending service.
+            if (!sharedTier_)
+                accel_.resetStats();
             if (autoscaler_)
                 autoscaler_->resetStats();
             measuring_ = true;
@@ -874,19 +957,35 @@ ServiceSim::run(double measureSeconds, double warmupSeconds)
 
     if (autoscaler_)
         autoscaler_->start(endTick_);
-    if (openLoop_)
+    if (openLoop_ && cyclesPerArrival_ > 0)
         scheduleNextArrival();
     for (size_t tid = 0; tid < threads_.size(); ++tid)
         makeReady(tid, [this, tid]() { startNextRequest(tid); });
+}
 
-    eq_.runUntil(endTick_);
+ServiceMetrics
+ServiceSim::collectMetrics()
+{
     timeoutWarner_.flushSummary();
     fallbackWarner_.flushSummary();
-    metrics_.accelerator = accel_.aggregateDeviceStats();
-    metrics_.tier = accel_.snapshot();
+    if (!sharedTier_) {
+        metrics_.accelerator = accel_.aggregateDeviceStats();
+        metrics_.tier = accel_.snapshot();
+    }
     if (autoscaler_)
         metrics_.autoscaler = autoscaler_->stats();
     return metrics_;
+}
+
+ServiceMetrics
+ServiceSim::run(double measureSeconds, double warmupSeconds)
+{
+    ensure(ownedEq_ != nullptr,
+           "ServiceSim::run: a graph node runs on the graph's shared "
+           "queue (ServiceGraph::run), not its own");
+    beginWindow(measureSeconds, warmupSeconds);
+    eq_.runUntil(endTick_);
+    return collectMetrics();
 }
 
 } // namespace accel::microsim

@@ -179,16 +179,46 @@ struct ServiceConfig
     void validate() const;
 };
 
+class ServiceSpec;
+
 /** One simulated service instance. */
 class ServiceSim
 {
   public:
     /**
+     * Standalone instance from a validated ServiceSpec (the unified
+     * construction API; see service_spec.hh). Owns its event queue and
+     * accelerator tier.
+     *
+     * @throws FatalError listing every spec problem at once.
+     */
+    explicit ServiceSim(const ServiceSpec &spec);
+
+    /**
+     * Graph-node instance: the simulator runs on @p eq (a clock shared
+     * with the other nodes of a ServiceGraph) and, when @p sharedTier
+     * is non-null, offloads through that graph-owned tier instead of
+     * constructing its own. @p serverMode puts the node in open-loop
+     * arrival mode even without its own arrival source, so injected
+     * RPC arrivals (injectArrival) are its only offered load.
+     *
+     * Both referents must outlive the simulator. Use run() only on
+     * standalone instances; a graph drives beginWindow() /
+     * collectMetrics() around its own event-loop run.
+     */
+    ServiceSim(const ServiceSpec &spec, sim::EventQueue &eq,
+               AcceleratorTier *sharedTier, bool serverMode);
+
+    /**
      * @param service   instance configuration
      * @param accel     accelerator device description
      * @param workload  request mix
      * @param seed      RNG seed (deterministic replay)
+     *
+     * @deprecated Construct through ServiceSpec instead; this shim
+     * delegates to the spec path bit-identically.
      */
+    [[deprecated("construct via ServiceSpec (see service_spec.hh)")]]
     ServiceSim(const ServiceConfig &service, const AcceleratorConfig &accel,
                const WorkloadSpec &workload, std::uint64_t seed);
 
@@ -200,22 +230,72 @@ class ServiceSim
      * single-device constructor, bit for bit.
      *
      * @throws FatalError when hedging is combined with the Sync
-     *         design: a synchronous driver blocks on its one offload,
-     *         so a hedge could never be issued usefully.
+     *         design (reported via ServiceSpec::validate).
+     *
+     * @deprecated Construct through ServiceSpec instead; this shim
+     * delegates to the spec path bit-identically.
      */
+    [[deprecated("construct via ServiceSpec (see service_spec.hh)")]]
     ServiceSim(const ServiceConfig &service, const AcceleratorConfig &accel,
                const TierConfig &tier, const WorkloadSpec &workload,
                std::uint64_t seed);
 
     /**
      * Run the closed loop and return metrics for the measurement window.
+     * Standalone instances only (the graph runs the shared queue).
      *
      * @param measureSeconds  measurement window length
      * @param warmupSeconds   cycles discarded before measuring
      */
     ServiceMetrics run(double measureSeconds, double warmupSeconds = 0.1);
 
+    // --- graph-node driving (ServiceGraph) ---
+
+    /**
+     * Invoked once per completed request — warmup included, like the
+     * autoscaler's latency feed — with the request's injection token
+     * (0 for locally-generated requests), its arrival tick, and
+     * whether a kernel was abandoned. Unset: zero overhead, no
+     * behaviour change.
+     */
+    using CompletionHook =
+        sim::InlineFunction<void(std::uint64_t token, sim::Tick arrivedAt,
+                                 bool failed)>;
+
+    void setCompletionHook(CompletionHook &&hook);
+
+    /**
+     * Deliver one externally-generated (RPC) arrival carrying @p token
+     * through the normal admission path: it is counted in
+     * requestsArrived, subject to the bounded-queue / brown-out shed
+     * logic, and wakes an idle thread.
+     *
+     * @return false when the arrival was shed (the caller owns the
+     *         failure accounting); true when admitted, in which case
+     *         the completion hook will eventually fire with @p token.
+     */
+    bool injectArrival(std::uint64_t token);
+
+    /**
+     * First half of run(): set up the measurement window (warmup
+     * reset, arrival source, thread wake-up) without running the
+     * event loop — the graph runs the shared queue itself. A node on
+     * a shared tier skips the tier's warmup reset and final snapshot;
+     * the graph owns both (once, not once per service).
+     */
+    void beginWindow(double measureSeconds, double warmupSeconds);
+
+    /** Second half of run(): flush warners, snapshot metrics. */
+    ServiceMetrics collectMetrics();
+
+    /** End of the window set by beginWindow()/run(), in ticks. */
+    sim::Tick windowEndTick() const { return endTick_; }
+
   private:
+    /** Shared delegate: null @p eq / @p sharedTier = owned. */
+    ServiceSim(const ServiceSpec &spec, sim::EventQueue *eq,
+               AcceleratorTier *sharedTier, bool serverMode);
+
     enum class ThreadState { Ready, Running, Blocked, Idle, Parked };
 
     /** Per-request completion tracking shared with response callbacks. */
@@ -230,6 +310,8 @@ class ServiceSim
         /** A kernel was abandoned: completed without a result. */
         bool failed = false;
         sim::Tick lastResponse = 0;
+        /** Injection token (graph RPC); 0 = locally generated. */
+        std::uint64_t token = 0;
     };
 
     struct ThreadCtx
@@ -247,8 +329,16 @@ class ServiceSim
 
     // --- configuration ---
     ServiceConfig cfg_;
-    sim::EventQueue eq_;
-    AcceleratorTier accel_; //!< trivial tier = the old single device
+    /** Owned when standalone; null when running on a graph's queue. */
+    std::unique_ptr<sim::EventQueue> ownedEq_;
+    sim::EventQueue &eq_;
+    /** Owned unless the spec names a graph-shared tier. */
+    std::unique_ptr<AcceleratorTier> ownedAccel_;
+    AcceleratorTier &accel_; //!< trivial tier = the old single device
+    /** Tier shared with other graph nodes: reset/snapshot is theirs. */
+    bool sharedTier_ = false;
+    /** Injected arrivals are the only offered load (graph server). */
+    bool serverMode_ = false;
     RequestSource source_;
 
     // --- scheduler state ---
@@ -261,6 +351,7 @@ class ServiceSim
     {
         Request req;
         sim::Tick arrived;
+        std::uint64_t token = 0; //!< graph RPC token; 0 = local
     };
     std::deque<PendingArrival> arrivals_;
     std::vector<size_t> idleThreads_;
@@ -277,8 +368,11 @@ class ServiceSim
 
     void scheduleNextArrival();
     void onArrival();
-    /** One accepted arrival: admission check, enqueue, thread wake. */
-    void admitArrival();
+    /**
+     * One accepted arrival: admission check, enqueue, thread wake.
+     * @return false when the arrival was shed.
+     */
+    bool admitArrival(std::uint64_t token);
 
     // --- response-pickup accounting pool (see DESIGN.md) ---
     double pendingStolenCycles_ = 0.0;
@@ -287,6 +381,7 @@ class ServiceSim
     sim::Tick endTick_ = 0;
     bool measuring_ = false;
     ServiceMetrics metrics_;
+    CompletionHook completionHook_;
 
     // --- scheduling ---
     /** Mark @p tid runnable; @p resume is the sink continuation. */

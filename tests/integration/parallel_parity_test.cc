@@ -20,6 +20,7 @@
 #include "faults/fault_plan.hh"
 #include "microsim/ab_test.hh"
 #include "microsim/arrival_program.hh"
+#include "microsim/service_graph.hh"
 #include "model/fleet.hh"
 #include "model/sensitivity.hh"
 #include "model/sweep.hh"
@@ -264,6 +265,43 @@ TEST(ParallelParity, ConstantArrivalProgramMatchesLegacyOpenLoop)
         EXPECT_TRUE(legacy == viaProgram)
             << "constant program diverged from openArrivalsPerSec";
         return std::make_pair(legacy, viaProgram);
+    });
+}
+
+TEST(ParallelParity, ServiceGraphBitIdentical)
+{
+    // A graph runs on one event queue, but its construction path and
+    // metrics collection must not pick up any worker-count dependence
+    // (and graph users will shard seeds across the pool).
+    expectParity([] {
+        const microsim::AbExperiment base = abExperiment();
+        auto node = [&base](const std::string &name, double load) {
+            microsim::ServiceConfig cfg = base.service;
+            cfg.openArrivalsPerSec = load;
+            return microsim::ServiceSpec(name)
+                .service(cfg)
+                .accelerator(base.accelerator)
+                .workload(base.workload)
+                .seed(19);
+        };
+        microsim::ServiceGraph graph(19);
+        graph.addService(node("web", 15000));
+        graph.addService(node("mid", 0));
+        graph.addService(node("leaf", 0));
+        microsim::EdgeConfig fan;
+        fan.caller = "web";
+        fan.callee = "mid";
+        fan.fanout = 2;
+        fan.latencyCycles = 1000;
+        fan.latencyJitterCycles = 500;
+        graph.addEdge(fan);
+        microsim::EdgeConfig tail;
+        tail.caller = "mid";
+        tail.callee = "leaf";
+        tail.style = microsim::CallStyle::Async;
+        tail.latencyCycles = 2000;
+        graph.addEdge(tail);
+        return graph.run(0.03, 0.01).summaryJson();
     });
 }
 

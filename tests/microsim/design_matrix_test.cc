@@ -9,10 +9,23 @@
 #include <gtest/gtest.h>
 
 #include "microsim/service_sim.hh"
+#include "microsim/service_spec.hh"
 #include "util/logging.hh"
 
 namespace accel::microsim {
 namespace {
+
+/** Spec-path construction for the common (cfg, dev, work, seed) shape. */
+ServiceSpec
+simSpec(const ServiceConfig &cfg, const AcceleratorConfig &dev,
+        const WorkloadSpec &work, std::uint64_t seed)
+{
+    return ServiceSpec()
+        .service(cfg)
+        .accelerator(dev)
+        .workload(work)
+        .seed(seed);
+}
 
 using model::Strategy;
 using model::ThreadingDesign;
@@ -94,8 +107,8 @@ class DesignMatrixTest
 TEST_P(DesignMatrixTest, ThroughputMatchesHandArithmetic)
 {
     auto [design, kernels] = GetParam();
-    ServiceSim sim(config(design), device(),
-                   workload(static_cast<std::uint32_t>(kernels)), 3);
+    ServiceSim sim(simSpec(config(design), device(),
+                   workload(static_cast<std::uint32_t>(kernels)), 3));
     ServiceMetrics m = sim.run(0.1, 0.02);
     double expected = 1e9 /
         expectedPerRequestCycles(design,
@@ -138,7 +151,7 @@ TEST(DesignMatrix, SuperLinearKernelsCostQuadratically)
     w.cyclesPerByte = 0.01; // 0.01 * 750^2 = 5625 cycles per kernel
     ServiceConfig cfg = config(ThreadingDesign::Sync);
     cfg.accelerated = false;
-    ServiceSim sim(cfg, device(), w, 4);
+    ServiceSim sim(simSpec(cfg, device(), w, 4));
     ServiceMetrics m = sim.run(0.05, 0.01);
     double expected = 1e9 / (kNonKernel + 0.01 * 750.0 * 750.0);
     EXPECT_NEAR(m.qps(), expected, expected * 0.03);
@@ -152,8 +165,8 @@ TEST(DesignMatrix, NoAckOverlapsTransfer)
     ServiceConfig without_ack = with_ack;
     without_ack.driverWaitsForAck = false;
     double q_ack =
-        ServiceSim(with_ack, device(), workload(1), 5).run(0.05).qps();
-    double q_free = ServiceSim(without_ack, device(), workload(1), 5)
+        ServiceSim(simSpec(with_ack, device(), workload(1), 5)).run(0.05).qps();
+    double q_free = ServiceSim(simSpec(without_ack, device(), workload(1), 5))
                         .run(0.05)
                         .qps();
     double expected_ratio = (kNonKernel + kSetup + kTransfer) /
@@ -170,8 +183,8 @@ TEST(DesignMatrix, StolenPickupCyclesAccounted)
     ServiceConfig with_pickup = cfg;
     with_pickup.responsePickupCycles = 500;
     double base =
-        ServiceSim(cfg, device(), workload(1), 6).run(0.05).qps();
-    double picked = ServiceSim(with_pickup, device(), workload(1), 6)
+        ServiceSim(simSpec(cfg, device(), workload(1), 6)).run(0.05).qps();
+    double picked = ServiceSim(simSpec(with_pickup, device(), workload(1), 6))
                         .run(0.05)
                         .qps();
     double expected_ratio =

@@ -6,10 +6,23 @@
 #include <gtest/gtest.h>
 
 #include "microsim/service_sim.hh"
+#include "microsim/service_spec.hh"
 #include "util/logging.hh"
 
 namespace accel::microsim {
 namespace {
+
+/** Spec-path construction for the common (cfg, dev, work, seed) shape. */
+ServiceSpec
+simSpec(const ServiceConfig &cfg, const AcceleratorConfig &dev,
+        const WorkloadSpec &work, std::uint64_t seed)
+{
+    return ServiceSpec()
+        .service(cfg)
+        .accelerator(dev)
+        .workload(work)
+        .seed(seed);
+}
 
 using model::ThreadingDesign;
 
@@ -42,7 +55,7 @@ config(double arrivalsPerSec)
 TEST(OpenLoop, ThroughputEqualsOfferedLoadBelowSaturation)
 {
     // Capacity ~200k req/s; offer 50k.
-    ServiceSim sim(config(50000), AcceleratorConfig{}, workload(), 9);
+    ServiceSim sim(simSpec(config(50000), AcceleratorConfig{}, workload(), 9));
     ServiceMetrics m = sim.run(0.2, 0.05);
     EXPECT_NEAR(m.qps(), 50000, 2500);
     EXPECT_NEAR(static_cast<double>(m.requestsArrived),
@@ -53,7 +66,7 @@ TEST(OpenLoop, ThroughputEqualsOfferedLoadBelowSaturation)
 TEST(OpenLoop, SaturationCapsThroughputAtCapacity)
 {
     // Offer 2x capacity: completions cap near 200k/s.
-    ServiceSim sim(config(400000), AcceleratorConfig{}, workload(), 9);
+    ServiceSim sim(simSpec(config(400000), AcceleratorConfig{}, workload(), 9));
     ServiceMetrics m = sim.run(0.1, 0.02);
     EXPECT_NEAR(m.qps(), 200000, 8000);
     EXPECT_GT(m.requestsArrived, m.requestsCompleted);
@@ -62,8 +75,8 @@ TEST(OpenLoop, SaturationCapsThroughputAtCapacity)
 TEST(OpenLoop, LatencyIncludesQueueingAndGrowsWithLoad)
 {
     auto latency = [](double load) {
-        ServiceSim sim(config(load), AcceleratorConfig{}, workload(),
-                       11);
+        ServiceSim sim(simSpec(config(load), AcceleratorConfig{}, workload(),
+                       11));
         return sim.run(0.2, 0.05).meanLatencyCycles();
     };
     double low = latency(20000);   // rho = 0.1
@@ -77,7 +90,7 @@ TEST(OpenLoop, LatencyIncludesQueueingAndGrowsWithLoad)
 
 TEST(OpenLoop, TailQuantilesOrdered)
 {
-    ServiceSim sim(config(150000), AcceleratorConfig{}, workload(), 12);
+    ServiceSim sim(simSpec(config(150000), AcceleratorConfig{}, workload(), 12));
     ServiceMetrics m = sim.run(0.2, 0.05);
     double p50 = m.latencySample.p50();
     double p95 = m.latencySample.p95();
@@ -103,9 +116,9 @@ TEST(OpenLoop, AcceleratedServiceHoldsSloLonger)
     dev.fixedLatencyCycles = 50;
 
     ServiceMetrics slow =
-        ServiceSim(base, dev, workload(), 13).run(0.2, 0.05);
+        ServiceSim(simSpec(base, dev, workload(), 13)).run(0.2, 0.05);
     ServiceMetrics fast =
-        ServiceSim(accel_cfg, dev, workload(), 13).run(0.2, 0.05);
+        ServiceSim(simSpec(accel_cfg, dev, workload(), 13)).run(0.2, 0.05);
     EXPECT_LT(fast.latencySample.p99(),
               slow.latencySample.p99() * 0.6);
 }
@@ -117,10 +130,10 @@ TEST(OpenLoop, MultiThreadDrainsQueueFaster)
     four.cores = 4;
     four.threads = 4;
     ServiceMetrics m1 =
-        ServiceSim(one, AcceleratorConfig{}, workload(), 14)
+        ServiceSim(simSpec(one, AcceleratorConfig{}, workload(), 14))
             .run(0.1, 0.02);
     ServiceMetrics m4 =
-        ServiceSim(four, AcceleratorConfig{}, workload(), 14)
+        ServiceSim(simSpec(four, AcceleratorConfig{}, workload(), 14))
             .run(0.1, 0.02);
     // Same offered load, 4x capacity: near-zero queueing.
     EXPECT_LT(m4.meanLatencyCycles(), m1.meanLatencyCycles());
@@ -130,7 +143,7 @@ TEST(OpenLoop, MultiThreadDrainsQueueFaster)
 TEST(OpenLoop, ClosedLoopUnaffectedByDefault)
 {
     ServiceConfig cfg = config(0);
-    ServiceSim sim(cfg, AcceleratorConfig{}, workload(), 15);
+    ServiceSim sim(simSpec(cfg, AcceleratorConfig{}, workload(), 15));
     ServiceMetrics m = sim.run(0.05, 0.01);
     EXPECT_EQ(m.requestsArrived, 0u);
     EXPECT_NEAR(m.qps(), 200000, 4000);
@@ -139,8 +152,8 @@ TEST(OpenLoop, ClosedLoopUnaffectedByDefault)
 TEST(OpenLoop, DeterministicArrivals)
 {
     auto run = [] {
-        ServiceSim sim(config(120000), AcceleratorConfig{}, workload(),
-                       99);
+        ServiceSim sim(simSpec(config(120000), AcceleratorConfig{}, workload(),
+                       99));
         ServiceMetrics m = sim.run(0.05, 0.01);
         return std::make_pair(m.requestsArrived, m.requestsCompleted);
     };
@@ -154,7 +167,7 @@ TEST(OpenLoop, SheddingBoundsQueueUnderSaturation)
     // completions still run at capacity.
     ServiceConfig cfg = config(400000);
     cfg.maxArrivalQueue = 16;
-    ServiceSim sim(cfg, AcceleratorConfig{}, workload(), 9);
+    ServiceSim sim(simSpec(cfg, AcceleratorConfig{}, workload(), 9));
     ServiceMetrics m = sim.run(0.1, 0.02);
     EXPECT_GT(m.requestsShed, 0u);
     EXPECT_LE(m.maxArrivalQueueDepth, 16u);
@@ -174,7 +187,7 @@ TEST(OpenLoop, NoSheddingBelowSaturation)
 {
     ServiceConfig cfg = config(50000);
     cfg.maxArrivalQueue = 64;
-    ServiceSim sim(cfg, AcceleratorConfig{}, workload(), 9);
+    ServiceSim sim(simSpec(cfg, AcceleratorConfig{}, workload(), 9));
     ServiceMetrics m = sim.run(0.2, 0.05);
     EXPECT_EQ(m.requestsShed, 0u);
     EXPECT_NEAR(m.qps(), 50000, 2500);
@@ -185,7 +198,7 @@ TEST(OpenLoop, SheddingIsDeterministic)
     auto run = [] {
         ServiceConfig cfg = config(400000);
         cfg.maxArrivalQueue = 8;
-        ServiceSim sim(cfg, AcceleratorConfig{}, workload(), 17);
+        ServiceSim sim(simSpec(cfg, AcceleratorConfig{}, workload(), 17));
         ServiceMetrics m = sim.run(0.05, 0.01);
         return std::make_tuple(m.requestsArrived, m.requestsShed,
                                m.requestsCompleted,
@@ -207,7 +220,7 @@ TEST(OpenLoop, ConstantProgramReplaysLegacyPathBitIdentical)
         ServiceConfig cfg = config(program ? 0 : 120000);
         if (program)
             cfg.arrivalProgram = ArrivalProgram::constant(120000);
-        ServiceSim sim(cfg, AcceleratorConfig{}, workload(), 21);
+        ServiceSim sim(simSpec(cfg, AcceleratorConfig{}, workload(), 21));
         ServiceMetrics m = sim.run(0.05, 0.01);
         return std::make_tuple(m.requestsArrived, m.requestsCompleted,
                                m.meanLatencyCycles(),
@@ -224,7 +237,7 @@ TEST(OpenLoop, DayTraceThroughputTracksMeanRate)
     ServiceConfig cfg = config(0);
     cfg.arrivalProgram =
         ArrivalProgram::dayTrace(100000, {0.5, 1.5}, 0.05);
-    ServiceSim sim(cfg, AcceleratorConfig{}, workload(), 22);
+    ServiceSim sim(simSpec(cfg, AcceleratorConfig{}, workload(), 22));
     ServiceMetrics m = sim.run(0.2, 0.1); // measure = 2 full periods
     EXPECT_NEAR(m.qps(), 100000, 5000);
     EXPECT_EQ(m.requestsShed, 0u);
@@ -237,7 +250,7 @@ TEST(OpenLoop, FlashCrowdArrivesOnlyDuringSurge)
     ServiceConfig cfg = config(0);
     cfg.arrivalProgram =
         ArrivalProgram::flashCrowd(150000, 0.05, 0.005, 0.02);
-    ServiceSim sim(cfg, AcceleratorConfig{}, workload(), 23);
+    ServiceSim sim(simSpec(cfg, AcceleratorConfig{}, workload(), 23));
     ServiceMetrics m = sim.run(0.15, 0.0);
     // Surge area: two 5 ms ramps (avg half rate) + 20 ms hold.
     double expected = 150000 * (0.005 + 0.02);
@@ -259,7 +272,7 @@ TEST(OpenLoop, BrownoutGateAttributesOverloadSheds)
     cfg.autoscaler.sloLatencyCycles = 20000;
     cfg.autoscaler.brownout = true;
     cfg.autoscaler.brownoutFloor = 4;
-    ServiceSim sim(cfg, AcceleratorConfig{}, workload(), 24);
+    ServiceSim sim(simSpec(cfg, AcceleratorConfig{}, workload(), 24));
     // No warmup: the gate tightens in the first few control windows,
     // and a warmup-boundary stats reset would hide those events.
     ServiceMetrics m = sim.run(0.1, 0.0);

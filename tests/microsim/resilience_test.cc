@@ -9,10 +9,23 @@
 #include "faults/fault_plan.hh"
 #include "microsim/ab_test.hh"
 #include "microsim/service_sim.hh"
+#include "microsim/service_spec.hh"
 #include "util/logging.hh"
 
 namespace accel::microsim {
 namespace {
+
+/** Spec-path construction for the common (cfg, dev, work, seed) shape. */
+ServiceSpec
+simSpec(const ServiceConfig &cfg, const AcceleratorConfig &dev,
+        const WorkloadSpec &work, std::uint64_t seed)
+{
+    return ServiceSpec()
+        .service(cfg)
+        .accelerator(dev)
+        .workload(work)
+        .seed(seed);
+}
 
 using model::ThreadingDesign;
 
@@ -88,7 +101,7 @@ TEST(Resilience, TimeoutThenRetrySucceedsAfterRecovery)
 
     ServiceConfig cfg = service();
     cfg.retry = retryPolicy(50);
-    ServiceSim sim(cfg, device(plan), workload(), 21);
+    ServiceSim sim(simSpec(cfg, device(plan), workload(), 21));
     ServiceMetrics m = sim.run(0.01, 0.0);
 
     EXPECT_GT(m.offloadTimeouts, 0u);
@@ -107,7 +120,7 @@ TEST(Resilience, RetryExhaustionFallsBackToHost)
     SilenceLogs quiet;
     ServiceConfig cfg = service();
     cfg.retry = retryPolicy(2);
-    ServiceSim sim(cfg, device(dropPlan(1.0)), workload(), 22);
+    ServiceSim sim(simSpec(cfg, device(dropPlan(1.0)), workload(), 22));
     ServiceMetrics m = sim.run(0.01, 0.0);
 
     EXPECT_GT(m.hostFallbacks, 0u);
@@ -124,7 +137,7 @@ TEST(Resilience, AbandonmentWithoutFallbackCountsAsFailed)
     ServiceConfig cfg = service();
     cfg.retry = retryPolicy(2);
     cfg.retry.hostFallback = false;
-    ServiceSim sim(cfg, device(dropPlan(1.0)), workload(), 23);
+    ServiceSim sim(simSpec(cfg, device(dropPlan(1.0)), workload(), 23));
     ServiceMetrics m = sim.run(0.01, 0.0);
 
     EXPECT_GT(m.offloadsAbandoned, 0u);
@@ -152,7 +165,7 @@ TEST(Resilience, BreakerOpensProbesAndCloses)
     cfg.breaker.minSamples = 4;
     cfg.breaker.openThreshold = 0.5;
     cfg.breaker.probeAfterCycles = 20000;
-    ServiceSim sim(cfg, device(plan), workload(), 24);
+    ServiceSim sim(simSpec(cfg, device(plan), workload(), 24));
     ServiceMetrics m = sim.run(0.01, 0.0);
 
     EXPECT_GE(m.breakerOpens, 1u);
@@ -172,7 +185,7 @@ TEST(Resilience, TotalFailureTerminatesAndKeepsGoodputViaFallback)
     // completes on the host.
     ServiceConfig cfg = service();
     cfg.retry = retryPolicy(3);
-    ServiceSim sim(cfg, device(dropPlan(1.0)), workload(), 25);
+    ServiceSim sim(simSpec(cfg, device(dropPlan(1.0)), workload(), 25));
     ServiceMetrics m = sim.run(0.01, 0.0);
 
     EXPECT_GT(m.requestsCompleted, 0u);
@@ -194,7 +207,7 @@ TEST(Resilience, LateCompletionsLoseTheDeadlineRace)
 
     ServiceConfig cfg = service();
     cfg.retry = retryPolicy(1);
-    ServiceSim sim(cfg, device(plan), workload(), 26);
+    ServiceSim sim(simSpec(cfg, device(plan), workload(), 26));
     ServiceMetrics m = sim.run(0.01, 0.0);
 
     EXPECT_GT(m.offloadTimeouts, 0u);
@@ -225,7 +238,7 @@ TEST(Resilience, EveryThreadingDesignSurvivesFaults)
         cfg.threads = c.threads;
         cfg.contextSwitchCycles = 100;
         cfg.retry = retryPolicy(2);
-        ServiceSim sim(cfg, device(dropPlan(0.5)), workload(), 27);
+        ServiceSim sim(simSpec(cfg, device(dropPlan(0.5)), workload(), 27));
         ServiceMetrics m = sim.run(0.01, 0.0);
         EXPECT_GT(m.requestsCompleted, 0u)
             << "design " << static_cast<int>(c.design);
@@ -249,7 +262,7 @@ TEST(Resilience, DeterministicFaultReplay)
         plan->transferSpikeFactor = 8;
         ServiceConfig cfg = service();
         cfg.retry = retryPolicy(3);
-        ServiceSim sim(cfg, device(plan), workload(), 31);
+        ServiceSim sim(simSpec(cfg, device(plan), workload(), 31));
         return sim.run(0.01, 0.0);
     };
     ServiceMetrics a = run();
@@ -273,8 +286,8 @@ TEST(Resilience, InertPlanMatchesNoPlanBitForBit)
     // Fault-off parity at unit scope: a constructed-but-empty plan must
     // leave every metric identical to running without the subsystem.
     auto run = [](std::shared_ptr<const faults::FaultPlan> plan) {
-        ServiceSim sim(service(), device(std::move(plan)), workload(),
-                       32);
+        ServiceSim sim(simSpec(service(), device(std::move(plan)), workload(),
+                       32));
         return sim.run(0.01, 0.0);
     };
     ServiceMetrics without = run(nullptr);
@@ -294,7 +307,7 @@ TEST(Resilience, RetryPolicyOffMatchesPreFaultPath)
     auto run = [](RetryPolicy retry) {
         ServiceConfig cfg = service();
         cfg.retry = retry;
-        ServiceSim sim(cfg, device(), workload(), 33);
+        ServiceSim sim(simSpec(cfg, device(), workload(), 33));
         return sim.run(0.01, 0.0);
     };
     ServiceMetrics off = run(RetryPolicy{});

@@ -1,6 +1,7 @@
 /** @file Behavioural tests for the closed-loop service simulator. */
 
 #include "microsim/service_sim.hh"
+#include "microsim/service_spec.hh"
 
 #include <gtest/gtest.h>
 
@@ -11,6 +12,18 @@
 
 namespace accel::microsim {
 namespace {
+
+/** Spec-path construction for the common (cfg, dev, work, seed) shape. */
+ServiceSpec
+simSpec(const ServiceConfig &cfg, const AcceleratorConfig &dev,
+        const WorkloadSpec &work, std::uint64_t seed)
+{
+    return ServiceSpec()
+        .service(cfg)
+        .accelerator(dev)
+        .workload(work)
+        .seed(seed);
+}
 
 using model::Strategy;
 using model::ThreadingDesign;
@@ -124,7 +137,7 @@ TEST(ServiceSim, BaselineThroughputMatchesArithmetic)
     // at most; 1e9 cycles/s -> ~200k QPS.
     ServiceConfig cfg = baseConfig(ThreadingDesign::Sync);
     cfg.accelerated = false;
-    ServiceSim sim(cfg, AcceleratorConfig{}, workload(), 1);
+    ServiceSim sim(simSpec(cfg, AcceleratorConfig{}, workload(), 1));
     ServiceMetrics m = sim.run(0.1, 0.01);
     EXPECT_NEAR(m.qps(), 200000, 2000);
     EXPECT_EQ(m.offloadsIssued, 0u);
@@ -135,7 +148,7 @@ TEST(ServiceSim, BaselineLatencyIsRequestCost)
 {
     ServiceConfig cfg = baseConfig(ThreadingDesign::Sync);
     cfg.accelerated = false;
-    ServiceSim sim(cfg, AcceleratorConfig{}, workload(), 1);
+    ServiceSim sim(simSpec(cfg, AcceleratorConfig{}, workload(), 1));
     ServiceMetrics m = sim.run(0.05, 0.01);
     EXPECT_NEAR(m.meanLatencyCycles(), 5000, 60);
 }
@@ -149,7 +162,7 @@ TEST(ServiceSim, SyncSpeedupMatchesModelArithmetic)
     AcceleratorConfig acc;
     acc.speedupFactor = 5;
     acc.fixedLatencyCycles = 100;
-    ServiceSim sim(cfg, acc, workload(), 1);
+    ServiceSim sim(simSpec(cfg, acc, workload(), 1));
     ServiceMetrics m = sim.run(0.1, 0.01);
     EXPECT_NEAR(m.qps(), 1e9 / 4350.0, 1e9 / 4350.0 * 0.02);
     EXPECT_GT(m.coreHeldIdleCycles, 0);
@@ -166,12 +179,12 @@ TEST(ServiceSim, SyncOSReleasesCoreDuringOffload)
 
     ServiceConfig sync_cfg = baseConfig(ThreadingDesign::Sync);
     ServiceMetrics sync =
-        ServiceSim(sync_cfg, acc, w, 1).run(0.05, 0.01);
+        ServiceSim(simSpec(sync_cfg, acc, w, 1)).run(0.05, 0.01);
 
     ServiceConfig os_cfg = baseConfig(ThreadingDesign::SyncOS);
     os_cfg.contextSwitchCycles = 100;
     os_cfg.driverWaitsForAck = false;
-    ServiceMetrics os = ServiceSim(os_cfg, acc, w, 1).run(0.05, 0.01);
+    ServiceMetrics os = ServiceSim(simSpec(os_cfg, acc, w, 1)).run(0.05, 0.01);
 
     EXPECT_GT(os.qps(), sync.qps() * 1.2);
     EXPECT_GT(os.switchOverheadCycles, 0);
@@ -185,7 +198,7 @@ TEST(ServiceSim, SyncOSChargesTwoSwitchesPerOffload)
     AcceleratorConfig acc;
     acc.speedupFactor = 1;
     acc.fixedLatencyCycles = 3000;
-    ServiceSim sim(cfg, acc, workload(), 1);
+    ServiceSim sim(simSpec(cfg, acc, workload(), 1));
     ServiceMetrics m = sim.run(0.05, 0.01);
     ASSERT_GT(m.offloadsIssued, 0u);
     EXPECT_NEAR(m.switchOverheadCycles /
@@ -202,7 +215,7 @@ TEST(ServiceSim, AsyncOverlapsAcceleratorWork)
     acc.speedupFactor = 2;
     acc.fixedLatencyCycles = 50;
     acc.channels = 4;
-    ServiceSim sim(cfg, acc, workload(), 1);
+    ServiceSim sim(simSpec(cfg, acc, workload(), 1));
     ServiceMetrics m = sim.run(0.1, 0.01);
     EXPECT_NEAR(m.qps(), 1e9 / 4050.0, 1e9 / 4050.0 * 0.03);
     // The response (at ~2550 cycles) beats the host work (4050), so
@@ -220,7 +233,7 @@ TEST(ServiceSim, AsyncBackpressureBounded)
     w.nonKernelCyclesMean = 100; // host could issue ~10M offloads/s
     AcceleratorConfig acc;
     acc.speedupFactor = 1; // device serves only ~1M offloads/s
-    ServiceSim sim(cfg, acc, w, 1);
+    ServiceSim sim(simSpec(cfg, acc, w, 1));
     ServiceMetrics m = sim.run(0.05, 0.01);
     // Throughput is bounded by the device, not the host.
     EXPECT_NEAR(m.qps(), 1e6, 5e4);
@@ -236,7 +249,7 @@ TEST(ServiceSim, AsyncNoResponseRemoteLatencyExcludesDevice)
     acc.speedupFactor = 1;
     acc.fixedLatencyCycles = 1000000; // 1 ms network
     acc.channels = 64;
-    ServiceSim sim(cfg, acc, workload(), 1);
+    ServiceSim sim(simSpec(cfg, acc, workload(), 1));
     ServiceMetrics m = sim.run(0.05, 0.01);
     // Service-local latency excludes the remote round trip entirely.
     EXPECT_LT(m.meanLatencyCycles(), 5000);
@@ -249,7 +262,7 @@ TEST(ServiceSim, SelectiveOffloadThreshold)
     cfg.minOffloadBytes = 1000; // kernels are 500 B: none qualify
     AcceleratorConfig acc;
     acc.speedupFactor = 10;
-    ServiceSim sim(cfg, acc, workload(), 1);
+    ServiceSim sim(simSpec(cfg, acc, workload(), 1));
     ServiceMetrics m = sim.run(0.05, 0.01);
     EXPECT_EQ(m.offloadsIssued, 0u);
     EXPECT_EQ(m.kernelsOnHost, m.requestsCompleted);
@@ -263,7 +276,7 @@ TEST(ServiceSim, DeterministicAcrossRuns)
         acc.speedupFactor = 3;
         WorkloadSpec w = workload();
         w.nonKernelCv = 0.4;
-        ServiceSim sim(cfg, acc, w, 77);
+        ServiceSim sim(simSpec(cfg, acc, w, 77));
         return sim.run(0.05, 0.01).requestsCompleted;
     };
     EXPECT_EQ(run(), run());
@@ -276,10 +289,10 @@ TEST(ServiceSim, MultiCoreScalesThroughput)
     ServiceConfig four = one;
     four.cores = 4;
     four.threads = 4;
-    double q1 = ServiceSim(one, AcceleratorConfig{}, workload(), 1)
+    double q1 = ServiceSim(simSpec(one, AcceleratorConfig{}, workload(), 1))
                     .run(0.05, 0.01)
                     .qps();
-    double q4 = ServiceSim(four, AcceleratorConfig{}, workload(), 1)
+    double q4 = ServiceSim(simSpec(four, AcceleratorConfig{}, workload(), 1))
                     .run(0.05, 0.01)
                     .qps();
     EXPECT_NEAR(q4 / q1, 4.0, 0.1);
@@ -288,7 +301,7 @@ TEST(ServiceSim, MultiCoreScalesThroughput)
 TEST(ServiceSim, RunIsSingleUse)
 {
     ServiceConfig cfg = baseConfig(ThreadingDesign::Sync);
-    ServiceSim sim(cfg, AcceleratorConfig{}, workload(), 1);
+    ServiceSim sim(simSpec(cfg, AcceleratorConfig{}, workload(), 1));
     sim.run(0.01, 0.0);
     EXPECT_THROW(sim.run(0.01, 0.0), PanicError);
 }
@@ -296,7 +309,7 @@ TEST(ServiceSim, RunIsSingleUse)
 TEST(ServiceSim, RunRejectsBadWindows)
 {
     ServiceConfig cfg = baseConfig(ThreadingDesign::Sync);
-    ServiceSim sim(cfg, AcceleratorConfig{}, workload(), 1);
+    ServiceSim sim(simSpec(cfg, AcceleratorConfig{}, workload(), 1));
     EXPECT_THROW(sim.run(0.0), FatalError);
     EXPECT_THROW(sim.run(1.0, -0.5), FatalError);
 }

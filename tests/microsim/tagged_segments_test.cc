@@ -8,11 +8,24 @@
 #include <gtest/gtest.h>
 
 #include "microsim/ab_test.hh"
+#include "microsim/service_spec.hh"
 #include "util/logging.hh"
 #include "workload/request_factory.hh"
 
 namespace accel::microsim {
 namespace {
+
+/** Spec-path construction for the common (cfg, dev, work, seed) shape. */
+ServiceSpec
+simSpec(const ServiceConfig &cfg, const AcceleratorConfig &dev,
+        const WorkloadSpec &work, std::uint64_t seed)
+{
+    return ServiceSpec()
+        .service(cfg)
+        .accelerator(dev)
+        .workload(work)
+        .seed(seed);
+}
 
 using model::ThreadingDesign;
 
@@ -52,7 +65,7 @@ TEST(TaggedSegments, SegmentSharesRecoveredInMetrics)
 {
     ServiceConfig cfg = config();
     cfg.accelerated = false;
-    ServiceSim sim(cfg, AcceleratorConfig{}, taggedWorkload(), 5);
+    ServiceSim sim(simSpec(cfg, AcceleratorConfig{}, taggedWorkload(), 5));
     ServiceMetrics m = sim.run(0.05, 0.01);
 
     double io = m.coreCyclesByTag.at(kIoTag);
@@ -71,7 +84,7 @@ TEST(TaggedSegments, OffloadMovesKernelTagToOverhead)
     AcceleratorConfig dev;
     dev.speedupFactor = 8;
     dev.fixedLatencyCycles = 40;
-    ServiceSim sim(config(), dev, taggedWorkload(), 5);
+    ServiceSim sim(simSpec(config(), dev, taggedWorkload(), 5));
     ServiceMetrics m = sim.run(0.05, 0.01);
     // The kernel's host cycles vanish; only o0 remains, under the
     // overhead tag.
@@ -91,9 +104,9 @@ TEST(TaggedSegments, ThroughputUnchangedByTagging)
     ServiceConfig cfg = config();
     cfg.accelerated = false;
     double q_tagged =
-        ServiceSim(cfg, AcceleratorConfig{}, tagged, 6).run(0.05).qps();
+        ServiceSim(simSpec(cfg, AcceleratorConfig{}, tagged, 6)).run(0.05).qps();
     double q_blob =
-        ServiceSim(cfg, AcceleratorConfig{}, blob, 6).run(0.05).qps();
+        ServiceSim(simSpec(cfg, AcceleratorConfig{}, blob, 6)).run(0.05).qps();
     EXPECT_NEAR(q_tagged, q_blob, q_blob * 0.01);
 }
 

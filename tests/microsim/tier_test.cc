@@ -18,6 +18,7 @@
 #include "config/config.hh"
 #include "faults/fault_plan.hh"
 #include "microsim/service_sim.hh"
+#include "microsim/service_spec.hh"
 #include "util/logging.hh"
 
 namespace accel::microsim {
@@ -458,10 +459,22 @@ TEST(AcceleratorTier, HedgedSyncDesignRejected)
         std::vector<DistBucket>{{500, 501, 1.0}});
     w.cyclesPerByte = 2.0;
 
-    EXPECT_THROW(ServiceSim(svc, device(), tier, w, /*seed=*/1),
-                 FatalError);
-    svc.design = model::ThreadingDesign::AsyncSameThread;
-    EXPECT_NO_THROW(ServiceSim(svc, device(), tier, w, /*seed=*/1));
+    // The check now lives in ServiceSpec::validate so graph assembly
+    // can report every offending node at once; construction still
+    // throws because it validates the spec.
+    ServiceSpec spec = ServiceSpec("hedged-sync")
+                           .service(svc)
+                           .accelerator(device())
+                           .tier(tier)
+                           .workload(w)
+                           .seed(1);
+    EXPECT_EQ(spec.errors().size(), 1u);
+    EXPECT_NE(spec.errors().front().find("hedge"), std::string::npos);
+    EXPECT_THROW(spec.validate(), FatalError);
+    EXPECT_THROW(ServiceSim{spec}, FatalError);
+    spec.service().design = model::ThreadingDesign::AsyncSameThread;
+    EXPECT_TRUE(spec.errors().empty());
+    EXPECT_NO_THROW(ServiceSim{spec});
 }
 
 TEST(AcceleratorTier, TierFromConfigRoundTrip)
