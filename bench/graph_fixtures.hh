@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared ServiceGraph fixtures for the graph benches.
+ *
+ * graph_tail and cascade_containment both drive small Web -> Ads ->
+ * Cache style graphs; the tier builders and the Ads1 case-study graph
+ * live here so the two benches measure the same topology rather than
+ * two hand-copied near-twins that drift apart.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "microsim/ab_test.hh"
+#include "microsim/service_graph.hh"
+#include "microsim/service_spec.hh"
+
+namespace accel::bench {
+
+/**
+ * Host-only request: @p meanCycles of non-kernel work and nothing to
+ * offload — the front-end/cache tiers whose only role in a graph bench
+ * is to occupy the call path.
+ */
+inline microsim::WorkloadSpec
+lightWorkload(double meanCycles, double cv = 0.2)
+{
+    microsim::WorkloadSpec w;
+    w.nonKernelCyclesMean = meanCycles;
+    w.nonKernelCv = cv;
+    w.kernelsPerRequest = 0;
+    return w;
+}
+
+/**
+ * Host-only Sync tier (cores == threads) running lightWorkload.
+ * @p arrivalsPerSec > 0 makes it an open-loop front-end;
+ * @p maxArrivalQueue 0 keeps the admission queue unbounded.
+ */
+inline microsim::ServiceSpec
+lightTier(const std::string &name, double clockGHz, std::uint32_t threads,
+          double arrivalsPerSec, double meanCycles, std::uint64_t seed,
+          std::uint64_t maxArrivalQueue = 0)
+{
+    microsim::ServiceConfig cfg;
+    cfg.cores = threads;
+    cfg.threads = threads;
+    cfg.design = model::ThreadingDesign::Sync;
+    cfg.clockGHz = clockGHz;
+    cfg.accelerated = false;
+    cfg.openArrivalsPerSec = arrivalsPerSec;
+    cfg.maxArrivalQueue = maxArrivalQueue;
+    return microsim::ServiceSpec(name)
+        .service(cfg)
+        .accelerator(microsim::AcceleratorConfig{})
+        .workload(lightWorkload(meanCycles))
+        .seed(seed);
+}
+
+/**
+ * Web -> Ads -> Cache: the Ads1 case-study service, driven by an
+ * open-loop front-end offering well above its capacity (a bounded
+ * admission queue sheds the surplus), with an async cache notification
+ * riding behind it. The Ads node's completion rate then measures its
+ * capacity, and the accelerated/host ratio reproduces the standalone
+ * A/B speedup (graph_tail gate b). Assembled but not run.
+ */
+inline microsim::ServiceGraph
+webAdsCacheGraph(const microsim::AbExperiment &ads, bool accelerated)
+{
+    microsim::ServiceConfig ads_cfg = ads.service;
+    ads_cfg.accelerated = accelerated;
+    ads_cfg.maxArrivalQueue = 8;
+
+    microsim::ServiceGraph graph(ads.seed);
+    // Front-end and cache: light host-only work (1e6 cycles = 0.4 ms
+    // at 2.5 GHz) on the same clock as the Ads node.
+    graph.addService(lightTier("web", ads.service.clockGHz, /*threads=*/2,
+                               /*arrivalsPerSec=*/40, // ~4x Ads capacity
+                               /*meanCycles=*/1e6, ads.seed));
+    graph.addService(microsim::ServiceSpec("ads")
+                         .service(ads_cfg)
+                         .accelerator(ads.accelerator)
+                         .workload(ads.workload)
+                         .seed(ads.seed));
+    graph.addService(lightTier("cache", ads.service.clockGHz,
+                               /*threads=*/2, /*arrivalsPerSec=*/0,
+                               /*meanCycles=*/1e6, ads.seed));
+
+    microsim::EdgeConfig front;
+    front.caller = "web";
+    front.callee = "ads";
+    front.latencyCycles = 1e6;
+    graph.addEdge(front);
+    microsim::EdgeConfig back;
+    back.caller = "ads";
+    back.callee = "cache";
+    back.style = microsim::CallStyle::Async;
+    back.latencyCycles = 1e6;
+    graph.addEdge(back);
+    return graph;
+}
+
+} // namespace accel::bench

@@ -30,6 +30,7 @@
 #include <fstream>
 
 #include "bench_common.hh"
+#include "graph_fixtures.hh"
 #include "microsim/ab_test.hh"
 #include "microsim/service_graph.hh"
 #include "microsim/service_sim.hh"
@@ -122,66 +123,12 @@ struct AdsArm
     microsim::GraphMetrics m;
 };
 
-/**
- * Web -> Ads -> Cache: the Ads1 case-study service, driven by an
- * open-loop front-end offering well above its capacity (a bounded
- * admission queue sheds the surplus), with an async cache notification
- * riding behind it. The Ads node's completion rate then measures its
- * capacity, and the accelerated/host ratio reproduces the standalone
- * A/B speedup.
- */
+/** One arm of the Ads1-in-a-graph validation (fixture topology). */
 microsim::GraphMetrics
 runAdsGraph(const microsim::AbExperiment &ads, bool accelerated)
 {
-    microsim::ServiceConfig ads_cfg = ads.service;
-    ads_cfg.accelerated = accelerated;
-    ads_cfg.maxArrivalQueue = 8;
-
-    // Front-end and cache: light host-only work on the same clock.
-    microsim::WorkloadSpec light;
-    light.nonKernelCyclesMean = 1e6; // 0.4 ms at 2.5 GHz
-    light.nonKernelCv = 0.2;
-    light.kernelsPerRequest = 0; // nothing to offload at the edges
-    microsim::ServiceConfig web_cfg;
-    web_cfg.cores = 2;
-    web_cfg.threads = 2;
-    web_cfg.design = ThreadingDesign::Sync;
-    web_cfg.clockGHz = ads.service.clockGHz;
-    web_cfg.accelerated = false;
-    web_cfg.openArrivalsPerSec = 40; // ~4x the Ads node's capacity
-
-    microsim::ServiceGraph graph(ads.seed);
-    graph.addService(microsim::ServiceSpec("web")
-                         .service(web_cfg)
-                         .accelerator(microsim::AcceleratorConfig{})
-                         .workload(light)
-                         .seed(ads.seed));
-    graph.addService(microsim::ServiceSpec("ads")
-                         .service(ads_cfg)
-                         .accelerator(ads.accelerator)
-                         .workload(ads.workload)
-                         .seed(ads.seed));
-    microsim::ServiceConfig cache_cfg = web_cfg;
-    cache_cfg.openArrivalsPerSec = 0;
-    graph.addService(microsim::ServiceSpec("cache")
-                         .service(cache_cfg)
-                         .accelerator(microsim::AcceleratorConfig{})
-                         .workload(light)
-                         .seed(ads.seed));
-
-    microsim::EdgeConfig front;
-    front.caller = "web";
-    front.callee = "ads";
-    front.latencyCycles = 1e6;
-    graph.addEdge(front);
-    microsim::EdgeConfig back;
-    back.caller = "ads";
-    back.callee = "cache";
-    back.style = microsim::CallStyle::Async;
-    back.latencyCycles = 1e6;
-    graph.addEdge(back);
-
-    return graph.run(ads.measureSeconds, ads.warmupSeconds);
+    return bench::webAdsCacheGraph(ads, accelerated)
+        .run(ads.measureSeconds, ads.warmupSeconds);
 }
 
 } // namespace

@@ -58,6 +58,9 @@ Config::fromString(const std::string &text)
                  section + "]; last value wins");
         cfg.set(section, key, value);
     }
+    // The parser's own duplicate-detection probes are not consumer
+    // accesses: a fresh Config starts with every key unused.
+    cfg.accessed_.clear();
     return cfg;
 }
 
@@ -75,6 +78,7 @@ Config::fromFile(const std::string &path)
 bool
 Config::has(const std::string &section, const std::string &key) const
 {
+    noteAccess(section, key);
     auto it = sections_.find(section);
     return it != sections_.end() && it->second.values.count(key) > 0;
 }
@@ -82,6 +86,7 @@ Config::has(const std::string &section, const std::string &key) const
 std::optional<std::string>
 Config::get(const std::string &section, const std::string &key) const
 {
+    noteAccess(section, key);
     auto it = sections_.find(section);
     if (it == sections_.end())
         return std::nullopt;
@@ -164,6 +169,28 @@ Config::keys(const std::string &section) const
     if (it == sections_.end())
         return {};
     return it->second.order;
+}
+
+void
+Config::noteAccess(const std::string &section,
+                   const std::string &key) const
+{
+    accessed_[section].insert(key);
+}
+
+std::vector<std::string>
+Config::unusedKeys(const std::string &section) const
+{
+    std::vector<std::string> out;
+    auto it = sections_.find(section);
+    if (it == sections_.end())
+        return out;
+    auto acc = accessed_.find(section);
+    for (const std::string &key : it->second.order) {
+        if (acc == accessed_.end() || acc->second.count(key) == 0)
+            out.push_back(key);
+    }
+    return out;
 }
 
 void

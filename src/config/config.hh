@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,17 @@ class Config
     void set(const std::string &section, const std::string &key,
              const std::string &value);
 
+    /**
+     * Keys of @p section that no accessor has probed yet, in insertion
+     * order. Every has()/get*() call records its (section, key) pair —
+     * whether or not the key exists — so after a parser has walked a
+     * section, anything left here is a key the parser does not
+     * recognise (typically a typo like `tier_hege_delay`). Access
+     * recording is not synchronised: parse a Config from one thread
+     * before fanning work out.
+     */
+    std::vector<std::string> unusedKeys(const std::string &section) const;
+
   private:
     struct Section
     {
@@ -94,8 +106,13 @@ class Config
         std::map<std::string, std::string> values;
     };
 
+    void noteAccess(const std::string &section,
+                    const std::string &key) const;
+
     std::vector<std::string> sectionOrder_;
     std::map<std::string, Section> sections_;
+    /** Probed (section, key) pairs; mutable so const getters record. */
+    mutable std::map<std::string, std::set<std::string>> accessed_;
 };
 
 } // namespace accel

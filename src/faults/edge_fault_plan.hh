@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deterministic fault schedules for RPC graph edges.
+ *
+ * An EdgeFaultPlan describes how one caller->callee edge misbehaves:
+ * per-call probabilities of a dropped RPC or a latency spike, plus
+ * blackhole windows in which every call issued on the edge vanishes.
+ * Like the device FaultPlan, it is pure data plus a slot-indexed draw:
+ * the faults hitting call #i on an edge depend only on (seed, i), never
+ * on event interleaving, so seeded runs replay bit-identically and
+ * retries (new slots) get independent draws.
+ *
+ * The null plan is the absence of the subsystem: an edge without a plan
+ * takes zero extra branches and zero RNG draws, which keeps fault-off
+ * graph runs bit-identical to a tree that never had this layer.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault_plan.hh"
+#include "sim/event_queue.hh"
+
+namespace accel::faults {
+
+/** Faults applied to one edge call, fixed by (seed, call slot). */
+struct EdgeFaultDraw
+{
+    /** The RPC is silently lost: it never reaches the callee. */
+    bool drop = false;
+
+    /** Extra cycles added to this call's delivery latency. */
+    double extraLatencyCycles = 0.0;
+};
+
+/** A seeded, fully deterministic edge-misbehaviour schedule. */
+struct EdgeFaultPlan
+{
+    /** Seed for the per-call fault draws. */
+    std::uint64_t seed = 1;
+
+    /** Probability a call is silently dropped in flight. */
+    double dropProbability = 0.0;
+
+    /** Probability a call's delivery is delayed by spikeLatencyCycles. */
+    double spikeProbability = 0.0;
+    double spikeLatencyCycles = 0.0;
+
+    /**
+     * When non-empty, spike draws only apply to calls issued inside
+     * these windows — the transient brown-out case (a congested link,
+     * a sick replica behind the edge) whose onset and clearance are
+     * what cascade-containment policies have to survive. Empty means
+     * the spike probability applies for the whole run. Half-open
+     * [begin, end) ticks; sorted by begin and non-overlapping.
+     */
+    std::vector<StallWindow> spikeWindows;
+
+    /**
+     * Windows in which every call issued on the edge vanishes (the
+     * network partition / dead peer case). Half-open [begin, end)
+     * ticks; must be sorted by begin and non-overlapping.
+     */
+    std::vector<StallWindow> blackholes;
+
+    /** True when any fault field departs from the null plan. */
+    bool active() const;
+
+    /** True when the plan can lose a call (drop or blackhole). */
+    bool canLoseCalls() const;
+
+    /** @throws FatalError on out-of-domain values (names the field). */
+    void validate() const;
+
+    /**
+     * Faults for call number @p callSlot (0-based issue order on this
+     * edge). Pure function of (seed, callSlot) — the slot-indexed RNG
+     * discipline: a retry is a new call and gets an independent draw.
+     */
+    EdgeFaultDraw draw(std::uint64_t callSlot) const;
+
+    /** True when @p t falls inside a blackhole window. */
+    bool blackholedAt(sim::Tick t) const;
+
+    /**
+     * True when a spike drawn for a call issued at @p t applies:
+     * always, unless spikeWindows narrows the spike to its windows.
+     */
+    bool spikeActiveAt(sim::Tick t) const;
+};
+
+} // namespace accel::faults

@@ -6,6 +6,7 @@
 
 #include "util/json_fmt.hh"
 #include "util/logging.hh"
+#include "util/string_utils.hh"
 
 namespace accel::microsim {
 
@@ -35,6 +36,40 @@ callStyleFromString(const std::string &name)
     fatal("unknown call style '" + name + "' (want sync | async)");
 }
 
+const char *
+toString(BudgetSplit split)
+{
+    switch (split) {
+      case BudgetSplit::Even:
+        return "even";
+      case BudgetSplit::Weighted:
+        return "weighted";
+      case BudgetSplit::ReserveForRetry:
+        return "reserve_for_retry";
+    }
+    panic("toString: unreachable BudgetSplit");
+}
+
+BudgetSplit
+budgetSplitFromString(const std::string &name)
+{
+    if (name == "even")
+        return BudgetSplit::Even;
+    if (name == "weighted")
+        return BudgetSplit::Weighted;
+    if (name == "reserve_for_retry")
+        return BudgetSplit::ReserveForRetry;
+    fatal("unknown budget split '" + name +
+          "' (want even | weighted | reserve_for_retry)");
+}
+
+bool
+EdgeConfig::resilient() const
+{
+    return rpcTimeoutCycles > 0 || maxAttempts > 1 ||
+           retryBudget.enabled() || breaker.enabled;
+}
+
 void
 EdgeConfig::validate() const
 {
@@ -45,6 +80,44 @@ EdgeConfig::validate() const
             "EdgeConfig.latencyCycles must be finite and >= 0");
     require(std::isfinite(latencyJitterCycles) && latencyJitterCycles >= 0,
             "EdgeConfig.latencyJitterCycles must be finite and >= 0");
+    require(std::isfinite(rpcTimeoutCycles) && rpcTimeoutCycles >= 0,
+            "EdgeConfig.rpcTimeoutCycles must be finite and >= 0");
+    require(maxAttempts >= 1, "EdgeConfig.maxAttempts must be >= 1");
+    require(maxAttempts == 1 || rpcTimeoutCycles > 0,
+            "EdgeConfig.maxAttempts > 1 requires rpcTimeoutCycles > 0 "
+            "(timeouts are the retry trigger)");
+    require(std::isfinite(retryBudget.ratio) && retryBudget.ratio >= 0,
+            "EdgeConfig.retryBudget.ratio must be finite and >= 0");
+    require(std::isfinite(retryBudget.cap) && retryBudget.cap >= 0,
+            "EdgeConfig.retryBudget.cap must be finite and >= 0");
+    require(!retryBudget.enabled() || retryBudget.ratio > 0,
+            "EdgeConfig.retryBudget.ratio must be > 0 when the budget "
+            "is enabled (a bucket that never refills only drains)");
+    require(!retryBudget.enabled() || maxAttempts > 1,
+            "EdgeConfig.retryBudget needs maxAttempts > 1: with no "
+            "retries there is nothing to limit");
+    if (breaker.enabled) {
+        breaker.validate();
+        require(rpcTimeoutCycles > 0,
+                "EdgeConfig.breaker requires rpcTimeoutCycles > 0 "
+                "(timeouts are the breaker's failure signal)");
+    }
+    require(std::isfinite(budgetWeight) && budgetWeight > 0 &&
+                budgetWeight <= 1,
+            "EdgeConfig.budgetWeight must be in (0, 1]");
+    require(style == CallStyle::Sync || !resilient(),
+            "EdgeConfig: async edges take no timeouts, retries, retry "
+            "budgets, or breakers (fire-and-forget has no join to "
+            "protect)");
+    if (faultPlan) {
+        faultPlan->validate();
+        // A sync caller waiting on a call the plan can silently lose
+        // would hang forever without a timeout to rescue it.
+        require(style == CallStyle::Async || !faultPlan->canLoseCalls() ||
+                    rpcTimeoutCycles > 0,
+                "EdgeConfig.faultPlan can lose sync calls: set "
+                "rpcTimeoutCycles > 0 so the caller can recover");
+    }
 }
 
 // --------------------------------------------------------------------
@@ -60,6 +133,21 @@ EdgeStats::summaryJson() const
        << ", \"calls_completed\": " << callsCompleted
        << ", \"calls_shed\": " << callsShed
        << ", \"failures_propagated\": " << failuresPropagated
+       << ", \"degraded_propagated\": " << degradedPropagated
+       << ", \"attempts_issued\": " << attemptsIssued
+       << ", \"calls_dropped\": " << callsDropped
+       << ", \"calls_blackholed\": " << callsBlackholed
+       << ", \"attempts_timed_out\": " << attemptsTimedOut
+       << ", \"attempts_retried\": " << attemptsRetried
+       << ", \"retries_suppressed\": " << retriesSuppressed
+       << ", \"calls_deadline_exceeded\": " << callsDeadlineExceeded
+       << ", \"calls_cancelled_budget\": " << callsCancelledBudget
+       << ", \"calls_short_circuited\": " << callsShortCircuited
+       << ", \"calls_failed\": " << callsFailed
+       << ", \"calls_completed_ignored\": " << callsCompletedIgnored
+       << ", \"breaker_opens\": " << breakerOpens
+       << ", \"breaker_probes\": " << breakerProbes
+       << ", \"breaker_closes\": " << breakerCloses
        << ", \"rtt_cycles\": " << rttCycles.summaryJson() << "}";
     return os.str();
 }
@@ -72,6 +160,8 @@ GraphNodeMetrics::summaryJson() const
        << "\", \"subtrees_started\": " << subtreesStarted
        << ", \"subtrees_completed\": " << subtreesCompleted
        << ", \"subtrees_failed\": " << subtreesFailed
+       << ", \"subtrees_degraded\": " << subtreesDegraded
+       << ", \"subtrees_pruned_budget\": " << subtreesPrunedBudget
        << ", \"subtree_latency_cycles\": "
        << subtreeLatencyCycles.summaryJson()
        << ", \"service\": " << service.summaryJson() << "}";
@@ -128,6 +218,7 @@ GraphMetrics::summaryJson() const
        << ", \"roots_started\": " << rootsStarted
        << ", \"roots_completed\": " << rootsCompleted
        << ", \"roots_failed\": " << rootsFailed
+       << ", \"roots_degraded\": " << rootsDegraded
        << ", \"root_latency_cycles\": " << rootLatencyCycles.summaryJson()
        << ", \"graph_requests_arrived\": " << graphRequestsArrived
        << ", \"graph_requests_completed\": " << graphRequestsCompleted
@@ -172,6 +263,15 @@ ServiceGraph &
 ServiceGraph::addEdge(const EdgeConfig &edge)
 {
     edges_.push_back(edge);
+    return *this;
+}
+
+ServiceGraph &
+ServiceGraph::rootDeadline(double cycles)
+{
+    require(std::isfinite(cycles) && cycles >= 0,
+            "ServiceGraph::rootDeadline must be finite and >= 0");
+    rootDeadlineCycles_ = cycles;
     return *this;
 }
 
@@ -443,6 +543,12 @@ ServiceGraph::run(double measureSeconds, double warmupSeconds)
         edgeRngs_.emplace_back(seed_ ^ 0x6772617068ULL,
                                0xed6e0000ULL + e);
     }
+    edgeFaultSeq_.assign(edges_.size(), 0);
+    edgeBreakers_.assign(edges_.size(), EdgeBreaker{});
+    edgeRetryTokens_.clear();
+    edgeRetryTokens_.reserve(edges_.size());
+    for (const EdgeConfig &edge : edges_)
+        edgeRetryTokens_.push_back(edge.retryBudget.cap); // start full
 
     for (size_t i = 0; i < specs_.size(); ++i) {
         AcceleratorTier *shared = nullptr;
@@ -518,53 +624,112 @@ void
 ServiceGraph::onNodeCompletion(std::uint32_t node, std::uint64_t token,
                                sim::Tick arrivedAt, bool failed)
 {
+    std::uint64_t tok = token;
     if (token == 0) {
         // A locally-originated request: it roots a fresh subtree.
-        std::uint64_t tok = nextToken_++;
+        tok = nextToken_++;
         Call c;
         c.node = node;
         c.arrivedAt = arrivedAt;
         c.issuedAt = arrivedAt;
         c.serviceDone = true;
         c.failed = failed;
+        if (rootDeadlineCycles_ > 0)
+            c.deadline = arrivedAt + static_cast<sim::Tick>(
+                             std::llround(rootDeadlineCycles_));
         calls_.emplace(tok, c);
         if (measuring_) {
             ++metrics_.rootsStarted;
             ++metrics_.nodes[node].subtreesStarted;
         }
-        issueCalls(tok);
-        maybeFinishCall(tok);
-        return;
+    } else {
+        auto it = calls_.find(token);
+        ensure(it != calls_.end(),
+               "ServiceGraph: completion for an unknown call token");
+        Call &c = it->second;
+        ensure(c.node == node,
+               "ServiceGraph: call completed on wrong node");
+        c.serviceDone = true;
+        if (failed)
+            c.failed = true;
+        if (measuring_)
+            ++metrics_.nodes[node].subtreesStarted;
     }
-    auto it = calls_.find(token);
-    ensure(it != calls_.end(),
-           "ServiceGraph: completion for an unknown call token");
-    Call &c = it->second;
-    ensure(c.node == node, "ServiceGraph: call completed on wrong node");
-    c.serviceDone = true;
-    if (failed)
-        c.failed = true;
-    if (measuring_)
-        ++metrics_.nodes[node].subtreesStarted;
-    issueCalls(token);
-    maybeFinishCall(token);
+    Call &c = calls_.at(tok);
+    if (c.deadline != faults::kNeverTick && eq_->now() >= c.deadline) {
+        // The budget died during this node's own work: fanning out
+        // would burn downstream cycles on an answer nobody can use
+        // in time. Prune the subtree and answer degraded instead.
+        c.degraded = true;
+        if (measuring_)
+            ++metrics_.nodes[node].subtreesPrunedBudget;
+    } else {
+        issueCalls(tok);
+    }
+    maybeFinishCall(tok);
 }
 
 void
 ServiceGraph::issueCalls(std::uint64_t token)
 {
     Call &c = calls_.at(token);
+    sim::Tick parentDeadline = c.deadline;
     for (size_t e : outEdges_[c.node]) {
         const EdgeConfig &edge = edges_[e];
+        if (edge.resilient()) {
+            // Resilient (always sync) edges go through the chain
+            // machinery. A chain can settle synchronously (open
+            // breaker, spent budget), and a settle may finish the
+            // parent — so every chain starts as its own event, after
+            // this loop has registered all pending children.
+            for (std::uint32_t k = 0; k < edge.fanout; ++k) {
+                ++c.pendingChildren;
+                eq_->scheduleIn(0, [this, e, token, parentDeadline]() {
+                    startChain(e, token, parentDeadline);
+                });
+            }
+            continue;
+        }
+        const faults::EdgeFaultPlan *plan =
+            edge.faultPlan && edge.faultPlan->active()
+                ? edge.faultPlan.get()
+                : nullptr;
         for (std::uint32_t k = 0; k < edge.fanout; ++k) {
             if (measuring_)
                 ++metrics_.edges[e].callsIssued;
+            sim::Tick extra = 0;
+            if (plan) {
+                if (measuring_)
+                    ++metrics_.edges[e].attemptsIssued;
+                faults::EdgeFaultDraw d = plan->draw(edgeFaultSeq_[e]++);
+                bool lost = false;
+                if (plan->blackholedAt(eq_->now())) {
+                    lost = true;
+                    if (measuring_)
+                        ++metrics_.edges[e].callsBlackholed;
+                } else if (d.drop) {
+                    lost = true;
+                    if (measuring_)
+                        ++metrics_.edges[e].callsDropped;
+                }
+                if (lost) {
+                    // Only async edges may lose calls without a
+                    // timeout (validate() enforces it), and async
+                    // callers never joined — nothing else to do.
+                    continue;
+                }
+                if (plan->spikeActiveAt(eq_->now()))
+                    extra = static_cast<sim::Tick>(
+                        std::llround(d.extraLatencyCycles));
+            }
             if (edge.style == CallStyle::Sync)
                 ++c.pendingChildren;
             sim::Tick issued = eq_->now();
-            eq_->scheduleIn(drawEdgeLatency(e),
-                            [this, e, token, issued]() {
-                                deliverCall(e, token, issued);
+            sim::Tick childDeadline = splitDeadline(e, parentDeadline);
+            eq_->scheduleIn(drawEdgeLatency(e) + extra,
+                            [this, e, token, issued, childDeadline]() {
+                                deliverCall(e, token, issued,
+                                            childDeadline);
                             });
         }
     }
@@ -572,9 +737,21 @@ ServiceGraph::issueCalls(std::uint64_t token)
 
 void
 ServiceGraph::deliverCall(std::size_t edge, std::uint64_t parentToken,
-                          sim::Tick issuedAt)
+                          sim::Tick issuedAt, sim::Tick childDeadline)
 {
     std::uint32_t callee = calleeIdx_[edge];
+    if (childDeadline != faults::kNeverTick &&
+        eq_->now() >= childDeadline) {
+        // Cancelled at the door: the budget died in transit, so the
+        // callee never spends a cycle on it. The sync caller's join
+        // degrades rather than fails — upstream still answers.
+        if (measuring_)
+            ++metrics_.edges[edge].callsCancelledBudget;
+        if (edges_[edge].style == CallStyle::Sync)
+            settleChild(parentToken, /*childFailed=*/false,
+                        /*childDegraded=*/true);
+        return;
+    }
     std::uint64_t tok = nextToken_++;
     if (sims_[callee]->injectArrival(tok)) {
         Call c;
@@ -583,6 +760,7 @@ ServiceGraph::deliverCall(std::size_t edge, std::uint64_t parentToken,
         c.issuedAt = issuedAt;
         c.parentToken = parentToken;
         c.viaEdge = static_cast<std::int32_t>(edge);
+        c.deadline = childDeadline;
         calls_.emplace(tok, c);
         return;
     }
@@ -592,7 +770,8 @@ ServiceGraph::deliverCall(std::size_t edge, std::uint64_t parentToken,
     if (measuring_)
         ++metrics_.edges[edge].callsShed;
     if (edges_[edge].style == CallStyle::Sync)
-        settleChild(parentToken, /*childFailed=*/true);
+        settleChild(parentToken, /*childFailed=*/true,
+                    /*childDegraded=*/false);
 }
 
 void
@@ -609,6 +788,8 @@ ServiceGraph::maybeFinishCall(std::uint64_t token)
         ++nm.subtreesCompleted;
         if (c.failed)
             ++nm.subtreesFailed;
+        if (c.degraded)
+            ++nm.subtreesDegraded;
         nm.subtreeLatencyCycles.add(
             static_cast<double>(now - c.arrivedAt));
     }
@@ -617,6 +798,8 @@ ServiceGraph::maybeFinishCall(std::uint64_t token)
             ++metrics_.rootsCompleted;
             if (c.failed)
                 ++metrics_.rootsFailed;
+            if (c.degraded)
+                ++metrics_.rootsDegraded;
             metrics_.rootLatencyCycles.add(
                 static_cast<double>(now - c.arrivedAt));
         }
@@ -626,6 +809,9 @@ ServiceGraph::maybeFinishCall(std::uint64_t token)
     size_t e = static_cast<size_t>(c.viaEdge);
     std::uint64_t parent = c.parentToken;
     bool failed = c.failed;
+    bool degraded = c.degraded;
+    std::uint64_t chainId = c.chainId;
+    std::uint32_t attemptNo = c.attemptNo;
     sim::Tick issued = c.issuedAt;
     calls_.erase(it);
     if (edges_[e].style == CallStyle::Async) {
@@ -636,27 +822,42 @@ ServiceGraph::maybeFinishCall(std::uint64_t token)
             ++es.callsCompleted;
             if (failed)
                 ++es.failuresPropagated;
+            if (degraded)
+                ++es.degradedPropagated;
             es.rttCycles.add(static_cast<double>(now - issued));
         }
         return;
     }
     // Sync: the response pays the return hop, then joins at the caller.
-    eq_->scheduleIn(drawEdgeLatency(e),
-                    [this, e, parent, failed, issued]() {
-                        if (measuring_) {
-                            EdgeStats &es = metrics_.edges[e];
-                            ++es.callsCompleted;
-                            if (failed)
-                                ++es.failuresPropagated;
-                            es.rttCycles.add(static_cast<double>(
-                                eq_->now() - issued));
-                        }
-                        settleChild(parent, failed);
-                    });
+    eq_->scheduleIn(
+        drawEdgeLatency(e),
+        [this, e, parent, failed, degraded, chainId, attemptNo,
+         issued]() {
+            if (chainId != 0) {
+                // Resilient edge: the chain decides whether this
+                // response is live or a straggler from an abandoned
+                // attempt, and books the edge stats itself.
+                resolveChainReturn(e, chainId, attemptNo, failed,
+                                   degraded);
+                return;
+            }
+            if (measuring_) {
+                EdgeStats &es = metrics_.edges[e];
+                ++es.callsCompleted;
+                if (failed)
+                    ++es.failuresPropagated;
+                if (degraded)
+                    ++es.degradedPropagated;
+                es.rttCycles.add(
+                    static_cast<double>(eq_->now() - issued));
+            }
+            settleChild(parent, failed, degraded);
+        });
 }
 
 void
-ServiceGraph::settleChild(std::uint64_t parentToken, bool childFailed)
+ServiceGraph::settleChild(std::uint64_t parentToken, bool childFailed,
+                          bool childDegraded)
 {
     auto it = calls_.find(parentToken);
     ensure(it != calls_.end(), "settleChild: unknown parent call");
@@ -665,6 +866,8 @@ ServiceGraph::settleChild(std::uint64_t parentToken, bool childFailed)
     --p.pendingChildren;
     if (childFailed)
         p.failed = true;
+    if (childDegraded)
+        p.degraded = true;
     maybeFinishCall(parentToken);
 }
 
@@ -677,6 +880,515 @@ ServiceGraph::drawEdgeLatency(std::size_t edge)
         lat += edgeRngs_[edge].exponential(cfg.latencyJitterCycles);
     return std::max<sim::Tick>(
         1, static_cast<sim::Tick>(std::llround(lat)));
+}
+
+// --------------------------------------------------------------------
+// Resilient edge dispatch
+// --------------------------------------------------------------------
+
+sim::Tick
+ServiceGraph::splitDeadline(std::size_t edge, sim::Tick parentDeadline)
+{
+    if (parentDeadline == faults::kNeverTick)
+        return faults::kNeverTick;
+    sim::Tick now = eq_->now();
+    if (parentDeadline <= now)
+        return now; // exhausted: the callee will cancel at the door
+    const EdgeConfig &cfg = edges_[edge];
+    if (cfg.budgetSplit == BudgetSplit::Weighted) {
+        double remaining = static_cast<double>(parentDeadline - now);
+        return now + std::max<sim::Tick>(
+                         1, static_cast<sim::Tick>(std::llround(
+                                remaining * cfg.budgetWeight)));
+    }
+    // Even inherits the caller's absolute deadline; ReserveForRetry
+    // slices it per attempt later, in startAttempt.
+    return parentDeadline;
+}
+
+void
+ServiceGraph::startChain(std::size_t edge, std::uint64_t parentToken,
+                         sim::Tick parentDeadline)
+{
+    auto [pass, probe] = breakerGate(edge);
+    if (!pass) {
+        // Open breaker: skip the subtree instead of piling onto a
+        // sick callee. The caller degrades — it answers without this
+        // child's contribution — rather than failing outright.
+        if (measuring_)
+            ++metrics_.edges[edge].callsShortCircuited;
+        settleChild(parentToken, /*childFailed=*/false,
+                    /*childDegraded=*/true);
+        return;
+    }
+    std::uint64_t id = nextChainId_++;
+    EdgeCall ec;
+    ec.edge = edge;
+    ec.parentToken = parentToken;
+    ec.issuedAt = eq_->now();
+    ec.deadline = splitDeadline(edge, parentDeadline);
+    ec.probe = probe;
+    chains_.emplace(id, ec);
+    if (measuring_)
+        ++metrics_.edges[edge].callsIssued;
+    startAttempt(id);
+}
+
+void
+ServiceGraph::startAttempt(std::uint64_t chainId)
+{
+    auto it = chains_.find(chainId);
+    ensure(it != chains_.end(), "startAttempt: unknown chain");
+    EdgeCall &ec = it->second;
+    const EdgeConfig &cfg = edges_[ec.edge];
+    sim::Tick now = eq_->now();
+
+    if (ec.deadline != faults::kNeverTick && now >= ec.deadline) {
+        if (measuring_)
+            ++metrics_.edges[ec.edge].callsDeadlineExceeded;
+        settleChain(chainId, ChainOutcome::Degraded, false, false);
+        return;
+    }
+
+    ++ec.attempt;
+    if (measuring_)
+        ++metrics_.edges[ec.edge].attemptsIssued;
+
+    // The attempt's budget slice. Even/Weighted hand each attempt the
+    // whole chain deadline (a retry inherits whatever is left);
+    // ReserveForRetry divides the remainder by the attempts still
+    // available so a full retry ladder fits inside the budget.
+    sim::Tick sliceEnd = ec.deadline;
+    if (ec.deadline != faults::kNeverTick &&
+        cfg.budgetSplit == BudgetSplit::ReserveForRetry) {
+        double remaining = static_cast<double>(ec.deadline - now);
+        std::uint32_t left = cfg.maxAttempts - ec.attempt + 1;
+        sliceEnd = now + std::max<sim::Tick>(
+                             1, static_cast<sim::Tick>(std::llround(
+                                    remaining / left)));
+    }
+
+    bool lost = false;
+    sim::Tick extra = 0;
+    if (cfg.faultPlan && cfg.faultPlan->active()) {
+        faults::EdgeFaultDraw d =
+            cfg.faultPlan->draw(edgeFaultSeq_[ec.edge]++);
+        if (cfg.faultPlan->blackholedAt(now)) {
+            lost = true;
+            if (measuring_)
+                ++metrics_.edges[ec.edge].callsBlackholed;
+        } else if (d.drop) {
+            lost = true;
+            if (measuring_)
+                ++metrics_.edges[ec.edge].callsDropped;
+        }
+        if (cfg.faultPlan->spikeActiveAt(now))
+            extra = static_cast<sim::Tick>(
+                std::llround(d.extraLatencyCycles));
+    }
+
+    if (!lost) {
+        // The child's deadline is the attempt slice — never the RPC
+        // timeout. A caller without a deadline budget gets no
+        // cancellation help: its abandoned attempts run to completion
+        // downstream, which is exactly the waste the budgeted arm of
+        // the cascade bench eliminates.
+        sim::Tick childDeadline = sliceEnd;
+        sim::Tick issued = ec.issuedAt;
+        std::uint32_t attemptNo = ec.attempt;
+        std::size_t e = ec.edge;
+        eq_->scheduleIn(drawEdgeLatency(ec.edge) + extra,
+                        [this, e, chainId, attemptNo, childDeadline,
+                         issued]() {
+                            deliverAttempt(e, chainId, attemptNo,
+                                           childDeadline, issued);
+                        });
+    }
+
+    // Arm the attempt timer: the RPC timeout, clipped to the slice so
+    // an attempt never outlives the budget it was given.
+    sim::Tick timeoutAt = faults::kNeverTick;
+    if (cfg.rpcTimeoutCycles > 0)
+        timeoutAt = now + static_cast<sim::Tick>(
+                              std::llround(cfg.rpcTimeoutCycles));
+    if (sliceEnd != faults::kNeverTick)
+        timeoutAt = std::min(timeoutAt, sliceEnd);
+    if (timeoutAt != faults::kNeverTick) {
+        ec.timer = eq_->scheduleTimerIn(
+            timeoutAt > now ? timeoutAt - now : 1,
+            [this, chainId]() { onAttemptTimeout(chainId); });
+    } else {
+        // No timeout and no deadline: only a lossless edge may wait
+        // forever (validate() rejects lossy plans without timeouts).
+        ensure(!lost, "startAttempt: lost attempt with no timer armed");
+    }
+}
+
+void
+ServiceGraph::onAttemptTimeout(std::uint64_t chainId)
+{
+    auto it = chains_.find(chainId);
+    ensure(it != chains_.end(), "onAttemptTimeout: unknown chain");
+    it->second.timer = sim::kInvalidTimer;
+    if (measuring_)
+        ++metrics_.edges[it->second.edge].attemptsTimedOut;
+    retryOrFail(chainId);
+}
+
+void
+ServiceGraph::retryOrFail(std::uint64_t chainId)
+{
+    auto it = chains_.find(chainId);
+    ensure(it != chains_.end(), "retryOrFail: unknown chain");
+    EdgeCall &ec = it->second;
+    const EdgeConfig &cfg = edges_[ec.edge];
+    if (ec.deadline != faults::kNeverTick &&
+        eq_->now() >= ec.deadline) {
+        if (measuring_)
+            ++metrics_.edges[ec.edge].callsDeadlineExceeded;
+        settleChain(chainId, ChainOutcome::Degraded, false, false);
+        return;
+    }
+    if (ec.attempt >= cfg.maxAttempts) {
+        settleChain(chainId, ChainOutcome::Failed, false, false);
+        return;
+    }
+    if (cfg.retryBudget.enabled()) {
+        if (edgeRetryTokens_[ec.edge] < 1.0) {
+            // The bucket is dry: the edge's recent success rate no
+            // longer pays for retries, so the storm is cut here.
+            if (measuring_)
+                ++metrics_.edges[ec.edge].retriesSuppressed;
+            settleChain(chainId, ChainOutcome::Failed, false, false);
+            return;
+        }
+        edgeRetryTokens_[ec.edge] -= 1.0;
+    }
+    if (measuring_)
+        ++metrics_.edges[ec.edge].attemptsRetried;
+    startAttempt(chainId);
+}
+
+void
+ServiceGraph::deliverAttempt(std::size_t edge, std::uint64_t chainId,
+                             std::uint32_t attemptNo,
+                             sim::Tick childDeadline, sim::Tick issuedAt)
+{
+    std::uint32_t callee = calleeIdx_[edge];
+    auto it = chains_.find(chainId);
+    bool live = it != chains_.end() && it->second.attempt == attemptNo;
+    if (!live) {
+        // The chain abandoned this attempt (timeout fired, or the call
+        // settled) before the network delivered it. With a budget the
+        // delivery is cancelled at the door; without one the callee
+        // has no way to know and runs it anyway — a zombie whose
+        // completion we attribute as callsCompletedIgnored.
+        if (childDeadline != faults::kNeverTick &&
+            eq_->now() >= childDeadline) {
+            if (measuring_)
+                ++metrics_.edges[edge].callsCancelledBudget;
+            return;
+        }
+        std::uint64_t tok = nextToken_++;
+        if (sims_[callee]->injectArrival(tok)) {
+            Call c;
+            c.node = callee;
+            c.arrivedAt = eq_->now();
+            c.issuedAt = issuedAt;
+            c.viaEdge = static_cast<std::int32_t>(edge);
+            c.deadline = childDeadline;
+            c.chainId = chainId;
+            c.attemptNo = attemptNo;
+            calls_.emplace(tok, c);
+        }
+        // A shed zombie has nobody to notify.
+        return;
+    }
+    std::uint64_t tok = nextToken_++;
+    if (sims_[callee]->injectArrival(tok)) {
+        Call c;
+        c.node = callee;
+        c.arrivedAt = eq_->now();
+        c.issuedAt = issuedAt;
+        c.parentToken = it->second.parentToken;
+        c.viaEdge = static_cast<std::int32_t>(edge);
+        c.deadline = childDeadline;
+        c.chainId = chainId;
+        c.attemptNo = attemptNo;
+        calls_.emplace(tok, c);
+        return;
+    }
+    // Shed at the callee's admission queue: fail fast and let the
+    // retry ladder decide what happens next.
+    if (measuring_)
+        ++metrics_.edges[edge].callsShed;
+    if (it->second.timer != sim::kInvalidTimer) {
+        eq_->cancelTimer(it->second.timer);
+        it->second.timer = sim::kInvalidTimer;
+    }
+    retryOrFail(chainId);
+}
+
+void
+ServiceGraph::resolveChainReturn(std::size_t edge, std::uint64_t chainId,
+                                 std::uint32_t attemptNo, bool childFailed,
+                                 bool childDegraded)
+{
+    auto it = chains_.find(chainId);
+    if (it == chains_.end() || it->second.attempt != attemptNo) {
+        // A straggler from an abandoned attempt. The callee's cycles
+        // are already spent; all that is left is honest accounting.
+        if (measuring_)
+            ++metrics_.edges[edge].callsCompletedIgnored;
+        return;
+    }
+    if (measuring_) {
+        EdgeStats &es = metrics_.edges[edge];
+        ++es.callsCompleted;
+        if (childFailed)
+            ++es.failuresPropagated;
+        if (childDegraded)
+            ++es.degradedPropagated;
+        es.rttCycles.add(
+            static_cast<double>(eq_->now() - it->second.issuedAt));
+    }
+    settleChain(chainId, ChainOutcome::Success, childFailed,
+                childDegraded);
+}
+
+void
+ServiceGraph::settleChain(std::uint64_t chainId, ChainOutcome outcome,
+                          bool childFailed, bool childDegraded)
+{
+    auto it = chains_.find(chainId);
+    ensure(it != chains_.end(), "settleChain: unknown chain");
+    EdgeCall ec = it->second;
+    chains_.erase(it);
+    if (ec.timer != sim::kInvalidTimer)
+        eq_->cancelTimer(ec.timer);
+    const EdgeConfig &cfg = edges_[ec.edge];
+    // The breaker watches transport health: a delivered response is a
+    // success even when the child's subtree failed — the callee is
+    // answering, which is all the breaker protects.
+    if (cfg.breaker.enabled)
+        breakerRecord(ec.edge, outcome == ChainOutcome::Success,
+                      ec.probe);
+    if (cfg.retryBudget.enabled() && outcome == ChainOutcome::Success)
+        edgeRetryTokens_[ec.edge] =
+            std::min(cfg.retryBudget.cap,
+                     edgeRetryTokens_[ec.edge] + cfg.retryBudget.ratio);
+    if (outcome == ChainOutcome::Failed && measuring_)
+        ++metrics_.edges[ec.edge].callsFailed;
+    switch (outcome) {
+      case ChainOutcome::Success:
+        settleChild(ec.parentToken, childFailed, childDegraded);
+        return;
+      case ChainOutcome::Degraded:
+        settleChild(ec.parentToken, /*childFailed=*/false,
+                    /*childDegraded=*/true);
+        return;
+      case ChainOutcome::Failed:
+        settleChild(ec.parentToken, /*childFailed=*/true,
+                    /*childDegraded=*/false);
+        return;
+    }
+    panic("settleChain: unreachable outcome");
+}
+
+std::pair<bool, bool>
+ServiceGraph::breakerGate(std::size_t edge)
+{
+    const EdgeConfig &cfg = edges_[edge];
+    if (!cfg.breaker.enabled)
+        return {true, false};
+    EdgeBreaker &b = edgeBreakers_[edge];
+    switch (b.state) {
+      case EdgeBreaker::State::Closed:
+        return {true, false};
+      case EdgeBreaker::State::Open:
+        if (static_cast<double>(eq_->now() - b.openedAt) >=
+            cfg.breaker.probeAfterCycles) {
+            b.state = EdgeBreaker::State::HalfOpen;
+            if (measuring_)
+                ++metrics_.edges[edge].breakerProbes;
+            return {true, true};
+        }
+        return {false, false};
+      case EdgeBreaker::State::HalfOpen:
+        // A probe is already in flight; everyone else short-circuits.
+        return {false, false};
+    }
+    panic("ServiceGraph::breakerGate: unreachable state");
+}
+
+void
+ServiceGraph::breakerRecord(std::size_t edge, bool success, bool probe)
+{
+    const EdgeConfig &cfg = edges_[edge];
+    EdgeBreaker &b = edgeBreakers_[edge];
+    if (probe) {
+        ensure(b.state == EdgeBreaker::State::HalfOpen,
+               "breakerRecord: probe outcome without half-open state");
+        if (success) {
+            b.state = EdgeBreaker::State::Closed;
+            b.window.clear();
+            b.failures = 0;
+            if (measuring_)
+                ++metrics_.edges[edge].breakerCloses;
+        } else {
+            b.state = EdgeBreaker::State::Open;
+            b.openedAt = eq_->now();
+        }
+        return;
+    }
+    if (b.state != EdgeBreaker::State::Closed)
+        return; // stragglers from before the breaker opened
+    b.window.push_back(success);
+    if (!success)
+        ++b.failures;
+    if (b.window.size() > cfg.breaker.window) {
+        if (!b.window.front())
+            --b.failures;
+        b.window.pop_front();
+    }
+    if (b.window.size() >= cfg.breaker.minSamples &&
+        static_cast<double>(b.failures) /
+                static_cast<double>(b.window.size()) >=
+            cfg.breaker.openThreshold) {
+        b.state = EdgeBreaker::State::Open;
+        b.openedAt = eq_->now();
+        b.window.clear();
+        b.failures = 0;
+        if (measuring_)
+            ++metrics_.edges[edge].breakerOpens;
+        warn("edge breaker " + cfg.caller + " -> " + cfg.callee +
+             " opened at tick " + std::to_string(eq_->now()) +
+             ": callers short-circuit to degraded responses");
+    }
+}
+
+// --------------------------------------------------------------------
+// Config front end
+// --------------------------------------------------------------------
+
+EdgeConfig
+edgeFromConfig(const Config &cfg, const std::string &section,
+               const std::string &prefix)
+{
+    auto key = [&prefix](const char *k) { return prefix + k; };
+    EdgeConfig e;
+    e.caller = cfg.getString(section, key("caller"));
+    e.callee = cfg.getString(section, key("callee"));
+    e.fanout =
+        static_cast<std::uint32_t>(cfg.getCount(section, key("fanout"), 1));
+    e.style =
+        callStyleFromString(cfg.getString(section, key("style"), "sync"));
+    e.latencyCycles = cfg.getDouble(section, key("latency"), 0.0);
+    e.latencyJitterCycles = cfg.getDouble(section, key("jitter"), 0.0);
+    e.rpcTimeoutCycles = cfg.getDouble(section, key("timeout"), 0.0);
+    e.maxAttempts = static_cast<std::uint32_t>(
+        cfg.getCount(section, key("max_attempts"), 1));
+    e.retryBudget.ratio =
+        cfg.getDouble(section, key("retry_budget_ratio"), 0.1);
+    e.retryBudget.cap =
+        cfg.getDouble(section, key("retry_budget_cap"), 0.0);
+    e.budgetSplit = budgetSplitFromString(
+        cfg.getString(section, key("budget_split"), "even"));
+    e.budgetWeight = cfg.getDouble(section, key("budget_weight"), 0.5);
+    // Presence of the threshold enables the breaker. The dependent
+    // keys are only consumed when it is present, so a breaker_window
+    // without a threshold surfaces as an unknown key.
+    if (cfg.has(section, key("breaker_open_threshold"))) {
+        e.breaker.enabled = true;
+        e.breaker.openThreshold =
+            cfg.getDouble(section, key("breaker_open_threshold"));
+        e.breaker.window = static_cast<std::uint32_t>(cfg.getCount(
+            section, key("breaker_window"), e.breaker.window));
+        e.breaker.minSamples = static_cast<std::uint32_t>(cfg.getCount(
+            section, key("breaker_min_samples"), e.breaker.minSamples));
+        e.breaker.probeAfterCycles = cfg.getDouble(
+            section, key("breaker_probe_after"),
+            e.breaker.probeAfterCycles);
+    }
+    // Any fault key enables the plan. No short-circuit: every key must
+    // be probed so unusedKeys() sees them all.
+    auto parse_windows = [&cfg, &section](const std::string &wkey) {
+        std::vector<faults::StallWindow> windows;
+        for (const std::string &w :
+             split(cfg.getString(section, wkey), ',')) {
+            std::vector<std::string> ends = split(w, ':');
+            if (ends.size() != 2)
+                fatal("config key '" + wkey +
+                      "': want begin:end[,begin:end] in ticks, got '" +
+                      w + "'");
+            faults::StallWindow win;
+            try {
+                win.begin = parseCount(trim(ends[0]));
+                win.end = parseCount(trim(ends[1]));
+            } catch (const FatalError &err) {
+                fatal("config key '" + wkey + "': " + err.what());
+            }
+            windows.push_back(win);
+        }
+        return windows;
+    };
+    bool f_seed = cfg.has(section, key("fault_seed"));
+    bool f_drop = cfg.has(section, key("fault_drop_p"));
+    bool f_spike = cfg.has(section, key("fault_spike_p"));
+    bool f_spike_cycles = cfg.has(section, key("fault_spike_cycles"));
+    bool f_spike_windows = cfg.has(section, key("fault_spike_windows"));
+    bool f_blackholes = cfg.has(section, key("fault_blackholes"));
+    if (f_seed || f_drop || f_spike || f_spike_cycles || f_spike_windows ||
+        f_blackholes) {
+        auto plan = std::make_shared<faults::EdgeFaultPlan>();
+        plan->seed = cfg.getCount(section, key("fault_seed"), 1);
+        plan->dropProbability =
+            cfg.getDouble(section, key("fault_drop_p"), 0.0);
+        plan->spikeProbability =
+            cfg.getDouble(section, key("fault_spike_p"), 0.0);
+        plan->spikeLatencyCycles =
+            cfg.getDouble(section, key("fault_spike_cycles"), 0.0);
+        if (f_spike_windows)
+            plan->spikeWindows =
+                parse_windows(key("fault_spike_windows"));
+        if (f_blackholes)
+            plan->blackholes = parse_windows(key("fault_blackholes"));
+        e.faultPlan = std::move(plan);
+    }
+    return e;
+}
+
+ServiceGraph
+serviceGraphFromConfig(const Config &cfg, const std::string &graphSection)
+{
+    ServiceGraph g(cfg.getCount(graphSection, "seed", 1));
+    g.rootDeadline(
+        cfg.getDouble(graphSection, "root_deadline_cycles", 0.0));
+    for (const std::string &entry :
+         split(cfg.getString(graphSection, "services"), ',')) {
+        std::string name = trim(entry);
+        if (name.empty())
+            fatal("config key 'services' in [" + graphSection +
+                  "]: empty service section name");
+        g.addService(ServiceSpec::fromConfig(cfg, name));
+    }
+    for (std::size_t i = 0;; ++i) {
+        std::string prefix = "edge_" + std::to_string(i) + "_";
+        if (!cfg.has(graphSection, prefix + "caller"))
+            break;
+        g.addEdge(edgeFromConfig(cfg, graphSection, prefix));
+    }
+    std::vector<std::string> unknown = cfg.unusedKeys(graphSection);
+    if (!unknown.empty()) {
+        std::string msg = "serviceGraphFromConfig: unknown key" +
+            std::string(unknown.size() == 1 ? "" : "s") + " in [" +
+            graphSection + "]:";
+        for (const std::string &k : unknown)
+            msg += " '" + k + "'";
+        msg += " (edges must be numbered contiguously from edge_0_)";
+        fatal(msg);
+    }
+    return g;
 }
 
 } // namespace accel::microsim

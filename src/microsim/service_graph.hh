@@ -32,11 +32,14 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "config/config.hh"
+#include "faults/edge_fault_plan.hh"
 #include "microsim/service_spec.hh"
 #include "stats/reservoir.hh"
 
@@ -51,6 +54,47 @@ enum class CallStyle
 
 const char *toString(CallStyle style);
 CallStyle callStyleFromString(const std::string &name);
+
+/**
+ * How a caller splits its remaining deadline budget across an edge's
+ * calls (see ServiceGraph::rootDeadline). Only meaningful when the
+ * root carries a deadline; without one every policy is a no-op.
+ */
+enum class BudgetSplit
+{
+    /** Child inherits the caller's absolute deadline unchanged. */
+    Even,
+    /** Child gets budgetWeight x the caller's remaining budget. */
+    Weighted,
+    /**
+     * Each attempt gets remaining / (attempts left), so a full retry
+     * ladder still fits inside the caller's budget.
+     */
+    ReserveForRetry,
+};
+
+const char *toString(BudgetSplit split);
+BudgetSplit budgetSplitFromString(const std::string &name);
+
+/**
+ * Per-edge token-bucket retry limiter: the standard defense against
+ * self-sustaining retry storms. The bucket starts at cap tokens; every
+ * retry costs one token and every successful call refills ratio
+ * tokens (clamped at cap), so sustained retry traffic is bounded by
+ * ratio x the success rate instead of multiplying the offered load
+ * when the callee browns out. cap == 0 (default) disables the bucket:
+ * retries are limited only by EdgeConfig::maxAttempts.
+ */
+struct RetryBudgetConfig
+{
+    /** Tokens refilled per successful call. */
+    double ratio = 0.1;
+
+    /** Bucket capacity; 0 disables the budget. */
+    double cap = 0.0;
+
+    bool enabled() const { return cap > 0; }
+};
 
 /** One directed RPC edge: caller fans out to callee. */
 struct EdgeConfig
@@ -69,9 +113,63 @@ struct EdgeConfig
     /** Mean of an exponential jitter added per hop (0 = deterministic). */
     double latencyJitterCycles = 0.0;
 
+    // --- resilience layer (sync edges only; defaults = all off) ---
+
+    /**
+     * Caller-side RPC timeout per attempt, in cycles (0 = wait
+     * forever, the legacy behaviour). On expiry the caller abandons
+     * the attempt — a late response is ignored — and retries while
+     * attempts and retry-budget tokens remain.
+     */
+    double rpcTimeoutCycles = 0.0;
+
+    /** Total attempts per call, including the first (>= 2 retries). */
+    std::uint32_t maxAttempts = 1;
+
+    /** Token-bucket limiter on retries (default: disabled). */
+    RetryBudgetConfig retryBudget;
+
+    /**
+     * Per-edge circuit breaker: while open the caller skips the
+     * subtree and settles the call degraded instead of piling onto a
+     * sick callee. Reuses the intra-service BreakerConfig; requires
+     * rpcTimeoutCycles > 0 (timeouts are the failure signal).
+     */
+    BreakerConfig breaker;
+
+    /** Deadline budget-split policy for this edge's calls. */
+    BudgetSplit budgetSplit = BudgetSplit::Even;
+
+    /** Fraction of remaining budget per child (Weighted split). */
+    double budgetWeight = 0.5;
+
+    /** Edge fault schedule (drops, spikes, blackholes); null = none. */
+    std::shared_ptr<const faults::EdgeFaultPlan> faultPlan;
+
+    /**
+     * True when this edge needs the attempt/chain machinery rather
+     * than the legacy fire-once dispatch path.
+     */
+    bool resilient() const;
+
     /** @throws FatalError on out-of-domain values (names the field). */
     void validate() const;
 };
+
+/**
+ * Parse one edge from `<prefix>*` keys of @p section (the graph
+ * config convention uses `edge_<i>_` prefixes): caller, callee,
+ * fanout, style, latency, jitter, timeout, max_attempts,
+ * retry_budget_ratio, retry_budget_cap, budget_split, budget_weight,
+ * breaker_{open_threshold,window,min_samples,probe_after} (presence
+ * of breaker_open_threshold enables), and
+ * fault_{seed,drop_p,spike_p,spike_cycles,spike_windows,blackholes}
+ * (presence of any enables; window lists = "begin:end,begin:end" in
+ * ticks).
+ * @throws FatalError on malformed values (names the key).
+ */
+EdgeConfig edgeFromConfig(const Config &cfg, const std::string &section,
+                          const std::string &prefix);
 
 /** Per-edge call accounting over the measurement window. */
 struct EdgeStats
@@ -86,6 +184,38 @@ struct EdgeStats
     std::uint64_t callsShed = 0;
     /** Completed child subtrees that carried a failure. */
     std::uint64_t failuresPropagated = 0;
+    /** Completed child subtrees that carried a degraded marker. */
+    std::uint64_t degradedPropagated = 0;
+
+    // --- resilience-layer attribution (all zero when the layer is off) ---
+
+    /** RPC attempts issued (callsIssued counts logical calls once). */
+    std::uint64_t attemptsIssued = 0;
+    /** Attempts lost to the fault plan's drop draw. */
+    std::uint64_t callsDropped = 0;
+    /** Attempts issued into a blackhole window. */
+    std::uint64_t callsBlackholed = 0;
+    /** Attempts whose caller-side timeout expired. */
+    std::uint64_t attemptsTimedOut = 0;
+    /** Retries actually issued (consumed a budget token if enabled). */
+    std::uint64_t attemptsRetried = 0;
+    /** Retries wanted but suppressed by an empty token bucket. */
+    std::uint64_t retriesSuppressed = 0;
+    /** Calls settled degraded because the deadline budget ran out. */
+    std::uint64_t callsDeadlineExceeded = 0;
+    /** Deliveries cancelled at the callee's door: over budget. */
+    std::uint64_t callsCancelledBudget = 0;
+    /** Calls skipped by an open breaker (settled degraded). */
+    std::uint64_t callsShortCircuited = 0;
+    /** Calls that failed outright: retry ladder exhausted/suppressed. */
+    std::uint64_t callsFailed = 0;
+    /** Responses from abandoned attempts: pure wasted callee work. */
+    std::uint64_t callsCompletedIgnored = 0;
+
+    // --- per-edge breaker state machine ---
+    std::uint64_t breakerOpens = 0;
+    std::uint64_t breakerProbes = 0;
+    std::uint64_t breakerCloses = 0;
 
     /** Edge RTT: out hop + child subtree (+ return hop when sync). */
     ReservoirSample rttCycles;
@@ -107,6 +237,10 @@ struct GraphNodeMetrics
     std::uint64_t subtreesCompleted = 0;
     /** Joined subtrees that carried a failure. */
     std::uint64_t subtreesFailed = 0;
+    /** Joined subtrees that carried a degraded marker. */
+    std::uint64_t subtreesDegraded = 0;
+    /** Subtrees whose fan-out was skipped: deadline budget exhausted. */
+    std::uint64_t subtreesPrunedBudget = 0;
 
     /** Arrival at this node -> subtree join (includes sync children). */
     ReservoirSample subtreeLatencyCycles;
@@ -139,6 +273,13 @@ struct GraphMetrics
     std::uint64_t rootsCompleted = 0;
     /** Joined root subtrees that carried a failure anywhere below. */
     std::uint64_t rootsFailed = 0;
+    /**
+     * Joined root subtrees that carried a degraded marker: some child
+     * was skipped (open breaker) or abandoned at its deadline, but
+     * the root still completed — a degraded response, counted toward
+     * goodput, attributed here so the trade is honest.
+     */
+    std::uint64_t rootsDegraded = 0;
 
     /** Root arrival -> root subtree join (end-to-end latency). */
     ReservoirSample rootLatencyCycles;
@@ -200,6 +341,17 @@ class ServiceGraph
     ServiceGraph &addEdge(const EdgeConfig &edge);
 
     /**
+     * End-to-end deadline budget in cycles, granted to every root
+     * request on arrival and carried down the call tree: each hop's
+     * service time and network latency consume it, each edge splits
+     * what remains per its BudgetSplit policy, and work that cannot
+     * finish in budget is settled degraded (or cancelled at the
+     * callee's door) instead of wasting tier cycles. 0 (default)
+     * disables the budget entirely.
+     */
+    ServiceGraph &rootDeadline(double cycles);
+
+    /**
      * Every assembly problem at once, each prefixed with the node or
      * edge it concerns: per-node ServiceSpec::errors(), duplicate or
      * unknown names, self-edges, cycles (the graph must be a DAG),
@@ -238,7 +390,51 @@ class ServiceGraph
         std::int32_t viaEdge = -1;   //!< delivering edge; -1 = root
         bool serviceDone = false;
         bool failed = false;
+        bool degraded = false;       //!< a child was skipped/abandoned
         std::uint32_t pendingChildren = 0; //!< outstanding sync joins
+        /** Absolute deadline; kNeverTick = no budget. */
+        sim::Tick deadline = faults::kNeverTick;
+        /** Owning edge-call chain (resilient edges); 0 = none. */
+        std::uint64_t chainId = 0;
+        /** Attempt that delivered this call (stale-response filter). */
+        std::uint32_t attemptNo = 0;
+    };
+
+    /**
+     * One logical call on a resilient edge: the caller-side chain of
+     * attempts racing timeouts, retries, and the deadline budget.
+     * Settles exactly once (success / degraded / failed), which joins
+     * the parent; erased at settlement, so a chain lookup miss means
+     * the response belongs to an abandoned attempt.
+     */
+    struct EdgeCall
+    {
+        std::size_t edge = 0;
+        std::uint64_t parentToken = 0;
+        sim::Tick issuedAt = 0; //!< first-attempt issue tick (RTT base)
+        /** Chain deadline after the edge's budget split; kNever = none. */
+        sim::Tick deadline = faults::kNeverTick;
+        std::uint32_t attempt = 0; //!< current attempt, 1-based
+        sim::TimerId timer = sim::kInvalidTimer;
+        bool probe = false; //!< this chain is the breaker's probe
+    };
+
+    /** How a resilient edge call ultimately settled. */
+    enum class ChainOutcome
+    {
+        Success,  //!< a live attempt's response joined
+        Degraded, //!< skipped (breaker) or abandoned (deadline)
+        Failed,   //!< attempts/budget exhausted with no response
+    };
+
+    /** Per-edge breaker instance (see BreakerConfig). */
+    struct EdgeBreaker
+    {
+        enum class State { Closed, Open, HalfOpen };
+        State state = State::Closed;
+        std::deque<bool> window;
+        std::uint32_t failures = 0;
+        sim::Tick openedAt = 0;
     };
 
     std::uint32_t nodeIndex(const std::string &name) const;
@@ -249,15 +445,36 @@ class ServiceGraph
                           sim::Tick arrivedAt, bool failed);
     void issueCalls(std::uint64_t token);
     void deliverCall(std::size_t edge, std::uint64_t parentToken,
-                     sim::Tick issuedAt);
+                     sim::Tick issuedAt, sim::Tick childDeadline);
     void maybeFinishCall(std::uint64_t token);
-    void settleChild(std::uint64_t parentToken, bool childFailed);
+    void settleChild(std::uint64_t parentToken, bool childFailed,
+                     bool childDegraded);
     sim::Tick drawEdgeLatency(std::size_t edge);
+
+    // --- resilient edge dispatch (timeout / retry / breaker / budget) ---
+    sim::Tick splitDeadline(std::size_t edge, sim::Tick parentDeadline);
+    void startChain(std::size_t edge, std::uint64_t parentToken,
+                    sim::Tick parentDeadline);
+    void startAttempt(std::uint64_t chainId);
+    void onAttemptTimeout(std::uint64_t chainId);
+    void retryOrFail(std::uint64_t chainId);
+    void deliverAttempt(std::size_t edge, std::uint64_t chainId,
+                        std::uint32_t attemptNo, sim::Tick childDeadline,
+                        sim::Tick issuedAt);
+    void resolveChainReturn(std::size_t edge, std::uint64_t chainId,
+                            std::uint32_t attemptNo, bool childFailed,
+                            bool childDegraded);
+    void settleChain(std::uint64_t chainId, ChainOutcome outcome,
+                     bool childFailed, bool childDegraded);
+    /** @return pass this call through, and whether it is the probe. */
+    std::pair<bool, bool> breakerGate(std::size_t edge);
+    void breakerRecord(std::size_t edge, bool success, bool probe);
 
     std::uint64_t seed_;
     std::vector<ServiceSpec> specs_;
     std::vector<EdgeConfig> edges_;
     std::vector<SharedTierDef> sharedTierDefs_;
+    double rootDeadlineCycles_ = 0.0;
 
     // --- run state (built by run()) ---
     std::unique_ptr<sim::EventQueue> eq_;
@@ -268,10 +485,41 @@ class ServiceGraph
     std::vector<Rng> edgeRngs_;
     /** Token -> in-flight subtree; lookup/erase only, never iterated. */
     std::unordered_map<std::uint64_t, Call> calls_;
+    /** Chain id -> in-flight resilient edge call; erased at settle. */
+    std::unordered_map<std::uint64_t, EdgeCall> chains_;
     std::uint64_t nextToken_ = 1;
+    std::uint64_t nextChainId_ = 1;
+    /** Per-edge slot counters for the fault plans' slot-indexed draws. */
+    std::vector<std::uint64_t> edgeFaultSeq_;
+    /** Per-edge retry-budget token levels. */
+    std::vector<double> edgeRetryTokens_;
+    std::vector<EdgeBreaker> edgeBreakers_;
     bool measuring_ = false;
     bool ran_ = false;
     GraphMetrics metrics_;
 };
+
+/**
+ * Assemble a ServiceGraph from one config: @p graphSection holds the
+ * graph-level keys and each named service section parses through
+ * ServiceSpec::fromConfig. Recognised graph keys:
+ *
+ *     [graph]
+ *     services = web, ads, cache   ; section name per node (required)
+ *     seed = 2020
+ *     root_deadline_cycles = 1e6   ; 0 = no deadline budget
+ *     edge_0_caller = web          ; edges numbered from 0 (see
+ *     edge_0_callee = ads          ;  edgeFromConfig for the full
+ *     edge_0_timeout = 2e5         ;  per-edge key list)
+ *     ...
+ *
+ * Unknown keys in the graph section or any service section are
+ * rejected with a field-named error. The returned graph is assembled
+ * but not validated: call errors()/validate() (or run()) to surface
+ * domain problems across all nodes at once.
+ * @throws FatalError on unknown keys or malformed values.
+ */
+ServiceGraph serviceGraphFromConfig(const Config &cfg,
+                                    const std::string &graphSection = "graph");
 
 } // namespace accel::microsim

@@ -231,6 +231,20 @@ ServiceSpec::fromConfig(const Config &cfg, const std::string &section)
     spec.seed(cfg.getCount(section, "seed", 1));
     if (cfg.has(section, "shared_tier"))
         spec.sharedTier(cfg.getString(section, "shared_tier"));
+    // Every recognised key has been probed by now (the composite
+    // parsers above walk their full key lists), so anything the
+    // tracker never saw is a key this parser does not understand —
+    // almost always a typo that would otherwise silently fall back to
+    // a default. Reject it by name instead.
+    std::vector<std::string> unknown = cfg.unusedKeys(section);
+    if (!unknown.empty()) {
+        std::string msg = "ServiceSpec::fromConfig: unknown key" +
+            std::string(unknown.size() == 1 ? "" : "s") + " in [" +
+            section + "]:";
+        for (const std::string &k : unknown)
+            msg += " '" + k + "'";
+        fatal(msg);
+    }
     return spec;
 }
 

@@ -157,10 +157,15 @@ class ServiceSpec
      * arrivalProgramFromConfig (arrival_*), and autoscalerFromConfig
      * (scale_*). The section name becomes the spec name.
      *
+     * Keys in @p section that none of the parsers recognise are
+     * rejected with an error naming each offender (via
+     * Config::unusedKeys), so a typo like `tier_hege_delay` fails
+     * loudly instead of silently keeping the default.
+     *
      * @throws FatalError on malformed values (the composite parsers
-     *         throw their usual field-named errors); domain errors are
-     *         reported by validate()/errors() so a caller can collect
-     *         them across many sections.
+     *         throw their usual field-named errors) and on unknown
+     *         keys; domain errors are reported by validate()/errors()
+     *         so a caller can collect them across many sections.
      */
     static ServiceSpec fromConfig(const Config &cfg,
                                   const std::string &section);

@@ -133,5 +133,52 @@ TEST(Config, KeysOfUnknownSectionEmpty)
     EXPECT_TRUE(cfg.keys("nope").empty());
 }
 
+TEST(Config, UnusedKeysTracksProbes)
+{
+    Config cfg = Config::fromString("[s]\na = 1\nb = 2\nc = 3\n");
+    // Nothing probed yet: every key is unused, in insertion order.
+    auto unused = cfg.unusedKeys("s");
+    ASSERT_EQ(unused.size(), 3u);
+    EXPECT_EQ(unused[0], "a");
+    EXPECT_EQ(unused[1], "b");
+    EXPECT_EQ(unused[2], "c");
+
+    cfg.getCount("s", "b"); // get() marks accessed
+    cfg.has("s", "c");      // a bare existence probe counts too
+    unused = cfg.unusedKeys("s");
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "a");
+}
+
+TEST(Config, UnusedKeysIgnoresProbesForAbsentKeys)
+{
+    Config cfg = Config::fromString("[s]\na = 1\n");
+    // Probing a key that is not there must not mark anything.
+    EXPECT_FALSE(cfg.has("s", "zzz"));
+    cfg.getCount("s", "zzz", 7u);
+    auto unused = cfg.unusedKeys("s");
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "a");
+}
+
+TEST(Config, UnusedKeysScopedToSection)
+{
+    Config cfg = Config::fromString("[x]\na = 1\n[y]\na = 2\n");
+    cfg.getCount("x", "a");
+    EXPECT_TRUE(cfg.unusedKeys("x").empty());
+    ASSERT_EQ(cfg.unusedKeys("y").size(), 1u);
+    EXPECT_TRUE(cfg.unusedKeys("nope").empty());
+}
+
+TEST(Config, FromStringStartsWithNoAccesses)
+{
+    // The parser's own duplicate-detection probes must not leak into
+    // the access record handed to unknown-key validation.
+    LogLevel prev = setLogLevel(LogLevel::Silent);
+    Config cfg = Config::fromString("[s]\na = 1\na = 2\nb = 3\n");
+    setLogLevel(prev);
+    EXPECT_EQ(cfg.unusedKeys("s").size(), 2u);
+}
+
 } // namespace
 } // namespace accel

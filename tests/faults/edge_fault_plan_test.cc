@@ -1,0 +1,166 @@
+/** @file Tests for the deterministic per-edge RPC fault schedule. */
+
+#include "faults/edge_fault_plan.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace accel::faults {
+namespace {
+
+TEST(EdgeFaultPlan, NullPlanIsInactive)
+{
+    EdgeFaultPlan plan;
+    EXPECT_FALSE(plan.active());
+    EXPECT_FALSE(plan.canLoseCalls());
+    EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(EdgeFaultPlan, EachFaultFieldActivatesThePlan)
+{
+    EdgeFaultPlan p;
+    p.dropProbability = 0.1;
+    EXPECT_TRUE(p.active());
+    EXPECT_TRUE(p.canLoseCalls());
+
+    p = EdgeFaultPlan{};
+    p.spikeProbability = 0.1;
+    p.spikeLatencyCycles = 100;
+    EXPECT_TRUE(p.active());
+    EXPECT_FALSE(p.canLoseCalls()); // delayed, not lost
+
+    p = EdgeFaultPlan{};
+    p.blackholes = {{10, 20}};
+    EXPECT_TRUE(p.active());
+    EXPECT_TRUE(p.canLoseCalls());
+}
+
+TEST(EdgeFaultPlan, ValidationNamesTheField)
+{
+    EdgeFaultPlan p;
+    p.spikeProbability = 2.0;
+    try {
+        p.validate();
+        FAIL() << "out-of-domain probability accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("spikeProbability"),
+                  std::string::npos);
+    }
+}
+
+TEST(EdgeFaultPlan, ValidationRejectsOutOfDomainValues)
+{
+    EdgeFaultPlan p;
+    p.dropProbability = -0.5;
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = EdgeFaultPlan{};
+    p.spikeProbability = 0.5; // spike without spikeLatencyCycles
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = EdgeFaultPlan{};
+    p.spikeLatencyCycles = -1.0;
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = EdgeFaultPlan{};
+    p.spikeWindows = {{10, 20}}; // windows narrowing a spike that
+    EXPECT_THROW(p.validate(), FatalError); // never fires
+
+    p = EdgeFaultPlan{};
+    p.spikeProbability = 0.5;
+    p.spikeLatencyCycles = 100;
+    p.spikeWindows = {{20, 10}}; // begin >= end
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = EdgeFaultPlan{};
+    p.blackholes = {{10, 30}, {20, 40}}; // overlapping
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = EdgeFaultPlan{};
+    p.blackholes = {{50, 60}, {10, 20}}; // unsorted
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(EdgeFaultPlan, DrawIsAPureFunctionOfSeedAndSlot)
+{
+    EdgeFaultPlan p;
+    p.seed = 42;
+    p.dropProbability = 0.3;
+    p.spikeProbability = 0.3;
+    p.spikeLatencyCycles = 500;
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        EdgeFaultDraw a = p.draw(i);
+        EdgeFaultDraw b = p.draw(i); // replay, any call order
+        EXPECT_EQ(a.drop, b.drop);
+        EXPECT_DOUBLE_EQ(a.extraLatencyCycles, b.extraLatencyCycles);
+    }
+}
+
+TEST(EdgeFaultPlan, DifferentSeedsDecorrelate)
+{
+    EdgeFaultPlan a, b;
+    a.seed = 1;
+    b.seed = 2;
+    a.dropProbability = b.dropProbability = 0.5;
+    int differing = 0;
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        if (a.draw(i).drop != b.draw(i).drop)
+            ++differing;
+    }
+    EXPECT_GT(differing, 64); // ~half should disagree
+}
+
+TEST(EdgeFaultPlan, DrawRatesMatchProbabilities)
+{
+    EdgeFaultPlan p;
+    p.seed = 7;
+    p.dropProbability = 0.25;
+    p.spikeProbability = 0.25;
+    p.spikeLatencyCycles = 100;
+    int drops = 0, spikes = 0;
+    const int kDraws = 20000;
+    for (std::uint64_t i = 0; i < kDraws; ++i) {
+        EdgeFaultDraw d = p.draw(i);
+        drops += d.drop;
+        spikes += d.extraLatencyCycles > 0;
+    }
+    EXPECT_NEAR(drops / double(kDraws), 0.25, 0.02);
+    EXPECT_NEAR(spikes / double(kDraws), 0.25, 0.02);
+}
+
+TEST(EdgeFaultPlan, BlackholeWindowLookup)
+{
+    EdgeFaultPlan p;
+    p.blackholes = {{10, 20}, {50, 60}};
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_FALSE(p.blackholedAt(9));
+    EXPECT_TRUE(p.blackholedAt(10));
+    EXPECT_TRUE(p.blackholedAt(19));
+    EXPECT_FALSE(p.blackholedAt(20)); // half-open
+    EXPECT_TRUE(p.blackholedAt(55));
+    EXPECT_FALSE(p.blackholedAt(60));
+    EXPECT_FALSE(p.blackholedAt(1u << 30));
+}
+
+TEST(EdgeFaultPlan, SpikeWindowsNarrowTheSpike)
+{
+    EdgeFaultPlan p;
+    p.spikeProbability = 1.0;
+    p.spikeLatencyCycles = 100;
+    // No windows: the spike applies for the whole run.
+    EXPECT_TRUE(p.spikeActiveAt(0));
+    EXPECT_TRUE(p.spikeActiveAt(1u << 30));
+
+    p.spikeWindows = {{100, 200}, {400, 500}};
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_FALSE(p.spikeActiveAt(99));
+    EXPECT_TRUE(p.spikeActiveAt(100));
+    EXPECT_TRUE(p.spikeActiveAt(199));
+    EXPECT_FALSE(p.spikeActiveAt(200)); // half-open
+    EXPECT_TRUE(p.spikeActiveAt(450));
+    EXPECT_FALSE(p.spikeActiveAt(500));
+}
+
+} // namespace
+} // namespace accel::faults

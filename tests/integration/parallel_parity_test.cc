@@ -305,6 +305,59 @@ TEST(ParallelParity, ServiceGraphBitIdentical)
     });
 }
 
+TEST(ParallelParity, ResilientServiceGraphBitIdentical)
+{
+    // The containment layer adds timers, retry chains, breaker state,
+    // and slot-indexed fault draws; none of it may pick up a
+    // worker-count dependence, and the fault-off edge beside the
+    // faulted one must stay on the legacy path at every ACCEL_JOBS.
+    expectParity([] {
+        const microsim::AbExperiment base = abExperiment();
+        auto node = [&base](const std::string &name, double load) {
+            microsim::ServiceConfig cfg = base.service;
+            cfg.openArrivalsPerSec = load;
+            return microsim::ServiceSpec(name)
+                .service(cfg)
+                .accelerator(base.accelerator)
+                .workload(base.workload)
+                .seed(23);
+        };
+        microsim::ServiceGraph graph(23);
+        graph.addService(node("web", 15000));
+        graph.addService(node("mid", 0));
+        graph.addService(node("leaf", 0));
+        microsim::EdgeConfig plain;
+        plain.caller = "web";
+        plain.callee = "mid";
+        plain.latencyCycles = 1000;
+        plain.latencyJitterCycles = 500;
+        graph.addEdge(plain);
+        microsim::EdgeConfig sick;
+        sick.caller = "mid";
+        sick.callee = "leaf";
+        sick.latencyCycles = 1000;
+        sick.rpcTimeoutCycles = 30e3;
+        sick.maxAttempts = 3;
+        sick.retryBudget.cap = 10;
+        sick.budgetSplit = microsim::BudgetSplit::ReserveForRetry;
+        sick.breaker.enabled = true;
+        sick.breaker.minSamples = 4;
+        sick.breaker.probeAfterCycles = 1e5;
+        auto plan = std::make_shared<faults::EdgeFaultPlan>();
+        plan->seed = 29;
+        plan->dropProbability = 0.2;
+        plan->spikeProbability = 0.2;
+        plan->spikeLatencyCycles = 50e3;
+        sick.faultPlan = std::move(plan);
+        graph.addEdge(sick);
+        graph.rootDeadline(500e3);
+        LogLevel prev = setLogLevel(LogLevel::Silent);
+        std::string json = graph.run(0.03, 0.01).summaryJson();
+        setLogLevel(prev);
+        return json;
+    });
+}
+
 TEST(ParallelParity, WorkerExceptionPropagatesFromSweep)
 {
     ThreadPool::setWorkers(8);

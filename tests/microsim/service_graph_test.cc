@@ -279,6 +279,36 @@ TEST(ServiceGraph, CyclesAndSelfCallsAreRejected)
     EXPECT_TRUE(self);
 }
 
+TEST(ServiceGraph, FaultOffEdgesNeverEnterTheResilienceLayer)
+{
+    // The containment layer's absence contract: a plain edge takes the
+    // legacy dispatch path — zero attempts accounted, zero timers,
+    // every resilience counter identically zero. This is what keeps
+    // fault-off runs bit-identical to the pre-layer simulator.
+    ServiceGraph graph(42);
+    graph.addService(node("web", 15000));
+    graph.addService(node("leaf"));
+    graph.addEdge(edge("web", "leaf"));
+    GraphMetrics m = graph.run(0.03, 0.01);
+
+    const EdgeStats &es = m.edges.at(0);
+    EXPECT_GT(es.callsIssued, 0u);
+    EXPECT_EQ(es.attemptsIssued, 0u);
+    EXPECT_EQ(es.callsDropped, 0u);
+    EXPECT_EQ(es.callsBlackholed, 0u);
+    EXPECT_EQ(es.attemptsTimedOut, 0u);
+    EXPECT_EQ(es.attemptsRetried, 0u);
+    EXPECT_EQ(es.retriesSuppressed, 0u);
+    EXPECT_EQ(es.callsDeadlineExceeded, 0u);
+    EXPECT_EQ(es.callsCancelledBudget, 0u);
+    EXPECT_EQ(es.callsShortCircuited, 0u);
+    EXPECT_EQ(es.callsFailed, 0u);
+    EXPECT_EQ(es.callsCompletedIgnored, 0u);
+    EXPECT_EQ(es.breakerOpens, 0u);
+    EXPECT_EQ(m.rootsDegraded, 0u);
+    EXPECT_EQ(m.node("web").subtreesPrunedBudget, 0u);
+}
+
 TEST(ServiceGraph, SameSeedReplaysBitIdentically)
 {
     auto build = []() {

@@ -228,6 +228,50 @@ TEST(ServiceSpec, FromConfigParsesResilienceAndTierKeys)
     EXPECT_NE(errs.front().find("non-trivial"), std::string::npos);
 }
 
+TEST(ServiceSpec, FromConfigRejectsUnknownKeysByName)
+{
+    // The classic silent-misconfiguration bug: a typoed key parses
+    // fine and the run silently measures the wrong thing. fromConfig
+    // now rejects any key it did not consume, naming it.
+    Config cfg = Config::fromString(
+        "[svc]\n"
+        "cores = 1\n"
+        "threads = 1\n"
+        "threading = sync\n"
+        "clock_ghz = 1.0\n"
+        "work_non_kernel_cycles = 1000\n"
+        "tier_hege_delay = 500\n"); // typo of tier_hedge_delay
+    try {
+        ServiceSpec::fromConfig(cfg, "svc");
+        FAIL() << "typoed key accepted";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("tier_hege_delay"), std::string::npos);
+        EXPECT_NE(msg.find("svc"), std::string::npos);
+    }
+}
+
+TEST(ServiceSpec, FromConfigListsEveryUnknownKey)
+{
+    Config cfg = Config::fromString(
+        "[svc]\n"
+        "cores = 1\n"
+        "threads = 1\n"
+        "threading = sync\n"
+        "clock_ghz = 1.0\n"
+        "work_non_kernel_cycles = 1000\n"
+        "first_typo = 1\n"
+        "second_typo = 2\n");
+    try {
+        ServiceSpec::fromConfig(cfg, "svc");
+        FAIL() << "typoed keys accepted";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("first_typo"), std::string::npos);
+        EXPECT_NE(msg.find("second_typo"), std::string::npos);
+    }
+}
+
 TEST(ServiceSpec, DeprecatedConstructorShimsAreBitIdentical)
 {
     ServiceMetrics via_spec = ServiceSim(ServiceSpec()

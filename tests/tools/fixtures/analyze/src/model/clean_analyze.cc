@@ -44,6 +44,37 @@ struct CleanStats {
     double busyCycles = 0.0;
 };
 
+// A runtime system whose FromConfig factory pairs with the class:
+// the private run state behind a `private:` label that is immediately
+// followed by a nested struct must stay out of validate-coverage.
+class CleanSystem {
+  public:
+    void validate() const;
+    void spin();
+
+  private:
+    struct Slot {
+        std::uint64_t token = 0;
+    };
+
+    double budgetCycles_ = 0.0;
+    Slot slot_;
+};
+
+void
+CleanSystem::validate() const
+{
+    check(budgetCycles_);
+}
+
+CleanSystem
+cleanSystemFromConfig()
+{
+    CleanSystem sys;
+    sys.validate();
+    return sys;
+}
+
 struct Worker {
     EventQueue eq_;
     CleanStats stats_;

@@ -535,11 +535,15 @@ def find_structs(clean):
                 # A brace group at depth 0 ends a statement (nested
                 # struct, member function body, init list).
                 if c == "{":
+                    # The label may be followed by the start of the
+                    # brace-owning declaration (`private:\n struct X`),
+                    # so take the last specifier anywhere in the
+                    # statement, not just one abutting the brace.
                     stmt = body[stmt_start:i]
-                    am = re.search(r"(public|private|protected)\s*:\s*$",
-                                   stmt)
-                    if am:
-                        public = (am.group(1) == "public")
+                    ams = re.findall(
+                        r"\b(public|private|protected)\s*:", stmt)
+                    if ams:
+                        public = (ams[-1] == "public")
                     i = close
                     # Optional trailing `;`
                     j = i
